@@ -1,0 +1,102 @@
+// Command msflow runs the mass-spectrometry toolchain experiments: the
+// Table-1 architecture dump, the activation-function study (Fig. 5), the
+// simulator-sample-size study (Fig. 6) and the final per-compound
+// evaluation (Fig. 7), at a selectable workload scale.
+//
+// Usage:
+//
+//	msflow -table1
+//	msflow -fig5 -scale laptop
+//	msflow -fig6 -seed 7
+//	msflow -fig7 -export net.json
+//	msflow -all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"specml/internal/experiments"
+	"specml/internal/toolflow"
+)
+
+func main() {
+	var (
+		table1  = flag.Bool("table1", false, "print the Table-1 network architecture")
+		fig5    = flag.Bool("fig5", false, "run the activation-function study (Fig. 5)")
+		fig6    = flag.Bool("fig6", false, "run the simulator sample-size study (Fig. 6)")
+		fig7    = flag.Bool("fig7", false, "run the final per-compound evaluation (Fig. 7)")
+		all     = flag.Bool("all", false, "run every MS experiment")
+		scale   = flag.String("scale", "laptop", "workload scale: quick | laptop | paper")
+		seed    = flag.Uint64("seed", 1, "experiment seed")
+		verbose = flag.Bool("v", false, "per-epoch training logs")
+		export  = flag.String("export", "", "with -fig7: write the trained network JSON to this file")
+	)
+	flag.Parse()
+
+	sc, err := experiments.ParseScale(*scale)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := experiments.Config{Scale: sc, Seed: *seed}
+	if *verbose {
+		cfg.Verbose = os.Stderr
+	}
+	ran := false
+	if *table1 || *all {
+		ran = true
+		if _, err := experiments.Table1(cfg, os.Stdout); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+	}
+	if *fig5 || *all {
+		ran = true
+		fmt.Println("== Fig. 5: activation-function study ==")
+		if _, err := experiments.Fig5(cfg, os.Stdout); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+	}
+	if *fig6 || *all {
+		ran = true
+		fmt.Println("== Fig. 6: simulator sample-size study ==")
+		if _, err := experiments.Fig6(cfg, os.Stdout); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+	}
+	if *fig7 || *all {
+		ran = true
+		fmt.Println("== Fig. 7: final evaluation ==")
+		res, err := experiments.Fig7(cfg, os.Stdout)
+		if err != nil {
+			fatal(err)
+		}
+		if *export != "" {
+			f, err := os.Create(*export)
+			if err != nil {
+				fatal(err)
+			}
+			err = toolflow.Export(&toolflow.Result{Model: res.Model}, f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("trained network exported to %s\n", *export)
+		}
+		fmt.Println()
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "msflow:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,65 @@
+// Command nmrflow runs the NMR experiments: the Section III.B.3 comparison
+// of the locally connected CNN, the LSTM time-series model and classical
+// Indirect Hard Modelling, plus the data-augmentation ablation.
+//
+// Usage:
+//
+//	nmrflow                 # the full CNN / IHM / LSTM comparison
+//	nmrflow -ablation       # physically motivated augmentation vs naive
+//	nmrflow -scale quick -seed 9
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"specml/internal/experiments"
+)
+
+func main() {
+	var (
+		ablation = flag.Bool("ablation", false, "run the augmentation ablation instead of the main comparison")
+		hybrid   = flag.Bool("hybrid", false, "run the CNN+LSTM hybrid extension instead of the main comparison")
+		quant    = flag.Bool("quant", false, "run the post-training quantization study instead of the main comparison")
+		scale    = flag.String("scale", "laptop", "workload scale: quick | laptop | paper")
+		seed     = flag.Uint64("seed", 1, "experiment seed")
+		verbose  = flag.Bool("v", false, "per-epoch training logs")
+	)
+	flag.Parse()
+
+	sc, err := experiments.ParseScale(*scale)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := experiments.Config{Scale: sc, Seed: *seed}
+	if *verbose {
+		cfg.Verbose = os.Stderr
+	}
+	if *ablation {
+		if _, err := experiments.AblationAugmentation(cfg, os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *hybrid {
+		if _, err := experiments.HybridNMR(cfg, os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *quant {
+		if _, err := experiments.QuantizationStudy(cfg, os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if _, err := experiments.NMR(cfg, os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nmrflow:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,50 @@
+// Command platformsim reproduces Table 2: the execution time, power and
+// energy of the Table-1 network on the Jetson Nano and Jetson TX2
+// platform models (CPU and GPU each), and optionally measures real
+// inference latency on the host machine.
+//
+// Usage:
+//
+//	platformsim
+//	platformsim -host -samples 5000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"specml/internal/experiments"
+)
+
+func main() {
+	var (
+		host     = flag.Bool("host", false, "also measure real inference latency on this machine")
+		section4 = flag.Bool("section4", false, "also estimate the Section-IV FPGA alternatives")
+		samples  = flag.Int("samples", 1000, "with -host: number of inferences to time")
+		seed     = flag.Uint64("seed", 1, "experiment seed")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{Seed: *seed}
+	if _, err := experiments.Table2(cfg, os.Stdout); err != nil {
+		fatal(err)
+	}
+	if *section4 {
+		fmt.Println()
+		if _, err := experiments.SectionIV(cfg, os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+	if *host {
+		fmt.Println()
+		if _, err := experiments.HostInference(cfg, *samples, os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "platformsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,199 @@
+// Command spectool generates and inspects spectra and provenance data:
+//
+//	spectool -fig4                      # ideal-vs-simulated spectrum table (Fig. 4)
+//	spectool -compounds                 # list the built-in compound library
+//	spectool -mixture "N2=0.7,O2=0.3"   # simulate one measured mixture spectrum
+//	spectool -demo-store run.json       # run a mini pipeline, save its provenance
+//	spectool -store run.json -lineage networks/000004
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"specml/internal/core"
+	"specml/internal/experiments"
+	"specml/internal/msim"
+	"specml/internal/rng"
+	"specml/internal/store"
+)
+
+func main() {
+	var (
+		fig4      = flag.Bool("fig4", false, "print the Fig. 4 ideal-vs-simulated table")
+		compounds = flag.Bool("compounds", false, "list the compound library")
+		mixture   = flag.String("mixture", "", "simulate a mixture, e.g. \"N2=0.7,O2=0.3\"")
+		storePath = flag.String("store", "", "path of a saved provenance store to inspect")
+		lineage   = flag.String("lineage", "", "with -store: print the lineage of a document ID")
+		demoStore = flag.String("demo-store", "", "run a mini pipeline and save its provenance store to this path")
+		seed      = flag.Uint64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+
+	ran := false
+	if *fig4 {
+		ran = true
+		if _, _, err := experiments.Fig4(experiments.Config{Seed: *seed}, os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+	if *compounds {
+		ran = true
+		fmt.Printf("%-8s %-10s %s\n", "name", "formula", "fragments (m/z: relative intensity)")
+		for _, c := range msim.Library {
+			fmt.Printf("%-8s %-10s", c.Name, c.Formula)
+			for _, f := range c.Fragments {
+				fmt.Printf(" %.0f:%.1f", f.Position, f.Intensity)
+			}
+			fmt.Println()
+		}
+	}
+	if *mixture != "" {
+		ran = true
+		if err := simulateMixture(*mixture, *seed); err != nil {
+			fatal(err)
+		}
+	}
+	if *demoStore != "" {
+		ran = true
+		if err := buildDemoStore(*demoStore, *seed); err != nil {
+			fatal(err)
+		}
+	}
+	if *storePath != "" {
+		ran = true
+		if err := inspectStore(*storePath, *lineage); err != nil {
+			fatal(err)
+		}
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// simulateMixture parses "Name=frac,..." and prints the simulated spectrum.
+func simulateMixture(spec string, seed uint64) error {
+	var names []string
+	var fracs []float64
+	for _, part := range strings.Split(spec, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return fmt.Errorf("malformed mixture term %q (want Name=fraction)", part)
+		}
+		f, err := strconv.ParseFloat(kv[1], 64)
+		if err != nil {
+			return fmt.Errorf("fraction in %q: %w", part, err)
+		}
+		names = append(names, kv[0])
+		fracs = append(fracs, f)
+	}
+	comps, err := msim.Compounds(names...)
+	if err != nil {
+		return err
+	}
+	sim, err := msim.NewLineSimulator(comps)
+	if err != nil {
+		return err
+	}
+	ideal, err := sim.Mixture(fracs)
+	if err != nil {
+		return err
+	}
+	model := msim.DefaultTrueModel()
+	s, err := model.Measure(ideal, msim.DefaultAxis(), rng.New(seed))
+	if err != nil {
+		return err
+	}
+	fmt.Println("# m/z  intensity")
+	for i := 0; i < s.Axis.N; i++ {
+		fmt.Printf("%6.2f  %10.6f\n", s.Axis.Value(i), s.Intensities[i])
+	}
+	return nil
+}
+
+// inspectStore lists collections or prints a lineage.
+func inspectStore(path, lineageID string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	st, err := store.Load(f)
+	if err != nil {
+		return err
+	}
+	if lineageID != "" {
+		docs, err := st.Lineage(lineageID)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("lineage of %s (%d ancestors):\n", lineageID, len(docs))
+		for _, d := range docs {
+			fmt.Printf("  %-24s %v\n", d.ID, d.Meta)
+		}
+		return nil
+	}
+	fmt.Printf("store %s: %d documents\n", path, st.Len())
+	for _, c := range st.Collections() {
+		docs := st.Find(c, nil)
+		fmt.Printf("  %-16s %d documents\n", c, len(docs))
+		for _, d := range docs {
+			fmt.Printf("    %-24s %v\n", d.ID, d.Meta)
+		}
+	}
+	return nil
+}
+
+// buildDemoStore runs characterization + training-data generation + a
+// short training through a provenance-recording pipeline and saves the
+// resulting document store.
+func buildDemoStore(path string, seed uint64) error {
+	st := store.New()
+	pipe, err := core.NewMSPipeline(core.MSConfig{
+		TrainSamples: 200,
+		Epochs:       1,
+		Seed:         seed,
+		Store:        st,
+	})
+	if err != nil {
+		return err
+	}
+	proto := msim.NewVirtualInstrument(nil, seed+5)
+	refs, err := msim.CollectReferences(proto, pipe.LineSimulator(), msim.DefaultAxis(),
+		msim.StandardMixtures(8), 5)
+	if err != nil {
+		return err
+	}
+	if err := pipe.Characterize(refs); err != nil {
+		return err
+	}
+	if _, err := pipe.Train(nil); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = st.Save(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("provenance store with %d documents written to %s\n", st.Len(), path)
+	fmt.Printf("inspect with: spectool -store %s\n", path)
+	for _, d := range st.Find("networks", nil) {
+		fmt.Printf("trace a network with: spectool -store %s -lineage %s\n", path, d.ID)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "spectool:", err)
+	os.Exit(1)
+}

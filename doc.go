@@ -1,0 +1,13 @@
+// Package specml reproduces "Artificial Intelligence for Mass Spectrometry
+// and Nuclear Magnetic Resonance Spectroscopy Using a Novel Data
+// Augmentation Method" (Fricke et al., DATE 2021 / IEEE TETC 2021) as a
+// pure-Go library: physically motivated spectra simulators for MS and NMR,
+// a from-scratch neural-network framework, Indirect Hard Modelling, an
+// embedded-platform cost model and a benchmark harness regenerating every
+// table and figure of the paper's evaluation.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// EXPERIMENTS.md for paper-vs-measured results. The root package contains
+// no code; the library lives under internal/ and is exercised through the
+// commands in cmd/ and the examples in examples/.
+package specml

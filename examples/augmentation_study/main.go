@@ -1,0 +1,39 @@
+// Augmentation ablation: why the paper's data augmentation is
+// *physically motivated* rather than a naive linear combination.
+//
+// Two identical NMR CNNs are trained on synthetic corpora generated from
+// the same fitted IHM component models. The first corpus includes random
+// per-component peak shifts and line broadenings — the distortions real
+// mixtures exhibit ("the mixing of compounds in solution may shift single
+// NMR peaks"). The second corpus is a plain linear combination with no
+// distortions. Both networks are evaluated on a measured reactor campaign
+// whose spectra do shift and broaden; the augmented network generalizes
+// better.
+//
+// Run with: go run ./examples/augmentation_study
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"specml/internal/experiments"
+)
+
+func main() {
+	cfg := experiments.Config{Scale: experiments.Quick, Seed: 3}
+	if len(os.Args) > 1 && os.Args[1] == "-laptop" {
+		cfg.Scale = experiments.Laptop
+	}
+	res, err := experiments.AblationAugmentation(cfg, os.Stdout)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if res.NaiveMSE > res.AugmentedMSE {
+		fmt.Println("\n=> the physically motivated augmentation generalizes better,")
+		fmt.Println("   reproducing the paper's argument for IHM-based simulation.")
+	} else {
+		fmt.Println("\n=> at this tiny scale the ordering is noisy; rerun with -laptop.")
+	}
+}

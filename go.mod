@@ -1,0 +1,3 @@
+module specml
+
+go 1.22

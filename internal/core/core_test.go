@@ -1,0 +1,224 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"specml/internal/msim"
+	"specml/internal/spectrum"
+	"specml/internal/store"
+)
+
+func TestNewMSPipelineDefaults(t *testing.T) {
+	p, err := NewMSPipeline(MSConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Names()) != 8 {
+		t.Fatalf("default task has %d compounds", len(p.Names()))
+	}
+	if _, err := NewMSPipeline(MSConfig{Task: []string{"Unobtainium"}}); err == nil {
+		t.Fatal("unknown compound must error")
+	}
+}
+
+func TestMSPipelineRequiresOrder(t *testing.T) {
+	p, err := NewMSPipeline(MSConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.GenerateTraining(); err == nil {
+		t.Fatal("GenerateTraining before Characterize must error")
+	}
+	if _, err := p.Predict(spectrum.New(msim.DefaultAxis())); err == nil {
+		t.Fatal("Predict before Train must error")
+	}
+	if _, err := p.EvaluateOn(nil); err == nil {
+		t.Fatal("EvaluateOn before Train must error")
+	}
+}
+
+func TestMSPipelineSetInstrumentModel(t *testing.T) {
+	p, _ := NewMSPipeline(MSConfig{})
+	if err := p.SetInstrumentModel(msim.DefaultTrueModel()); err != nil {
+		t.Fatal(err)
+	}
+	if p.InstrumentModel() == nil {
+		t.Fatal("model not installed")
+	}
+	bad := msim.DefaultTrueModel()
+	bad.PeakFWHM0 = -1
+	if err := p.SetInstrumentModel(bad); err == nil {
+		t.Fatal("invalid model must be rejected")
+	}
+}
+
+// miniature end-to-end MS pipeline (tiny sizes; quality asserted loosely)
+func TestMSPipelineEndToEnd(t *testing.T) {
+	st := store.New()
+	p, err := NewMSPipeline(MSConfig{
+		TrainSamples: 150,
+		Epochs:       2,
+		BatchSize:    16,
+		Seed:         5,
+		Store:        st,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vi := msim.NewVirtualInstrument(nil, 42)
+	refs, err := msim.CollectReferences(vi, p.LineSimulator(), msim.DefaultAxis(),
+		msim.StandardMixtures(8), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Characterize(refs); err != nil {
+		t.Fatal(err)
+	}
+	if p.InstrumentModel() == nil {
+		t.Fatal("no instrument model after characterization")
+	}
+	res, err := p.Train(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Model.NumParams() < 20000 {
+		t.Fatalf("unexpected model size %d", res.Model.NumParams())
+	}
+	// provenance: network document exists and traces to measurements
+	nets := st.Find("networks", nil)
+	if len(nets) != 1 {
+		t.Fatalf("%d network documents", len(nets))
+	}
+	lin, err := st.Lineage(nets[0].ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lin) < 2 {
+		t.Fatalf("lineage too short: %d", len(lin))
+	}
+
+	// prediction on a freshly measured plausible spectrum works
+	frac := make([]float64, 8)
+	frac[3] = 1
+	ideal, _ := p.LineSimulator().Mixture(frac)
+	s, err := vi.Measure(ideal, msim.DefaultAxis())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := p.Predict(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, v := range pred {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("softmax predictions must sum to 1, got %v", sum)
+	}
+
+	// a different axis is resampled transparently
+	otherAxis := spectrum.MustAxis(1, 0.25, 397)
+	s2, _ := vi.Measure(ideal, otherAxis)
+	if _, err := p.Predict(s2); err != nil {
+		t.Fatalf("resampled prediction failed: %v", err)
+	}
+}
+
+func TestCheckPlausibility(t *testing.T) {
+	p, _ := NewMSPipeline(MSConfig{})
+	axis := msim.DefaultAxis()
+
+	// plausible: intensity near known fragments
+	ok := make([]float64, axis.N)
+	ok[axis.NearestIndex(28)] = 0.7 // N2
+	ok[axis.NearestIndex(32)] = 0.3 // O2
+	if err := p.CheckPlausibility(ok); err != nil {
+		t.Fatalf("plausible input rejected: %v", err)
+	}
+
+	// implausible: big signal at m/z 85 (no task fragment nearby)
+	bad := make([]float64, axis.N)
+	bad[axis.NearestIndex(28)] = 0.5
+	bad[axis.NearestIndex(85)] = 0.5
+	err := p.CheckPlausibility(bad)
+	var impl *ErrImplausibleInput
+	if !errors.As(err, &impl) {
+		t.Fatalf("unknown-compound input not flagged: %v", err)
+	}
+	if impl.UnknownFraction < 0.4 {
+		t.Fatalf("unknown fraction %v too small", impl.UnknownFraction)
+	}
+
+	// degenerate inputs
+	if err := p.CheckPlausibility(make([]float64, axis.N)); err == nil {
+		t.Fatal("zero spectrum must be implausible")
+	}
+	nan := make([]float64, axis.N)
+	nan[0] = math.NaN()
+	if err := p.CheckPlausibility(nan); err == nil {
+		t.Fatal("NaN spectrum must be implausible")
+	}
+	if err := p.CheckPlausibility([]float64{1}); err == nil {
+		t.Fatal("wrong length must error")
+	}
+}
+
+func TestMonitor(t *testing.T) {
+	names := []string{"N2", "O2"}
+	limits := []Limit{{Name: "O2", Min: 0, Max: 0.3}}
+	m, err := NewMonitor(names, limits, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// first in-range step: no alarm
+	alarms, err := m.Step([]float64{0.8, 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alarms) != 0 {
+		t.Fatalf("unexpected alarms: %v", alarms)
+	}
+	// O2 jumps; smoothing keeps the first excursion in band
+	alarms, _ = m.Step([]float64{0.5, 0.38})
+	if len(alarms) != 0 {
+		t.Fatalf("smoothing failed: %v", alarms)
+	}
+	// sustained excursion must alarm
+	for i := 0; i < 5; i++ {
+		alarms, _ = m.Step([]float64{0.5, 0.5})
+	}
+	if len(alarms) != 1 || alarms[0].Name != "O2" {
+		t.Fatalf("expected O2 alarm, got %v", alarms)
+	}
+	if alarms[0].String() == "" {
+		t.Fatal("alarm formatting empty")
+	}
+	if m.StepCount() != 7 {
+		t.Fatalf("step count %d", m.StepCount())
+	}
+	if got := m.Smoothed(); len(got) != 2 {
+		t.Fatalf("smoothed = %v", got)
+	}
+}
+
+func TestMonitorValidation(t *testing.T) {
+	if _, err := NewMonitor(nil, nil, 0); err == nil {
+		t.Fatal("empty names must error")
+	}
+	if _, err := NewMonitor([]string{"a"}, nil, 1.0); err == nil {
+		t.Fatal("smoothing 1.0 must error")
+	}
+	if _, err := NewMonitor([]string{"a"}, []Limit{{Name: "b"}}, 0); err == nil {
+		t.Fatal("unknown limit substance must error")
+	}
+	if _, err := NewMonitor([]string{"a"}, []Limit{{Name: "a", Min: 1, Max: 0}}, 0); err == nil {
+		t.Fatal("inverted limit must error")
+	}
+	m, _ := NewMonitor([]string{"a"}, nil, 0)
+	if _, err := m.Step([]float64{1, 2}); err == nil {
+		t.Fatal("wrong prediction width must error")
+	}
+}

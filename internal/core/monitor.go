@@ -1,0 +1,112 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Limit is an alarm band for one monitored substance.
+type Limit struct {
+	Name string
+	Min  float64
+	Max  float64
+}
+
+// Alarm reports a limit violation at a monitoring step.
+type Alarm struct {
+	Step  int
+	Name  string
+	Value float64
+	Limit Limit
+}
+
+func (a Alarm) String() string {
+	return fmt.Sprintf("step %d: %s = %.4f outside [%.4f, %.4f]",
+		a.Step, a.Name, a.Value, a.Limit.Min, a.Limit.Max)
+}
+
+// Monitor implements the closed-loop quality-control view: a stream of
+// concentration predictions is checked against per-substance alarm bands,
+// with exponential smoothing to suppress single-sample noise.
+type Monitor struct {
+	// Names are the substances in prediction order.
+	Names []string
+	// Limits are the alarm bands (substances without a band are logged
+	// only).
+	Limits []Limit
+	// Smoothing is the exponential-moving-average factor in [0,1);
+	// 0 disables smoothing.
+	Smoothing float64
+
+	step   int
+	smooth []float64
+}
+
+// NewMonitor returns a monitor for the given substances.
+func NewMonitor(names []string, limits []Limit, smoothing float64) (*Monitor, error) {
+	if len(names) == 0 {
+		return nil, fmt.Errorf("core: monitor needs substance names")
+	}
+	if smoothing < 0 || smoothing >= 1 {
+		return nil, fmt.Errorf("core: smoothing must be in [0,1), got %g", smoothing)
+	}
+	for _, l := range limits {
+		found := false
+		for _, n := range names {
+			if n == l.Name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("core: limit for unknown substance %q", l.Name)
+		}
+		if l.Min > l.Max {
+			return nil, fmt.Errorf("core: limit for %q has Min > Max", l.Name)
+		}
+	}
+	return &Monitor{Names: names, Limits: limits, Smoothing: smoothing}, nil
+}
+
+// Step feeds one prediction vector and returns any alarms raised.
+func (m *Monitor) Step(pred []float64) ([]Alarm, error) {
+	if len(pred) != len(m.Names) {
+		return nil, fmt.Errorf("core: prediction width %d, monitor has %d substances", len(pred), len(m.Names))
+	}
+	if m.smooth == nil {
+		m.smooth = append([]float64(nil), pred...)
+	} else {
+		a := m.Smoothing
+		for i, v := range pred {
+			m.smooth[i] = a*m.smooth[i] + (1-a)*v
+		}
+	}
+	m.step++
+	var alarms []Alarm
+	for _, l := range m.Limits {
+		for i, n := range m.Names {
+			if n != l.Name {
+				continue
+			}
+			v := m.smooth[i]
+			if v < l.Min || v > l.Max || math.IsNaN(v) {
+				alarms = append(alarms, Alarm{Step: m.step, Name: n, Value: v, Limit: l})
+			}
+		}
+	}
+	return alarms, nil
+}
+
+// Smoothed returns the current smoothed concentration estimates (nil
+// before the first step).
+func (m *Monitor) Smoothed() []float64 {
+	if m.smooth == nil {
+		return nil
+	}
+	out := make([]float64, len(m.smooth))
+	copy(out, m.smooth)
+	return out
+}
+
+// StepCount returns the number of processed predictions.
+func (m *Monitor) StepCount() int { return m.step }

@@ -1,0 +1,212 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"specml/internal/dataset"
+	"specml/internal/ihm"
+	"specml/internal/nmrsim"
+	"specml/internal/rng"
+	"specml/internal/spectrum"
+	"specml/internal/toolflow"
+)
+
+// NMRConfig configures an NMRPipeline.
+type NMRConfig struct {
+	// TrainSamples is the synthetic-corpus size for the CNN (paper:
+	// 300 000; default 1500 for laptop-scale runs).
+	TrainSamples int
+	// Windows and Steps configure the LSTM corpus: Windows samples of
+	// Steps consecutive spectra (paper: 5 timesteps).
+	Windows int
+	Steps   int
+	// MaxRepeat is the plateau-emulation repetition bound ("repeated
+	// random training spectra one to twenty times").
+	MaxRepeat int
+	// Epochs/BatchSize for both models.
+	Epochs    int
+	BatchSize int
+	// Seed drives everything.
+	Seed uint64
+	// MaxPureFitPeaks bounds the IHM pure-component fits.
+	MaxPureFitPeaks int
+}
+
+func (c *NMRConfig) withDefaults() *NMRConfig {
+	out := *c
+	if out.TrainSamples <= 0 {
+		out.TrainSamples = 1500
+	}
+	if out.Windows <= 0 {
+		out.Windows = 400
+	}
+	if out.Steps <= 0 {
+		out.Steps = 5
+	}
+	if out.MaxRepeat <= 0 {
+		out.MaxRepeat = 20
+	}
+	if out.Epochs <= 0 {
+		out.Epochs = 12
+	}
+	if out.BatchSize <= 0 {
+		out.BatchSize = 32
+	}
+	if out.MaxPureFitPeaks <= 0 {
+		out.MaxPureFitPeaks = 8
+	}
+	return &out
+}
+
+// NMRPipeline is the end-to-end NMR flow.
+type NMRPipeline struct {
+	cfg *NMRConfig
+	// LowField is the process (benchtop) instrument; HighField the
+	// reference spectrometer.
+	LowField  *nmrsim.Instrument
+	HighField *nmrsim.Instrument
+
+	components []*ihm.ComponentModel
+	augmenter  *nmrsim.Augmenter
+	analyzer   *ihm.MixtureAnalyzer
+
+	cnn  *toolflow.Result
+	lstm *toolflow.Result
+}
+
+// NewNMRPipeline returns a pipeline with fresh virtual instruments.
+func NewNMRPipeline(cfg NMRConfig) *NMRPipeline {
+	c := cfg.withDefaults()
+	return &NMRPipeline{
+		cfg:       c,
+		LowField:  nmrsim.NewLowField(c.Seed + 10),
+		HighField: nmrsim.NewHighField(c.Seed + 11),
+	}
+}
+
+// FitComponents measures each pure component on the low-field instrument
+// and fits IHM hard models — the machine-assisted model building step.
+func (p *NMRPipeline) FitComponents() error {
+	var comps []*ihm.ComponentModel
+	for j := 0; j < nmrsim.NumComponents; j++ {
+		s, err := p.LowField.MeasurePure(j)
+		if err != nil {
+			return err
+		}
+		c, err := ihm.FitPureComponent(nmrsim.ComponentNames[j], s, p.cfg.MaxPureFitPeaks)
+		if err != nil {
+			return fmt.Errorf("core: fitting %s: %w", nmrsim.ComponentNames[j], err)
+		}
+		comps = append(comps, c)
+	}
+	p.components = comps
+	an, err := ihm.NewMixtureAnalyzer(comps, ihm.AnalyzerOptions{MaxShift: 0.03, WidthRange: 0.4})
+	if err != nil {
+		return err
+	}
+	p.analyzer = an
+	p.augmenter = &nmrsim.Augmenter{
+		Axis:           p.LowField.Axis,
+		Components:     comps,
+		ConcLo:         []float64{0, 0, 0, 0},
+		ConcHi:         []float64{0.6, 0.6, 0.6, 0.5},
+		ShiftJitter:    p.LowField.ShiftJitter,
+		WidthJitter:    p.LowField.WidthJitter,
+		NoiseSigma:     p.LowField.NoiseSigma,
+		IntensityScale: p.LowField.IntensityScale,
+	}
+	return nil
+}
+
+// Components returns the fitted hard models.
+func (p *NMRPipeline) Components() []*ihm.ComponentModel { return p.components }
+
+// Augmenter returns the configured synthetic-spectra generator.
+func (p *NMRPipeline) Augmenter() *nmrsim.Augmenter { return p.augmenter }
+
+// TrainCNN generates the synthetic corpus and trains the paper's
+// 10 532-parameter locally connected CNN, validating against measured
+// campaign data (valX/valY from a reactor campaign). verbose may be nil.
+func (p *NMRPipeline) TrainCNN(val *dataset.Dataset, verbose io.Writer) (*toolflow.Result, error) {
+	if p.augmenter == nil {
+		return nil, fmt.Errorf("core: FitComponents before TrainCNN")
+	}
+	d, err := p.augmenter.Generate(p.cfg.TrainSamples, p.cfg.Seed+20)
+	if err != nil {
+		return nil, err
+	}
+	d.Shuffle(rng.New(p.cfg.Seed + 21))
+	spec := toolflow.NMRCNNSpec(p.LowField.Axis.N, nmrsim.NumComponents,
+		p.cfg.Epochs, p.cfg.BatchSize, p.cfg.Seed)
+	runner := &toolflow.Runner{Verbose: verbose}
+	res, err := runner.Train(spec, d, val)
+	if err != nil {
+		return nil, err
+	}
+	p.cnn = res
+	return res, nil
+}
+
+// TrainLSTM generates the plateau time-series corpus and trains the
+// paper's 221 956-parameter LSTM model. verbose may be nil.
+func (p *NMRPipeline) TrainLSTM(val *dataset.Dataset, verbose io.Writer) (*toolflow.Result, error) {
+	if p.augmenter == nil {
+		return nil, fmt.Errorf("core: FitComponents before TrainLSTM")
+	}
+	d, err := p.augmenter.GenerateTimeSeries(p.cfg.Windows, p.cfg.Steps, p.cfg.MaxRepeat, p.cfg.Seed+30)
+	if err != nil {
+		return nil, err
+	}
+	d.Shuffle(rng.New(p.cfg.Seed + 31))
+	spec := toolflow.NMRLSTMSpec(p.cfg.Steps, p.LowField.Axis.N, nmrsim.NumComponents,
+		p.cfg.Epochs, p.cfg.BatchSize, p.cfg.Seed)
+	runner := &toolflow.Runner{Verbose: verbose}
+	res, err := runner.Train(spec, d, val)
+	if err != nil {
+		return nil, err
+	}
+	p.lstm = res
+	return res, nil
+}
+
+// CNN returns the trained CNN record, or nil.
+func (p *NMRPipeline) CNN() *toolflow.Result { return p.cnn }
+
+// LSTM returns the trained LSTM record, or nil.
+func (p *NMRPipeline) LSTM() *toolflow.Result { return p.lstm }
+
+// AnalyzeIHM runs the classical IHM mixture analysis on one spectrum and
+// reports the estimated concentrations (instrument-gain corrected) plus
+// the wall-clock analysis latency — the baseline the networks are compared
+// against.
+func (p *NMRPipeline) AnalyzeIHM(s *spectrum.Spectrum) ([]float64, time.Duration, error) {
+	if p.analyzer == nil {
+		return nil, 0, fmt.Errorf("core: FitComponents before AnalyzeIHM")
+	}
+	start := time.Now()
+	res, err := p.analyzer.Analyze(s)
+	elapsed := time.Since(start)
+	if err != nil {
+		return nil, elapsed, err
+	}
+	// weights are in receiver-gain units; undo the instrument scale so they
+	// are comparable to the concentration labels
+	conc := make([]float64, len(res.Weights))
+	for j, w := range res.Weights {
+		conc[j] = w / p.LowField.IntensityScale
+	}
+	return conc, elapsed, nil
+}
+
+// PredictCNN runs the trained CNN on one spectrum, returning predictions
+// and inference latency.
+func (p *NMRPipeline) PredictCNN(s *spectrum.Spectrum) ([]float64, time.Duration, error) {
+	if p.cnn == nil {
+		return nil, 0, fmt.Errorf("core: TrainCNN before PredictCNN")
+	}
+	start := time.Now()
+	out := p.cnn.Model.Predict(s.Intensities)
+	return out, time.Since(start), nil
+}

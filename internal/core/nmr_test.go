@@ -1,0 +1,127 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"specml/internal/dataset"
+	"specml/internal/nmrsim"
+)
+
+func TestNMRPipelineRequiresOrder(t *testing.T) {
+	p := NewNMRPipeline(NMRConfig{})
+	if _, err := p.TrainCNN(nil, nil); err == nil {
+		t.Fatal("TrainCNN before FitComponents must error")
+	}
+	if _, err := p.TrainLSTM(nil, nil); err == nil {
+		t.Fatal("TrainLSTM before FitComponents must error")
+	}
+	if _, _, err := p.AnalyzeIHM(nil); err == nil {
+		t.Fatal("AnalyzeIHM before FitComponents must error")
+	}
+	if _, _, err := p.PredictCNN(nil); err == nil {
+		t.Fatal("PredictCNN before TrainCNN must error")
+	}
+}
+
+// miniature NMR end-to-end: fit components, train a tiny CNN, compare
+// against IHM on one spectrum.
+func TestNMRPipelineEndToEnd(t *testing.T) {
+	p := NewNMRPipeline(NMRConfig{
+		TrainSamples: 120,
+		Epochs:       6,
+		BatchSize:    16,
+		Seed:         3,
+	})
+	if err := p.FitComponents(); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Components()) != nmrsim.NumComponents {
+		t.Fatalf("%d components fitted", len(p.Components()))
+	}
+	if p.Augmenter() == nil {
+		t.Fatal("augmenter not configured")
+	}
+
+	// validation data from a small reactor campaign
+	reactor := nmrsim.NewReactor()
+	plateaus, err := nmrsim.Campaign(reactor, p.LowField, nmrsim.DoE(2, 2), 5, 0.002, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spectra, labels := nmrsim.FlattenCampaign(plateaus)
+	val := dataset.New(len(spectra))
+	for i := range spectra {
+		val.Append(spectra[i].Intensities, labels[i])
+	}
+
+	res, err := p.TrainCNN(val, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Model.NumParams() != 10532 {
+		t.Fatalf("CNN params %d, want 10532", res.Model.NumParams())
+	}
+	if p.CNN() != res {
+		t.Fatal("CNN record not stored")
+	}
+
+	// predictions and latency on one spectrum
+	pred, dt, err := p.PredictCNN(spectra[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pred) != 4 || dt <= 0 {
+		t.Fatalf("prediction %v in %v", pred, dt)
+	}
+
+	// IHM on the same spectrum: concentrations comparable to labels
+	conc, ihmTime, err := p.AnalyzeIHM(spectra[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ihmTime <= dt {
+		t.Fatalf("IHM (%v) should be slower than the CNN (%v)", ihmTime, dt)
+	}
+	for j := range conc {
+		if math.Abs(conc[j]-labels[0][j]) > 0.1 {
+			t.Fatalf("IHM concentration %d = %v, label %v", j, conc[j], labels[0][j])
+		}
+	}
+}
+
+func TestNMRPipelineLSTM(t *testing.T) {
+	p := NewNMRPipeline(NMRConfig{
+		Windows:   40,
+		Steps:     3,
+		MaxRepeat: 4,
+		Epochs:    2,
+		BatchSize: 8,
+		Seed:      9,
+	})
+	if err := p.FitComponents(); err != nil {
+		t.Fatal(err)
+	}
+	reactor := nmrsim.NewReactor()
+	plateaus, err := nmrsim.Campaign(reactor, p.LowField, nmrsim.DoE(2, 1), 4, 0.002, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spectra, labels := nmrsim.FlattenCampaign(plateaus)
+	val, err := nmrsim.WindowCampaign(spectra, labels, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.TrainLSTM(val, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.LSTM() != res {
+		t.Fatal("LSTM record not stored")
+	}
+	// 3-step windows on 1700-point spectra: 4*32*(1700+32+1) + 132 params
+	want := 4*32*(1700+32+1) + 32*4 + 4
+	if res.Model.NumParams() != want {
+		t.Fatalf("LSTM params %d, want %d", res.Model.NumParams(), want)
+	}
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"specml/internal/msim"
+	"specml/internal/spectrum"
+)
+
+func TestUnknownSignalFraction(t *testing.T) {
+	p, err := NewMSPipeline(MSConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	axis := msim.DefaultAxis()
+	// all signal on a known fragment: fraction ~0
+	known := make([]float64, axis.N)
+	known[axis.NearestIndex(28)] = 1
+	f, err := p.UnknownSignalFraction(known)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f > 0.01 {
+		t.Fatalf("known-fragment fraction = %v", f)
+	}
+	// half the signal in an empty region
+	mixed := make([]float64, axis.N)
+	mixed[axis.NearestIndex(28)] = 0.5
+	mixed[axis.NearestIndex(85)] = 0.5
+	f, err = p.UnknownSignalFraction(mixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f-0.5) > 0.05 {
+		t.Fatalf("unknown fraction = %v, want ~0.5", f)
+	}
+}
+
+func TestUnknownSignalFractionOnMeasuredData(t *testing.T) {
+	// Realistic spectra from the virtual prototype: task mixtures stay
+	// under the default threshold; off-task contamination exceeds it.
+	p, err := NewMSPipeline(MSConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proto := msim.NewVirtualInstrument(nil, 51)
+	axis := msim.DefaultAxis()
+	frac := make([]float64, 8)
+	frac[3], frac[6] = 0.6, 0.4 // N2 + CO2
+	ideal, err := p.LineSimulator().Mixture(frac)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := proto.Measure(ideal, axis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.CheckPlausibility(msim.Preprocess(s)); err != nil {
+		t.Fatalf("legitimate measurement rejected: %v", err)
+	}
+
+	propane, err := msim.ByName("C3H8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blended, err := spectrum.SuperposeLines([]float64{0.5, 0.5},
+		[]*spectrum.LineSpectrum{ideal, propane.Lines()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := proto.Measure(blended, axis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.CheckPlausibility(msim.Preprocess(s2)); err == nil {
+		t.Fatal("heavy propane contamination not rejected")
+	}
+}
+
+func TestPlausibilityThresholdConfigurable(t *testing.T) {
+	// A permissive threshold accepts what the default rejects.
+	loose, err := NewMSPipeline(MSConfig{PlausibilityThreshold: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	axis := msim.DefaultAxis()
+	x := make([]float64, axis.N)
+	x[axis.NearestIndex(28)] = 0.4
+	x[axis.NearestIndex(85)] = 0.6
+	if err := loose.CheckPlausibility(x); err != nil {
+		t.Fatalf("loose threshold still rejected: %v", err)
+	}
+}

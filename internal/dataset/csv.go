@@ -1,0 +1,95 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV exports the dataset in a spreadsheet-friendly layout: a header
+// row of x0..xN-1 followed by the label names (or y0..), then one row per
+// sample. This implements the toolflow's "export of analysis data to
+// spreadsheet applications or data analysis tools, e.g., MATLAB or
+// Pandas".
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	if d.Len() == 0 {
+		cw.Flush()
+		return cw.Error()
+	}
+	fw, lw := len(d.X[0]), len(d.Y[0])
+	header := make([]string, 0, fw+lw)
+	for i := 0; i < fw; i++ {
+		header = append(header, fmt.Sprintf("x%d", i))
+	}
+	for j := 0; j < lw; j++ {
+		if j < len(d.Names) && d.Names[j] != "" {
+			header = append(header, d.Names[j])
+		} else {
+			header = append(header, fmt.Sprintf("y%d", j))
+		}
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, fw+lw)
+	for i := range d.X {
+		for k, v := range d.X[i] {
+			row[k] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		for k, v := range d.Y[i] {
+			row[fw+k] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV imports a dataset written by WriteCSV. labelWidth tells how many
+// trailing columns are labels.
+func ReadCSV(r io.Reader, labelWidth int) (*Dataset, error) {
+	if labelWidth <= 0 {
+		return nil, fmt.Errorf("dataset: labelWidth must be positive, got %d", labelWidth)
+	}
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading CSV header: %w", err)
+	}
+	if len(header) <= labelWidth {
+		return nil, fmt.Errorf("dataset: %d columns cannot hold %d labels", len(header), labelWidth)
+	}
+	fw := len(header) - labelWidth
+	d := New(0)
+	d.Names = append([]string(nil), header[fw:]...)
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: CSV line %d: %w", line, err)
+		}
+		x := make([]float64, fw)
+		y := make([]float64, labelWidth)
+		for k := 0; k < fw; k++ {
+			if x[k], err = strconv.ParseFloat(rec[k], 64); err != nil {
+				return nil, fmt.Errorf("dataset: CSV line %d col %d: %w", line, k, err)
+			}
+		}
+		for k := 0; k < labelWidth; k++ {
+			if y[k], err = strconv.ParseFloat(rec[fw+k], 64); err != nil {
+				return nil, fmt.Errorf("dataset: CSV line %d col %d: %w", line, fw+k, err)
+			}
+		}
+		d.Append(x, y)
+	}
+	return d, nil
+}

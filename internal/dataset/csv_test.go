@@ -1,0 +1,85 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"specml/internal/rng"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	d := sample(12, 5, 2, 3)
+	d.Names = []string{"N2", "O2"}
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(strings.SplitN(out, "\n", 2)[0], "N2") {
+		t.Fatalf("header missing names: %q", strings.SplitN(out, "\n", 2)[0])
+	}
+	got, err := ReadCSV(strings.NewReader(out), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != d.Len() {
+		t.Fatalf("round trip lost rows: %d vs %d", got.Len(), d.Len())
+	}
+	for i := range d.X {
+		for k := range d.X[i] {
+			if got.X[i][k] != d.X[i][k] {
+				t.Fatalf("feature (%d,%d) changed: %v vs %v", i, k, got.X[i][k], d.X[i][k])
+			}
+		}
+		for k := range d.Y[i] {
+			if got.Y[i][k] != d.Y[i][k] {
+				t.Fatalf("label (%d,%d) changed", i, k)
+			}
+		}
+	}
+	if got.Names[0] != "N2" || got.Names[1] != "O2" {
+		t.Fatalf("names lost: %v", got.Names)
+	}
+}
+
+func TestWriteCSVEmptyAndInvalid(t *testing.T) {
+	var buf bytes.Buffer
+	empty := New(0)
+	if err := empty.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	bad := sample(3, 2, 1, 5)
+	bad.X[1] = []float64{1}
+	if err := bad.WriteCSV(&buf); err == nil {
+		t.Fatal("ragged dataset must not export")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("x0,y0\n1,2\n"), 0); err == nil {
+		t.Fatal("zero label width must error")
+	}
+	if _, err := ReadCSV(strings.NewReader("y0\n1\n"), 1); err == nil {
+		t.Fatal("no feature columns must error")
+	}
+	if _, err := ReadCSV(strings.NewReader("x0,y0\nnotanumber,2\n"), 1); err == nil {
+		t.Fatal("bad float must error")
+	}
+	if _, err := ReadCSV(strings.NewReader(""), 1); err == nil {
+		t.Fatal("empty stream must error")
+	}
+}
+
+func TestCSVDefaultColumnNames(t *testing.T) {
+	src := rng.New(7)
+	d := New(1)
+	d.Append([]float64{src.Float64()}, []float64{1, 2})
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "x0,y0,y1") {
+		t.Fatalf("default header wrong: %q", strings.SplitN(buf.String(), "\n", 2)[0])
+	}
+}

@@ -1,0 +1,200 @@
+// Package dataset provides labelled-spectra dataset handling: splitting,
+// shuffling, normalization and the regression metrics the paper reports
+// (overall and per-substance mean absolute error, mean squared error and
+// per-output standard deviation).
+package dataset
+
+import (
+	"fmt"
+	"math"
+
+	"specml/internal/rng"
+)
+
+// Dataset holds flat feature rows X with label rows Y (one row per sample).
+type Dataset struct {
+	X [][]float64
+	Y [][]float64
+	// Names optionally labels the outputs (substance names).
+	Names []string
+}
+
+// New returns an empty dataset with pre-allocated capacity.
+func New(capacity int) *Dataset {
+	return &Dataset{
+		X: make([][]float64, 0, capacity),
+		Y: make([][]float64, 0, capacity),
+	}
+}
+
+// Append adds one sample. The slices are retained, not copied.
+func (d *Dataset) Append(x, y []float64) {
+	d.X = append(d.X, x)
+	d.Y = append(d.Y, y)
+}
+
+// Len returns the sample count.
+func (d *Dataset) Len() int { return len(d.X) }
+
+// Validate checks rectangularity: every feature row and every label row
+// must have a consistent width.
+func (d *Dataset) Validate() error {
+	if len(d.X) != len(d.Y) {
+		return fmt.Errorf("dataset: %d feature rows vs %d label rows", len(d.X), len(d.Y))
+	}
+	if len(d.X) == 0 {
+		return nil
+	}
+	fw, lw := len(d.X[0]), len(d.Y[0])
+	for i := range d.X {
+		if len(d.X[i]) != fw {
+			return fmt.Errorf("dataset: feature row %d has width %d, want %d", i, len(d.X[i]), fw)
+		}
+		if len(d.Y[i]) != lw {
+			return fmt.Errorf("dataset: label row %d has width %d, want %d", i, len(d.Y[i]), lw)
+		}
+	}
+	return nil
+}
+
+// Shuffle permutes the samples in place using src.
+func (d *Dataset) Shuffle(src *rng.Source) {
+	src.Shuffle(d.Len(), func(i, j int) {
+		d.X[i], d.X[j] = d.X[j], d.X[i]
+		d.Y[i], d.Y[j] = d.Y[j], d.Y[i]
+	})
+}
+
+// Split partitions the dataset into a training set with the given fraction
+// of samples and a test set with the remainder (the paper's 80/20 split).
+// The receiver is unchanged; the returned sets share the underlying rows.
+func (d *Dataset) Split(trainFraction float64) (train, test *Dataset, err error) {
+	if trainFraction <= 0 || trainFraction >= 1 {
+		return nil, nil, fmt.Errorf("dataset: train fraction must be in (0,1), got %g", trainFraction)
+	}
+	n := d.Len()
+	k := int(math.Round(float64(n) * trainFraction))
+	if k == 0 || k == n {
+		return nil, nil, fmt.Errorf("dataset: split of %d samples at %g leaves an empty side", n, trainFraction)
+	}
+	train = &Dataset{X: d.X[:k], Y: d.Y[:k], Names: d.Names}
+	test = &Dataset{X: d.X[k:], Y: d.Y[k:], Names: d.Names}
+	return train, test, nil
+}
+
+// Subset returns a dataset view of the given sample indices.
+func (d *Dataset) Subset(idx []int) *Dataset {
+	s := New(len(idx))
+	s.Names = d.Names
+	for _, i := range idx {
+		s.Append(d.X[i], d.Y[i])
+	}
+	return s
+}
+
+// Normalization rescales feature vectors to zero mean and unit variance
+// per feature, with parameters estimated on a training set and applied
+// unchanged to evaluation data.
+type Normalization struct {
+	Mean []float64
+	Std  []float64
+}
+
+// FitNormalization estimates per-feature mean and standard deviation.
+func FitNormalization(x [][]float64) (*Normalization, error) {
+	if len(x) == 0 {
+		return nil, fmt.Errorf("dataset: cannot fit normalization on empty data")
+	}
+	w := len(x[0])
+	n := &Normalization{Mean: make([]float64, w), Std: make([]float64, w)}
+	for _, row := range x {
+		for j, v := range row {
+			n.Mean[j] += v
+		}
+	}
+	inv := 1 / float64(len(x))
+	for j := range n.Mean {
+		n.Mean[j] *= inv
+	}
+	for _, row := range x {
+		for j, v := range row {
+			d := v - n.Mean[j]
+			n.Std[j] += d * d
+		}
+	}
+	for j := range n.Std {
+		n.Std[j] = math.Sqrt(n.Std[j] * inv)
+		if n.Std[j] < 1e-12 {
+			n.Std[j] = 1 // constant features pass through centred
+		}
+	}
+	return n, nil
+}
+
+// Apply returns a normalized copy of x.
+func (n *Normalization) Apply(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for j, v := range x {
+		out[j] = (v - n.Mean[j]) / n.Std[j]
+	}
+	return out
+}
+
+// ApplyAll returns normalized copies of all rows.
+func (n *Normalization) ApplyAll(x [][]float64) [][]float64 {
+	out := make([][]float64, len(x))
+	for i, row := range x {
+		out[i] = n.Apply(row)
+	}
+	return out
+}
+
+// Metrics summarizes prediction quality over a dataset.
+type Metrics struct {
+	MAE       float64   // mean absolute error over all outputs
+	MSE       float64   // mean squared error over all outputs
+	PerOutput []float64 // per-output MAE (the per-substance bars of Figs. 5-7)
+	StdDev    []float64 // per-output standard deviation of the prediction error
+}
+
+// Evaluate computes Metrics for parallel slices of predictions and targets.
+func Evaluate(preds, targets [][]float64) (*Metrics, error) {
+	if len(preds) != len(targets) {
+		return nil, fmt.Errorf("dataset: %d predictions vs %d targets", len(preds), len(targets))
+	}
+	if len(preds) == 0 {
+		return nil, fmt.Errorf("dataset: no samples to evaluate")
+	}
+	w := len(preds[0])
+	m := &Metrics{PerOutput: make([]float64, w), StdDev: make([]float64, w)}
+	meanErr := make([]float64, w)
+	for i := range preds {
+		if len(preds[i]) != w || len(targets[i]) != w {
+			return nil, fmt.Errorf("dataset: ragged row %d", i)
+		}
+		for j := range preds[i] {
+			e := preds[i][j] - targets[i][j]
+			m.PerOutput[j] += math.Abs(e)
+			m.MSE += e * e
+			meanErr[j] += e
+		}
+	}
+	n := float64(len(preds))
+	for j := range m.PerOutput {
+		m.PerOutput[j] /= n
+		meanErr[j] /= n
+		m.MAE += m.PerOutput[j]
+	}
+	m.MAE /= float64(w)
+	m.MSE /= n * float64(w)
+	for i := range preds {
+		for j := range preds[i] {
+			e := preds[i][j] - targets[i][j] - meanErr[j]
+			m.StdDev[j] += e * e
+		}
+	}
+	for j := range m.StdDev {
+		m.StdDev[j] = math.Sqrt(m.StdDev[j] / n)
+	}
+	return m, nil
+}

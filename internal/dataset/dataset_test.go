@@ -1,0 +1,212 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"specml/internal/rng"
+)
+
+func sample(n, fw, lw int, seed uint64) *Dataset {
+	src := rng.New(seed)
+	d := New(n)
+	for i := 0; i < n; i++ {
+		x := make([]float64, fw)
+		y := make([]float64, lw)
+		for j := range x {
+			x[j] = src.Normal(0, 2)
+		}
+		for j := range y {
+			y[j] = src.Float64()
+		}
+		d.Append(x, y)
+	}
+	return d
+}
+
+func TestValidate(t *testing.T) {
+	d := sample(10, 4, 2, 1)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	d.X[3] = []float64{1}
+	if err := d.Validate(); err == nil {
+		t.Fatal("ragged features must fail validation")
+	}
+	d2 := sample(5, 3, 1, 2)
+	d2.Y = d2.Y[:4]
+	if err := d2.Validate(); err == nil {
+		t.Fatal("row-count mismatch must fail validation")
+	}
+	var empty Dataset
+	if err := empty.Validate(); err != nil {
+		t.Fatal("empty dataset must validate")
+	}
+}
+
+func TestSplitFractions(t *testing.T) {
+	d := sample(100, 3, 1, 3)
+	train, test, err := d.Split(0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if train.Len() != 80 || test.Len() != 20 {
+		t.Fatalf("split = %d/%d, want 80/20", train.Len(), test.Len())
+	}
+	for _, bad := range []float64{0, 1, -0.5, 1.5} {
+		if _, _, err := d.Split(bad); err == nil {
+			t.Fatalf("Split(%v) must error", bad)
+		}
+	}
+	tiny := sample(1, 2, 1, 4)
+	if _, _, err := tiny.Split(0.5); err == nil {
+		t.Fatal("degenerate split must error")
+	}
+}
+
+func TestShuffleKeepsPairs(t *testing.T) {
+	d := New(20)
+	for i := 0; i < 20; i++ {
+		d.Append([]float64{float64(i)}, []float64{float64(i) * 10})
+	}
+	d.Shuffle(rng.New(5))
+	for i := range d.X {
+		if d.Y[i][0] != d.X[i][0]*10 {
+			t.Fatal("shuffle broke feature/label pairing")
+		}
+	}
+}
+
+func TestSubset(t *testing.T) {
+	d := sample(10, 2, 1, 6)
+	s := d.Subset([]int{0, 5, 9})
+	if s.Len() != 3 {
+		t.Fatalf("subset len = %d", s.Len())
+	}
+	if &s.X[1][0] != &d.X[5][0] {
+		t.Fatal("subset must share rows")
+	}
+}
+
+func TestNormalizationMoments(t *testing.T) {
+	d := sample(500, 4, 1, 7)
+	norm, err := FitNormalization(d.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	applied := norm.ApplyAll(d.X)
+	refit, err := FitNormalization(applied)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range refit.Mean {
+		if math.Abs(refit.Mean[j]) > 1e-9 {
+			t.Fatalf("normalized mean[%d] = %v", j, refit.Mean[j])
+		}
+		if math.Abs(refit.Std[j]-1) > 1e-9 {
+			t.Fatalf("normalized std[%d] = %v", j, refit.Std[j])
+		}
+	}
+}
+
+func TestNormalizationConstantFeature(t *testing.T) {
+	x := [][]float64{{5, 1}, {5, 2}, {5, 3}}
+	norm, err := FitNormalization(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := norm.Apply([]float64{5, 2})
+	if out[0] != 0 {
+		t.Fatalf("constant feature should map to 0, got %v", out[0])
+	}
+	if math.IsNaN(out[1]) || math.IsInf(out[1], 0) {
+		t.Fatal("normalization produced non-finite value")
+	}
+}
+
+func TestNormalizationEmptyErrors(t *testing.T) {
+	if _, err := FitNormalization(nil); err == nil {
+		t.Fatal("empty fit must error")
+	}
+}
+
+func TestEvaluateKnownValues(t *testing.T) {
+	preds := [][]float64{{1, 2}, {3, 4}}
+	targets := [][]float64{{1, 1}, {1, 1}}
+	m, err := Evaluate(preds, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// per-output MAE: out0 |0|,|2| -> 1 ; out1 |1|,|3| -> 2
+	if math.Abs(m.PerOutput[0]-1) > 1e-12 || math.Abs(m.PerOutput[1]-2) > 1e-12 {
+		t.Fatalf("per-output = %v", m.PerOutput)
+	}
+	if math.Abs(m.MAE-1.5) > 1e-12 {
+		t.Fatalf("MAE = %v, want 1.5", m.MAE)
+	}
+	// MSE: (0+4+1+9)/4 = 3.5
+	if math.Abs(m.MSE-3.5) > 1e-12 {
+		t.Fatalf("MSE = %v, want 3.5", m.MSE)
+	}
+	// error stddev per output: out0 errors {0,2} -> std 1; out1 {1,3} -> 1
+	if math.Abs(m.StdDev[0]-1) > 1e-12 || math.Abs(m.StdDev[1]-1) > 1e-12 {
+		t.Fatalf("StdDev = %v", m.StdDev)
+	}
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	if _, err := Evaluate(nil, nil); err == nil {
+		t.Fatal("empty evaluate must error")
+	}
+	if _, err := Evaluate([][]float64{{1}}, [][]float64{{1}, {2}}); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+	if _, err := Evaluate([][]float64{{1}, {1, 2}}, [][]float64{{1}, {2}}); err == nil {
+		t.Fatal("ragged rows must error")
+	}
+}
+
+// Property: perfect predictions give zero metrics; metrics are
+// non-negative in general.
+func TestEvaluateProperties(t *testing.T) {
+	src := rng.New(11)
+	f := func(nRaw, wRaw uint8) bool {
+		n := int(nRaw%10) + 1
+		w := int(wRaw%5) + 1
+		preds := make([][]float64, n)
+		for i := range preds {
+			preds[i] = make([]float64, w)
+			for j := range preds[i] {
+				preds[i][j] = src.Normal(0, 1)
+			}
+		}
+		m, err := Evaluate(preds, preds)
+		if err != nil || m.MAE != 0 || m.MSE != 0 {
+			return false
+		}
+		targets := make([][]float64, n)
+		for i := range targets {
+			targets[i] = make([]float64, w)
+			for j := range targets[i] {
+				targets[i][j] = src.Normal(0, 1)
+			}
+		}
+		m2, err := Evaluate(preds, targets)
+		if err != nil {
+			return false
+		}
+		if m2.MAE < 0 || m2.MSE < 0 {
+			return false
+		}
+		for j := range m2.StdDev {
+			if m2.StdDev[j] < 0 || m2.PerOutput[j] < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

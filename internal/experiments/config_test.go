@@ -1,0 +1,42 @@
+package experiments
+
+import "testing"
+
+func TestScaleSizesMonotone(t *testing.T) {
+	// each scale must strictly grow the training budgets
+	var prevTrain, prevEpochs int
+	for _, sc := range []Scale{Quick, Laptop, Paper} {
+		cfg := Config{Scale: sc}
+		train, epochs, refs, eval := cfg.msSizes()
+		if train <= prevTrain || epochs < prevEpochs {
+			t.Fatalf("scale %v did not grow the MS budget (%d, %d)", sc, train, epochs)
+		}
+		if refs <= 0 || eval <= 0 {
+			t.Fatalf("scale %v has degenerate reference/eval sizes", sc)
+		}
+		prevTrain, prevEpochs = train, epochs
+	}
+	// paper scale matches the published corpus
+	train, _, refs, _ := Config{Scale: Paper}.msSizes()
+	if train != 100000 {
+		t.Fatalf("paper MS corpus = %d, want 100000", train)
+	}
+	if refs != 200 {
+		t.Fatalf("paper reference budget = %d, want ~200 (Fig. 7 text)", refs)
+	}
+	cnn, _, _, _ := Config{Scale: Paper}.nmrSizes()
+	if cnn != 300000 {
+		t.Fatalf("paper NMR corpus = %d, want 300000", cnn)
+	}
+}
+
+func TestFinalSizesAtLeastStudySizes(t *testing.T) {
+	for _, sc := range []Scale{Quick, Laptop, Paper} {
+		cfg := Config{Scale: sc}
+		train, epochs, refs, _ := cfg.msSizes()
+		fTrain, fEpochs, fRefs, _ := cfg.msFinalSizes()
+		if fTrain < train || fEpochs < epochs || fRefs < refs {
+			t.Fatalf("scale %v: final evaluation budget smaller than study budget", sc)
+		}
+	}
+}

@@ -1,0 +1,291 @@
+package experiments
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestParseScale(t *testing.T) {
+	for s, want := range map[string]Scale{"quick": Quick, "laptop": Laptop, "paper": Paper, "": Laptop} {
+		got, err := ParseScale(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseScale(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseScale("huge"); err == nil {
+		t.Fatal("unknown scale must error")
+	}
+}
+
+func TestFig4(t *testing.T) {
+	var buf bytes.Buffer
+	ideal, simulated, err := Fig4(Config{Scale: Quick, Seed: 1}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ideal.Lines) == 0 {
+		t.Fatal("no ideal lines")
+	}
+	// the simulated spectrum must show the ignition artifact near m/z 4
+	// even though no task compound has a line there
+	for _, l := range ideal.Lines {
+		if l.Position > 3 && l.Position < 5 && l.Intensity > 0.01 {
+			t.Fatalf("unexpected strong ideal line at %v", l.Position)
+		}
+	}
+	if v := simulated.ValueAt(4.05); v < 5*simulated.ValueAt(10) {
+		t.Fatalf("ignition artifact missing: %v vs %v", v, simulated.ValueAt(10))
+	}
+	out := buf.String()
+	if !strings.Contains(out, "ignition") || !strings.Contains(out, "m/z") {
+		t.Fatal("Fig4 output missing annotations")
+	}
+	if len(strings.Split(out, "\n")) < 190 {
+		t.Fatal("Fig4 table too short")
+	}
+}
+
+func TestTable1(t *testing.T) {
+	var buf bytes.Buffer
+	m, err := Table1(Config{Seed: 1}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumParams() != 28338 {
+		t.Fatalf("Table-1 params = %d", m.NumParams())
+	}
+	for _, frag := range []string{"conv1d", "dense", "softmax", "Table 1"} {
+		if !strings.Contains(buf.String(), frag) {
+			t.Fatalf("Table1 output missing %q", frag)
+		}
+	}
+}
+
+func TestTable2(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := Table2(Config{Seed: 1}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d platform rows", len(rows))
+	}
+	// GPU rows faster than CPU rows per board
+	if rows[1].Estimate.TimeSeconds >= rows[0].Estimate.TimeSeconds {
+		t.Fatal("Nano GPU not faster than CPU")
+	}
+	if rows[3].Estimate.TimeSeconds >= rows[2].Estimate.TimeSeconds {
+		t.Fatal("TX2 GPU not faster than CPU")
+	}
+	if !strings.Contains(buf.String(), "GPU speedup") {
+		t.Fatal("summary lines missing")
+	}
+}
+
+func TestHostInference(t *testing.T) {
+	var buf bytes.Buffer
+	d, err := HostInference(Config{Seed: 1}, 50, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 {
+		t.Fatal("no time measured")
+	}
+	if !strings.Contains(buf.String(), "host inference") {
+		t.Fatal("output missing")
+	}
+}
+
+// Quick-scale smoke runs of the studies. Quality assertions are loose here
+// (orderings are asserted at laptop scale by the benchmark harness and in
+// EXPERIMENTS.md); these tests pin the plumbing.
+func TestFig5Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("several seconds of training")
+	}
+	rows, err := Fig5(Config{Scale: Quick, Seed: 3}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("%d variants, want 8", len(rows))
+	}
+	for _, r := range rows {
+		if r.SimMAE <= 0 || r.MeasMAE <= 0 || len(r.PerSubstance) != 8 {
+			t.Fatalf("bad row %+v", r)
+		}
+	}
+}
+
+func TestFig6Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("several seconds of training")
+	}
+	rows, err := Fig6(Config{Scale: Quick, Seed: 4}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 { // quick scale sweeps {10,25,50}
+		t.Fatalf("%d sweep points", len(rows))
+	}
+	for n, r := range rows {
+		if r.SimMAE <= 0 || r.MeasMAE <= 0 {
+			t.Fatalf("bad row %d: %+v", n, r)
+		}
+	}
+}
+
+func TestFig7Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("several seconds of training")
+	}
+	var buf bytes.Buffer
+	res, err := Fig7(Config{Scale: Quick, Seed: 5}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Names) != 8 || len(res.MeasPerSub) != 8 {
+		t.Fatalf("bad result %+v", res)
+	}
+	// the qualitative centrepiece: simulated error below measured error
+	if res.SimMAE >= res.MeasMAE {
+		t.Fatalf("sim MAE %v not below measured MAE %v", res.SimMAE, res.MeasMAE)
+	}
+	if !strings.Contains(buf.String(), "compound") {
+		t.Fatal("Fig7 table missing")
+	}
+}
+
+func TestNMRQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("several seconds of training and IHM fits")
+	}
+	var buf bytes.Buffer
+	res, err := NMR(Config{Scale: Quick, Seed: 6}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CNNParams != 10532 || res.LSTMParams != 221956 {
+		t.Fatalf("parameter counts %d/%d", res.CNNParams, res.LSTMParams)
+	}
+	// the latency ordering is structural: IHM runs an iterative fit, the
+	// CNN one forward pass
+	if res.Speedup < 10 {
+		t.Fatalf("IHM/CNN speedup only %vx", res.Speedup)
+	}
+	if res.CNNMSE <= 0 || res.IHMMSE <= 0 || res.LSTMMSE <= 0 {
+		t.Fatalf("degenerate MSEs: %+v", res)
+	}
+	if !strings.Contains(buf.String(), "IHM") {
+		t.Fatal("NMR table missing")
+	}
+}
+
+func TestSectionIV(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := SectionIV(Config{Seed: 1}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// every FPGA alternative beats the ARM baseline, in the cited order
+	arm := rows[0].Estimate.TimeSeconds
+	prev := arm
+	for _, r := range rows[1:] {
+		if r.Estimate.TimeSeconds >= prev {
+			t.Fatalf("%s (%vs) not faster than the previous platform (%vs)",
+				r.Platform, r.Estimate.TimeSeconds, prev)
+		}
+		prev = r.Estimate.TimeSeconds
+	}
+	// the soft GPU sits near the cited 4.2x
+	if sp := arm / rows[1].Estimate.TimeSeconds; sp < 3 || sp > 5 {
+		t.Fatalf("FGPU speedup %v, cited 4.2x", sp)
+	}
+	if !strings.Contains(buf.String(), "vs ARM") {
+		t.Fatal("table missing")
+	}
+}
+
+func TestHybridNMRQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training two recurrent models")
+	}
+	var buf bytes.Buffer
+	res, err := HybridNMR(Config{Scale: Quick, Seed: 8}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LSTMParams != 221956 {
+		t.Fatalf("LSTM params %d", res.LSTMParams)
+	}
+	// hybrid compresses each timestep before the LSTM: far fewer params
+	if res.HybridParams >= res.LSTMParams {
+		t.Fatalf("hybrid (%d params) not smaller than LSTM (%d)", res.HybridParams, res.LSTMParams)
+	}
+	if res.LSTMMSE <= 0 || res.HybridMSE <= 0 {
+		t.Fatalf("degenerate MSEs %+v", res)
+	}
+	if !strings.Contains(buf.String(), "hybrid") {
+		t.Fatal("table missing")
+	}
+}
+
+func TestQuantizationStudyQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a CNN")
+	}
+	var buf bytes.Buffer
+	rows, err := QuantizationStudy(Config{Scale: Quick, Seed: 9}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 || rows[0].Bits != 0 {
+		t.Fatalf("unexpected rows: %+v", rows)
+	}
+	baseline := rows[0].MeasuredMSE
+	if baseline <= 0 {
+		t.Fatal("degenerate baseline")
+	}
+	// 16-bit quantization must be essentially free; 3-bit must be worse
+	// than 16-bit; byte sizes must shrink with bits
+	var mse16, mse3 float64
+	var bytes16, bytes3 int64
+	for _, r := range rows {
+		switch r.Bits {
+		case 16:
+			mse16, bytes16 = r.MeasuredMSE, r.ParamBytes
+		case 3:
+			mse3, bytes3 = r.MeasuredMSE, r.ParamBytes
+		}
+	}
+	if mse16 > 1.05*baseline {
+		t.Fatalf("16-bit MSE %v far above float %v", mse16, baseline)
+	}
+	if mse3 < mse16 {
+		t.Fatalf("3-bit (%v) should not beat 16-bit (%v)", mse3, mse16)
+	}
+	if bytes3 >= bytes16 || bytes16 >= rows[0].ParamBytes {
+		t.Fatalf("storage not shrinking: %d vs %d vs %d", rows[0].ParamBytes, bytes16, bytes3)
+	}
+	if !strings.Contains(buf.String(), "quantization") {
+		t.Fatal("table missing")
+	}
+}
+
+func TestAblationQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("several seconds of training")
+	}
+	res, err := AblationAugmentation(Config{Scale: Quick, Seed: 7}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AugmentedMSE <= 0 || res.NaiveMSE <= 0 {
+		t.Fatalf("degenerate ablation: %+v", res)
+	}
+}

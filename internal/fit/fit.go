@@ -1,0 +1,351 @@
+// Package fit implements the numerical-optimization substrate used by the
+// Indirect Hard Modelling analyzer and the instrument characterizer:
+// dense Cholesky solves, linear least squares via normal equations, and a
+// Levenberg-Marquardt nonlinear least-squares solver with finite-difference
+// Jacobians.
+package fit
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when a linear system is (numerically) singular.
+var ErrSingular = errors.New("fit: singular system")
+
+// ErrNoProgress is returned when Levenberg-Marquardt cannot reduce the
+// cost any further before reaching the convergence tolerance.
+var ErrNoProgress = errors.New("fit: no progress")
+
+// CholeskySolve solves A*x = b for symmetric positive-definite A (n x n,
+// row-major). A and b are not modified.
+func CholeskySolve(a []float64, b []float64, n int) ([]float64, error) {
+	if len(a) != n*n || len(b) != n {
+		return nil, fmt.Errorf("fit: CholeskySolve dimension mismatch")
+	}
+	// Factor A = L*Lᵀ.
+	l := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := a[i*n+j]
+			for k := 0; k < j; k++ {
+				sum -= l[i*n+k] * l[j*n+k]
+			}
+			if i == j {
+				if sum <= 0 || math.IsNaN(sum) {
+					return nil, ErrSingular
+				}
+				l[i*n+j] = math.Sqrt(sum)
+			} else {
+				l[i*n+j] = sum / l[j*n+j]
+			}
+		}
+	}
+	// Forward substitution L*y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sum := b[i]
+		for k := 0; k < i; k++ {
+			sum -= l[i*n+k] * y[k]
+		}
+		y[i] = sum / l[i*n+i]
+	}
+	// Back substitution Lᵀ*x = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := y[i]
+		for k := i + 1; k < n; k++ {
+			sum -= l[k*n+i] * x[k]
+		}
+		x[i] = sum / l[i*n+i]
+	}
+	return x, nil
+}
+
+// LinearLeastSquares solves min_x ||A*x - b||² for A (m x n, row-major,
+// m >= n) via the normal equations with a tiny Tikhonov ridge for
+// numerical robustness.
+func LinearLeastSquares(a []float64, b []float64, m, n int) ([]float64, error) {
+	if len(a) != m*n || len(b) != m {
+		return nil, fmt.Errorf("fit: LinearLeastSquares dimension mismatch")
+	}
+	if m < n {
+		return nil, fmt.Errorf("fit: underdetermined system (%d rows, %d cols)", m, n)
+	}
+	ata := make([]float64, n*n)
+	atb := make([]float64, n)
+	for r := 0; r < m; r++ {
+		row := a[r*n : (r+1)*n]
+		for i := 0; i < n; i++ {
+			if row[i] == 0 {
+				continue
+			}
+			atb[i] += row[i] * b[r]
+			for j := i; j < n; j++ {
+				ata[i*n+j] += row[i] * row[j]
+			}
+		}
+	}
+	// mirror and add ridge
+	maxDiag := 0.0
+	for i := 0; i < n; i++ {
+		if d := ata[i*n+i]; d > maxDiag {
+			maxDiag = d
+		}
+	}
+	ridge := 1e-12 * (maxDiag + 1)
+	for i := 0; i < n; i++ {
+		ata[i*n+i] += ridge
+		for j := i + 1; j < n; j++ {
+			ata[j*n+i] = ata[i*n+j]
+		}
+	}
+	return CholeskySolve(ata, atb, n)
+}
+
+// ResidualFunc fills out with the m residuals at params. len(out) is the
+// problem's residual count; implementations must not retain out.
+type ResidualFunc func(params []float64, out []float64)
+
+// Problem is a nonlinear least-squares problem: minimize
+// 0.5*||r(params)||² over params.
+type Problem struct {
+	// Residuals evaluates the residual vector.
+	Residuals ResidualFunc
+	// NumResiduals is the length of the residual vector (m).
+	NumResiduals int
+	// Lower and Upper, when non-nil, give per-parameter box constraints
+	// enforced by projection after every accepted step.
+	Lower, Upper []float64
+}
+
+// Options configures LevenbergMarquardt.
+type Options struct {
+	MaxIterations int     // default 100
+	InitialLambda float64 // default 1e-3
+	CostTol       float64 // relative cost-decrease tolerance, default 1e-10
+	StepTol       float64 // parameter-step tolerance, default 1e-10
+	FDStep        float64 // finite-difference step, default 1e-6 (relative)
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxIterations <= 0 {
+		o.MaxIterations = 100
+	}
+	if o.InitialLambda <= 0 {
+		o.InitialLambda = 1e-3
+	}
+	if o.CostTol <= 0 {
+		o.CostTol = 1e-10
+	}
+	if o.StepTol <= 0 {
+		o.StepTol = 1e-10
+	}
+	if o.FDStep <= 0 {
+		o.FDStep = 1e-6
+	}
+	return o
+}
+
+// Result reports the outcome of a Levenberg-Marquardt run.
+type Result struct {
+	Params     []float64
+	Cost       float64 // 0.5 * ||r||²
+	Iterations int
+	Converged  bool
+}
+
+// LevenbergMarquardt minimizes 0.5*||r(params)||² starting at initial.
+// The Jacobian is approximated by forward finite differences. When box
+// constraints are supplied, parameters are projected onto the box after
+// each accepted step (projected LM), which is sufficient for the
+// well-conditioned spectral fits in this repository.
+func LevenbergMarquardt(p Problem, initial []float64, opts Options) (Result, error) {
+	o := opts.withDefaults()
+	n := len(initial)
+	m := p.NumResiduals
+	if m == 0 || n == 0 {
+		return Result{}, fmt.Errorf("fit: empty problem (m=%d, n=%d)", m, n)
+	}
+	if m < n {
+		return Result{}, fmt.Errorf("fit: fewer residuals (%d) than parameters (%d)", m, n)
+	}
+	if (p.Lower != nil && len(p.Lower) != n) || (p.Upper != nil && len(p.Upper) != n) {
+		return Result{}, fmt.Errorf("fit: bounds length mismatch")
+	}
+
+	params := make([]float64, n)
+	copy(params, initial)
+	project(params, p.Lower, p.Upper)
+
+	r := make([]float64, m)
+	rTrial := make([]float64, m)
+	jac := make([]float64, m*n) // row-major, m rows of n partials
+	trial := make([]float64, n)
+	pPerturbed := make([]float64, n)
+
+	p.Residuals(params, r)
+	cost := halfNorm2(r)
+	lambda := o.InitialLambda
+
+	res := Result{Params: params, Cost: cost}
+	for iter := 0; iter < o.MaxIterations; iter++ {
+		res.Iterations = iter + 1
+		// Finite-difference Jacobian: column j = (r(p+h*e_j)-r(p))/h.
+		for j := 0; j < n; j++ {
+			h := o.FDStep * (math.Abs(params[j]) + o.FDStep)
+			copy(pPerturbed, params)
+			pPerturbed[j] += h
+			p.Residuals(pPerturbed, rTrial)
+			inv := 1 / h
+			for i := 0; i < m; i++ {
+				jac[i*n+j] = (rTrial[i] - r[i]) * inv
+			}
+		}
+		// Normal equations: (JᵀJ + λ diag(JᵀJ)) δ = -Jᵀ r.
+		jtj := make([]float64, n*n)
+		jtr := make([]float64, n)
+		for i := 0; i < m; i++ {
+			row := jac[i*n : (i+1)*n]
+			ri := r[i]
+			for a := 0; a < n; a++ {
+				if row[a] == 0 {
+					continue
+				}
+				jtr[a] += row[a] * ri
+				for b := a; b < n; b++ {
+					jtj[a*n+b] += row[a] * row[b]
+				}
+			}
+		}
+		for a := 0; a < n; a++ {
+			for b := a + 1; b < n; b++ {
+				jtj[b*n+a] = jtj[a*n+b]
+			}
+		}
+
+		improved := false
+		for attempt := 0; attempt < 20; attempt++ {
+			damped := make([]float64, n*n)
+			copy(damped, jtj)
+			for a := 0; a < n; a++ {
+				d := jtj[a*n+a]
+				if d == 0 {
+					d = 1e-12
+				}
+				damped[a*n+a] += lambda * d
+			}
+			neg := make([]float64, n)
+			for a := range neg {
+				neg[a] = -jtr[a]
+			}
+			delta, err := CholeskySolve(damped, neg, n)
+			if err != nil {
+				lambda *= 10
+				continue
+			}
+			for a := range trial {
+				trial[a] = params[a] + delta[a]
+			}
+			project(trial, p.Lower, p.Upper)
+			p.Residuals(trial, rTrial)
+			trialCost := halfNorm2(rTrial)
+			if trialCost < cost {
+				stepNorm := 0.0
+				for a := range delta {
+					stepNorm += delta[a] * delta[a]
+				}
+				relDecrease := (cost - trialCost) / (cost + 1e-300)
+				copy(params, trial)
+				copy(r, rTrial)
+				prevCost := cost
+				cost = trialCost
+				lambda = math.Max(lambda/10, 1e-12)
+				improved = true
+				res.Cost = cost
+				if relDecrease < o.CostTol || math.Sqrt(stepNorm) < o.StepTol || prevCost == cost {
+					res.Converged = true
+					return res, nil
+				}
+				break
+			}
+			lambda *= 10
+		}
+		if !improved {
+			// Cannot find a descent step: either we are at a (local)
+			// minimum, or the problem is degenerate. Treat a tiny gradient
+			// as convergence.
+			gnorm := 0.0
+			for _, g := range jtr {
+				gnorm += g * g
+			}
+			if math.Sqrt(gnorm) < 1e-8*(1+cost) {
+				res.Converged = true
+				return res, nil
+			}
+			return res, ErrNoProgress
+		}
+	}
+	return res, nil
+}
+
+func halfNorm2(r []float64) float64 {
+	s := 0.0
+	for _, v := range r {
+		s += v * v
+	}
+	return 0.5 * s
+}
+
+func project(params, lower, upper []float64) {
+	if lower != nil {
+		for i, lo := range lower {
+			if params[i] < lo {
+				params[i] = lo
+			}
+		}
+	}
+	if upper != nil {
+		for i, hi := range upper {
+			if params[i] > hi {
+				params[i] = hi
+			}
+		}
+	}
+}
+
+// Polyfit fits a polynomial of the given degree to (xs, ys) by linear
+// least squares and returns the coefficients in increasing-power order
+// (c0 + c1*x + ...). Used by the instrument characterizer to model the
+// frequency-dependent attenuation and baseline drift.
+func Polyfit(xs, ys []float64, degree int) ([]float64, error) {
+	if len(xs) != len(ys) {
+		return nil, fmt.Errorf("fit: Polyfit length mismatch")
+	}
+	if degree < 0 {
+		return nil, fmt.Errorf("fit: negative degree")
+	}
+	m, n := len(xs), degree+1
+	if m < n {
+		return nil, fmt.Errorf("fit: need at least %d points for degree %d, got %d", n, degree, m)
+	}
+	a := make([]float64, m*n)
+	for r, x := range xs {
+		pow := 1.0
+		for c := 0; c < n; c++ {
+			a[r*n+c] = pow
+			pow *= x
+		}
+	}
+	return LinearLeastSquares(a, ys, m, n)
+}
+
+// PolyEval evaluates a polynomial with increasing-power coefficients at x.
+func PolyEval(coeffs []float64, x float64) float64 {
+	v := 0.0
+	for i := len(coeffs) - 1; i >= 0; i-- {
+		v = v*x + coeffs[i]
+	}
+	return v
+}

@@ -1,0 +1,303 @@
+package fit
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"specml/internal/rng"
+)
+
+func TestCholeskySolveIdentity(t *testing.T) {
+	a := []float64{1, 0, 0, 0, 1, 0, 0, 0, 1}
+	b := []float64{3, -2, 5}
+	x, err := CholeskySolve(a, b, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range b {
+		if math.Abs(x[i]-b[i]) > 1e-12 {
+			t.Fatalf("identity solve wrong: %v", x)
+		}
+	}
+}
+
+func TestCholeskySolveKnown(t *testing.T) {
+	// A = [[4,2],[2,3]], b = [10, 8] -> x = [7/4, 3/2]
+	a := []float64{4, 2, 2, 3}
+	b := []float64{10, 8}
+	x, err := CholeskySolve(a, b, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1.75) > 1e-12 || math.Abs(x[1]-1.5) > 1e-12 {
+		t.Fatalf("solve = %v, want [1.75 1.5]", x)
+	}
+}
+
+func TestCholeskySingular(t *testing.T) {
+	a := []float64{1, 1, 1, 1} // rank 1
+	if _, err := CholeskySolve(a, []float64{1, 1}, 2); err == nil {
+		t.Fatal("singular matrix must error")
+	}
+}
+
+// Property: CholeskySolve inverts SPD matrices built as MᵀM + I.
+func TestCholeskySolveProperty(t *testing.T) {
+	src := rng.New(17)
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%5) + 1
+		mMat := make([]float64, n*n)
+		for i := range mMat {
+			mMat[i] = src.Normal(0, 1)
+		}
+		a := make([]float64, n*n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				s := 0.0
+				for k := 0; k < n; k++ {
+					s += mMat[k*n+i] * mMat[k*n+j]
+				}
+				a[i*n+j] = s
+			}
+			a[i*n+i] += 1
+		}
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = src.Normal(0, 2)
+		}
+		b := make([]float64, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				b[i] += a[i*n+j] * want[j]
+			}
+		}
+		x, err := CholeskySolve(a, b, n)
+		if err != nil {
+			return false
+		}
+		for i := range x {
+			if math.Abs(x[i]-want[i]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinearLeastSquaresExact(t *testing.T) {
+	// Overdetermined but consistent: y = 2x + 1 at 5 points.
+	xs := []float64{0, 1, 2, 3, 4}
+	m, n := len(xs), 2
+	a := make([]float64, m*n)
+	b := make([]float64, m)
+	for i, x := range xs {
+		a[i*n] = 1
+		a[i*n+1] = x
+		b[i] = 2*x + 1
+	}
+	c, err := LinearLeastSquares(a, b, m, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c[0]-1) > 1e-9 || math.Abs(c[1]-2) > 1e-9 {
+		t.Fatalf("coeffs = %v, want [1 2]", c)
+	}
+}
+
+func TestLinearLeastSquaresUnderdetermined(t *testing.T) {
+	if _, err := LinearLeastSquares(make([]float64, 2), make([]float64, 1), 1, 2); err == nil {
+		t.Fatal("underdetermined system must error")
+	}
+}
+
+func TestPolyfitRecoversCoefficients(t *testing.T) {
+	want := []float64{0.5, -2, 0.25}
+	xs := make([]float64, 30)
+	ys := make([]float64, 30)
+	for i := range xs {
+		xs[i] = float64(i) / 3
+		ys[i] = PolyEval(want, xs[i])
+	}
+	got, err := Polyfit(xs, ys, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-6 {
+			t.Fatalf("coeff %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestPolyfitNoisyIsClose(t *testing.T) {
+	src := rng.New(2)
+	want := []float64{1, 3}
+	xs := make([]float64, 500)
+	ys := make([]float64, 500)
+	for i := range xs {
+		xs[i] = src.Uniform(0, 10)
+		ys[i] = PolyEval(want, xs[i]) + src.Normal(0, 0.1)
+	}
+	got, err := Polyfit(xs, ys, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got[0]-1) > 0.05 || math.Abs(got[1]-3) > 0.02 {
+		t.Fatalf("noisy fit = %v, want ~[1 3]", got)
+	}
+}
+
+func TestPolyfitErrors(t *testing.T) {
+	if _, err := Polyfit([]float64{1}, []float64{1, 2}, 1); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+	if _, err := Polyfit([]float64{1, 2}, []float64{1, 2}, -1); err == nil {
+		t.Fatal("negative degree must error")
+	}
+	if _, err := Polyfit([]float64{1}, []float64{1}, 3); err == nil {
+		t.Fatal("too few points must error")
+	}
+}
+
+func TestPolyEvalHorner(t *testing.T) {
+	// 2 + 3x + x² at x=2 -> 12
+	if got := PolyEval([]float64{2, 3, 1}, 2); got != 12 {
+		t.Fatalf("PolyEval = %v, want 12", got)
+	}
+	if got := PolyEval(nil, 5); got != 0 {
+		t.Fatalf("empty PolyEval = %v, want 0", got)
+	}
+}
+
+func TestLMQuadraticBowl(t *testing.T) {
+	// r = [p0-3, p1+1] -> minimum at (3,-1), cost 0.
+	prob := Problem{
+		NumResiduals: 2,
+		Residuals: func(p, out []float64) {
+			out[0] = p[0] - 3
+			out[1] = p[1] + 1
+		},
+	}
+	res, err := LevenbergMarquardt(prob, []float64{0, 0}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Params[0]-3) > 1e-5 || math.Abs(res.Params[1]+1) > 1e-5 {
+		t.Fatalf("LM params = %v, want [3 -1]", res.Params)
+	}
+	if res.Cost > 1e-10 {
+		t.Fatalf("LM cost = %v, want ~0", res.Cost)
+	}
+}
+
+func TestLMExponentialFit(t *testing.T) {
+	// Fit y = a*exp(-b*x) to noise-free data.
+	const aTrue, bTrue = 2.5, 0.7
+	xs := make([]float64, 40)
+	ys := make([]float64, 40)
+	for i := range xs {
+		xs[i] = float64(i) * 0.2
+		ys[i] = aTrue * math.Exp(-bTrue*xs[i])
+	}
+	prob := Problem{
+		NumResiduals: len(xs),
+		Residuals: func(p, out []float64) {
+			for i, x := range xs {
+				out[i] = p[0]*math.Exp(-p[1]*x) - ys[i]
+			}
+		},
+	}
+	res, err := LevenbergMarquardt(prob, []float64{1, 0.1}, Options{MaxIterations: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Params[0]-aTrue) > 1e-4 || math.Abs(res.Params[1]-bTrue) > 1e-4 {
+		t.Fatalf("LM exponential fit = %v, want [%v %v]", res.Params, aTrue, bTrue)
+	}
+}
+
+func TestLMRosenbrockResiduals(t *testing.T) {
+	// Rosenbrock as least squares: r = [10(y-x²), 1-x]; min at (1,1).
+	prob := Problem{
+		NumResiduals: 2,
+		Residuals: func(p, out []float64) {
+			out[0] = 10 * (p[1] - p[0]*p[0])
+			out[1] = 1 - p[0]
+		},
+	}
+	res, err := LevenbergMarquardt(prob, []float64{-1.2, 1}, Options{MaxIterations: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Params[0]-1) > 1e-4 || math.Abs(res.Params[1]-1) > 1e-4 {
+		t.Fatalf("Rosenbrock solution = %v, want [1 1]", res.Params)
+	}
+}
+
+func TestLMRespectsBounds(t *testing.T) {
+	// Unconstrained minimum at p0 = -2; constrain p0 >= 0.
+	prob := Problem{
+		NumResiduals: 2,
+		Residuals: func(p, out []float64) {
+			out[0] = p[0] + 2
+			out[1] = 0.1 * p[0] // keeps m >= n
+		},
+		Lower: []float64{0},
+		Upper: []float64{10},
+	}
+	res, err := LevenbergMarquardt(prob, []float64{5}, Options{})
+	if err != nil && err != ErrNoProgress {
+		t.Fatal(err)
+	}
+	if res.Params[0] < 0 {
+		t.Fatalf("bound violated: %v", res.Params)
+	}
+	if res.Params[0] > 1e-6 {
+		t.Fatalf("constrained solution = %v, want 0", res.Params[0])
+	}
+}
+
+func TestLMInputValidation(t *testing.T) {
+	if _, err := LevenbergMarquardt(Problem{NumResiduals: 0}, []float64{1}, Options{}); err == nil {
+		t.Fatal("empty problem must error")
+	}
+	prob := Problem{NumResiduals: 1, Residuals: func(p, out []float64) { out[0] = p[0] }}
+	if _, err := LevenbergMarquardt(prob, []float64{1, 2}, Options{}); err == nil {
+		t.Fatal("m < n must error")
+	}
+	prob2 := Problem{
+		NumResiduals: 2,
+		Residuals:    func(p, out []float64) { out[0], out[1] = p[0], p[0] },
+		Lower:        []float64{0, 0},
+	}
+	if _, err := LevenbergMarquardt(prob2, []float64{1}, Options{}); err == nil {
+		t.Fatal("bounds length mismatch must error")
+	}
+}
+
+func BenchmarkLMExponential(b *testing.B) {
+	xs := make([]float64, 50)
+	ys := make([]float64, 50)
+	for i := range xs {
+		xs[i] = float64(i) * 0.1
+		ys[i] = 2 * math.Exp(-0.5*xs[i])
+	}
+	prob := Problem{
+		NumResiduals: len(xs),
+		Residuals: func(p, out []float64) {
+			for i, x := range xs {
+				out[i] = p[0]*math.Exp(-p[1]*x) - ys[i]
+			}
+		},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := LevenbergMarquardt(prob, []float64{1, 0.1}, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

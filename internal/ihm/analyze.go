@@ -1,0 +1,173 @@
+package ihm
+
+import (
+	"fmt"
+	"math"
+
+	"specml/internal/fit"
+	"specml/internal/spectrum"
+)
+
+// AnalyzerOptions configures a MixtureAnalyzer.
+type AnalyzerOptions struct {
+	// MaxShift bounds the per-component chemical-shift relaxation (axis
+	// units). Default 0.05.
+	MaxShift float64
+	// WidthRange bounds the per-component line-width factor around 1.
+	// Default 0.5 (factor in [0.5, 1.5]).
+	WidthRange float64
+	// MaxIterations bounds the LM refinement. Default 60.
+	MaxIterations int
+	// Stride decimates the residual grid for speed (default: chosen so the
+	// residual count stays near 1000 points).
+	Stride int
+}
+
+// MixtureAnalyzer performs IHM mixture analysis against a fixed set of
+// pure-component hard models.
+type MixtureAnalyzer struct {
+	Components []*ComponentModel
+	Opts       AnalyzerOptions
+}
+
+// NewMixtureAnalyzer returns an analyzer for the given components.
+func NewMixtureAnalyzer(components []*ComponentModel, opts AnalyzerOptions) (*MixtureAnalyzer, error) {
+	if len(components) == 0 {
+		return nil, fmt.Errorf("ihm: analyzer needs at least one component")
+	}
+	if opts.MaxShift <= 0 {
+		opts.MaxShift = 0.05
+	}
+	if opts.WidthRange <= 0 {
+		opts.WidthRange = 0.5
+	}
+	if opts.MaxIterations <= 0 {
+		opts.MaxIterations = 60
+	}
+	return &MixtureAnalyzer{Components: components, Opts: opts}, nil
+}
+
+// Result is the outcome of one mixture analysis.
+type Result struct {
+	// Weights are the fitted component intensities (concentration
+	// estimates, same order as Components).
+	Weights []float64
+	// Shifts and WidthFactors are the fitted per-component distortions.
+	Shifts       []float64
+	WidthFactors []float64
+	// Residual is the final 0.5*||r||² cost.
+	Residual float64
+	// Iterations spent in the nonlinear refinement.
+	Iterations int
+}
+
+// Analyze fits the component models to a mixture spectrum. The initial
+// weights come from a non-negative linear solve with no distortions; LM
+// then refines weights, shifts and width factors jointly.
+func (a *MixtureAnalyzer) Analyze(s *spectrum.Spectrum) (*Result, error) {
+	k := len(a.Components)
+	axis := s.Axis
+	stride := a.Opts.Stride
+	if stride <= 0 {
+		stride = axis.N / 1000
+		if stride < 1 {
+			stride = 1
+		}
+	}
+	nRes := 0
+	for i := 0; i < axis.N; i += stride {
+		nRes++
+	}
+	if nRes < 3*k {
+		return nil, fmt.Errorf("ihm: spectrum too short (%d residuals) for %d components", nRes, k)
+	}
+
+	// initial linear estimate: design matrix of undistorted components
+	design := make([]float64, nRes*k)
+	b := make([]float64, nRes)
+	for r, i := 0, 0; i < axis.N; i += stride {
+		x := axis.Value(i)
+		for j, c := range a.Components {
+			design[r*k+j] = c.Value(x, 0, 1)
+		}
+		b[r] = s.Intensities[i]
+		r++
+	}
+	w0, err := fit.LinearLeastSquares(design, b, nRes, k)
+	if err != nil {
+		return nil, fmt.Errorf("ihm: initial linear solve: %w", err)
+	}
+	for j := range w0 {
+		if w0[j] < 0 {
+			w0[j] = 0
+		}
+	}
+
+	// nonlinear refinement: params = [w_j, shift_j, widthFactor_j]*k
+	params := make([]float64, 0, 3*k)
+	lower := make([]float64, 0, 3*k)
+	upper := make([]float64, 0, 3*k)
+	for j := 0; j < k; j++ {
+		params = append(params, w0[j], 0, 1)
+		lower = append(lower, 0, -a.Opts.MaxShift, 1-a.Opts.WidthRange)
+		upper = append(upper, math.MaxFloat64, a.Opts.MaxShift, 1+a.Opts.WidthRange)
+	}
+	iterCount := 0
+	prob := fit.Problem{
+		NumResiduals: nRes,
+		Residuals: func(p, out []float64) {
+			iterCount++
+			for r, i := 0, 0; i < axis.N; i += stride {
+				x := axis.Value(i)
+				v := 0.0
+				for j, c := range a.Components {
+					w, sh, wf := p[3*j], p[3*j+1], p[3*j+2]
+					if w != 0 {
+						v += w * c.Value(x, sh, wf)
+					}
+				}
+				out[r] = v - s.Intensities[i]
+				r++
+			}
+		},
+		Lower: lower,
+		Upper: upper,
+	}
+	res, err := fit.LevenbergMarquardt(prob, params, fit.Options{MaxIterations: a.Opts.MaxIterations})
+	if err != nil && err != fit.ErrNoProgress {
+		return nil, fmt.Errorf("ihm: refinement: %w", err)
+	}
+	out := &Result{
+		Weights:      make([]float64, k),
+		Shifts:       make([]float64, k),
+		WidthFactors: make([]float64, k),
+		Residual:     res.Cost,
+		Iterations:   res.Iterations,
+	}
+	for j := 0; j < k; j++ {
+		out.Weights[j] = res.Params[3*j]
+		out.Shifts[j] = res.Params[3*j+1]
+		out.WidthFactors[j] = res.Params[3*j+2]
+	}
+	return out, nil
+}
+
+// Concentrations converts fitted weights to fractional concentrations
+// (normalized to sum to 1). A zero total returns uniform fractions.
+func (r *Result) Concentrations() []float64 {
+	out := make([]float64, len(r.Weights))
+	sum := 0.0
+	for _, w := range r.Weights {
+		sum += w
+	}
+	if sum <= 0 {
+		for i := range out {
+			out[i] = 1 / float64(len(out))
+		}
+		return out
+	}
+	for i, w := range r.Weights {
+		out[i] = w / sum
+	}
+	return out
+}

@@ -1,0 +1,270 @@
+package ihm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"specml/internal/rng"
+	"specml/internal/spectrum"
+)
+
+func testAxis() spectrum.Axis { return spectrum.MustAxis(0, 0.01, 1001) } // 0..10
+
+func renderModel(t *testing.T, axis spectrum.Axis, weights []float64,
+	comps []*ComponentModel, shift, wf, noise float64, seed uint64) *spectrum.Spectrum {
+	t.Helper()
+	s := spectrum.New(axis)
+	for j, c := range comps {
+		if err := c.Render(s, weights[j], shift, wf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if noise > 0 {
+		src := rng.New(seed)
+		for i := range s.Intensities {
+			s.Intensities[i] += src.Normal(0, noise)
+		}
+	}
+	return s
+}
+
+func twoComponents() []*ComponentModel {
+	a := &ComponentModel{Name: "A", Peaks: []spectrum.Peak{
+		{Center: 2.0, Area: 3, Width: 0.05, Eta: 0.8},
+		{Center: 7.0, Area: 1, Width: 0.05, Eta: 0.8},
+	}}
+	b := &ComponentModel{Name: "B", Peaks: []spectrum.Peak{
+		{Center: 4.0, Area: 2, Width: 0.06, Eta: 0.7},
+		{Center: 8.5, Area: 2, Width: 0.06, Eta: 0.7},
+	}}
+	a.Normalize()
+	b.Normalize()
+	return []*ComponentModel{a, b}
+}
+
+func TestComponentNormalize(t *testing.T) {
+	c := &ComponentModel{Name: "X", Peaks: []spectrum.Peak{
+		{Center: 1, Area: 2, Width: 0.1, Eta: 0.5},
+		{Center: 3, Area: 6, Width: 0.1, Eta: 0.5},
+	}}
+	c.Normalize()
+	if math.Abs(c.TotalArea()-1) > 1e-12 {
+		t.Fatalf("TotalArea after Normalize = %v", c.TotalArea())
+	}
+	if math.Abs(c.Peaks[1].Area-0.75) > 1e-12 {
+		t.Fatal("relative areas not preserved")
+	}
+	// zero-area model untouched
+	z := &ComponentModel{Name: "Z"}
+	z.Normalize()
+	if z.TotalArea() != 0 {
+		t.Fatal("empty model changed")
+	}
+}
+
+func TestComponentValueMatchesRender(t *testing.T) {
+	comps := twoComponents()
+	axis := testAxis()
+	s := spectrum.New(axis)
+	if err := comps[0].Render(s, 2.5, 0.03, 1.2); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < axis.N; i += 97 {
+		x := axis.Value(i)
+		want := 2.5 * comps[0].Value(x, 0.03, 1.2)
+		if math.Abs(s.Intensities[i]-want) > 1e-9 {
+			t.Fatalf("Value/Render mismatch at %v: %v vs %v", x, s.Intensities[i], want)
+		}
+	}
+	if err := comps[0].Render(s, 1, 0, 0); err == nil {
+		t.Fatal("zero width factor must error")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	c := twoComponents()[0]
+	d := c.Clone()
+	d.Peaks[0].Area = 99
+	if c.Peaks[0].Area == 99 {
+		t.Fatal("Clone must deep-copy peaks")
+	}
+}
+
+func TestFitPureComponentRoundTrip(t *testing.T) {
+	axis := testAxis()
+	truth := twoComponents()[0]
+	s := spectrum.New(axis)
+	if err := truth.Render(s, 1, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	fitted, err := FitPureComponent("A", s, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// the fitted model must reproduce the spectrum closely
+	recon := spectrum.New(axis)
+	if err := fitted.Render(recon, 1, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	num, den := 0.0, 0.0
+	for i := range recon.Intensities {
+		d := recon.Intensities[i] - s.Intensities[i]
+		num += d * d
+		den += s.Intensities[i] * s.Intensities[i]
+	}
+	if rel := math.Sqrt(num / den); rel > 0.05 {
+		t.Fatalf("pure-component fit relative error %v", rel)
+	}
+	// both true peak positions must be found
+	for _, want := range []float64{2.0, 7.0} {
+		found := false
+		for _, p := range fitted.Peaks {
+			if math.Abs(p.Center-want) < 0.05 {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("peak at %v not found: %+v", want, fitted.Peaks)
+		}
+	}
+}
+
+func TestFitPureComponentNoisy(t *testing.T) {
+	axis := testAxis()
+	truth := twoComponents()[1]
+	s := spectrum.New(axis)
+	if err := truth.Render(s, 1, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(5)
+	for i := range s.Intensities {
+		s.Intensities[i] += src.Normal(0, 0.01)
+	}
+	fitted, err := FitPureComponent("B", s, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fitted.Peaks) < 2 {
+		t.Fatalf("found only %d peaks", len(fitted.Peaks))
+	}
+}
+
+func TestFitPureComponentErrors(t *testing.T) {
+	axis := testAxis()
+	if _, err := FitPureComponent("x", spectrum.New(axis), 5); err == nil {
+		t.Fatal("flat spectrum must error")
+	}
+	s := spectrum.New(axis)
+	s.Intensities[3] = 1
+	if _, err := FitPureComponent("x", s, 0); err == nil {
+		t.Fatal("maxPeaks=0 must error")
+	}
+}
+
+func TestAnalyzeRecoversWeights(t *testing.T) {
+	comps := twoComponents()
+	axis := testAxis()
+	weights := []float64{0.7, 0.3}
+	s := renderModel(t, axis, weights, comps, 0, 1, 0.002, 3)
+	an, err := NewMixtureAnalyzer(comps, AnalyzerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := an.Analyze(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range weights {
+		if math.Abs(res.Weights[j]-weights[j]) > 0.02 {
+			t.Fatalf("weight %d = %v, want %v", j, res.Weights[j], weights[j])
+		}
+	}
+}
+
+func TestAnalyzeWithShiftAndBroadening(t *testing.T) {
+	// IHM's selling point: it tolerates shifted and broadened signals.
+	comps := twoComponents()
+	axis := testAxis()
+	weights := []float64{0.5, 0.5}
+	s := renderModel(t, axis, weights, comps, 0.03, 1.25, 0.002, 7)
+	an, err := NewMixtureAnalyzer(comps, AnalyzerOptions{MaxShift: 0.06, WidthRange: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := an.Analyze(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range weights {
+		if math.Abs(res.Weights[j]-weights[j]) > 0.04 {
+			t.Fatalf("distorted weight %d = %v, want %v", j, res.Weights[j], weights[j])
+		}
+	}
+	// fitted distortions should move toward the truth
+	if res.Shifts[0] < 0.005 {
+		t.Fatalf("shift not detected: %v", res.Shifts)
+	}
+	if res.WidthFactors[0] < 1.05 {
+		t.Fatalf("broadening not detected: %v", res.WidthFactors)
+	}
+}
+
+// Property: analysis of a noise-free synthetic mixture recovers the
+// simplex composition.
+func TestAnalyzeProperty(t *testing.T) {
+	comps := twoComponents()
+	axis := testAxis()
+	an, err := NewMixtureAnalyzer(comps, AnalyzerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(11)
+	f := func(_ uint8) bool {
+		w := []float64{src.Uniform(0.1, 1), src.Uniform(0.1, 1)}
+		s := spectrum.New(axis)
+		for j, c := range comps {
+			if err := c.Render(s, w[j], 0, 1); err != nil {
+				return false
+			}
+		}
+		res, err := an.Analyze(s)
+		if err != nil {
+			return false
+		}
+		for j := range w {
+			if math.Abs(res.Weights[j]-w[j]) > 0.02*(1+w[j]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcentrations(t *testing.T) {
+	r := &Result{Weights: []float64{1, 3}}
+	c := r.Concentrations()
+	if math.Abs(c[0]-0.25) > 1e-12 || math.Abs(c[1]-0.75) > 1e-12 {
+		t.Fatalf("Concentrations = %v", c)
+	}
+	z := &Result{Weights: []float64{0, 0}}
+	cz := z.Concentrations()
+	if math.Abs(cz[0]-0.5) > 1e-12 {
+		t.Fatalf("zero-weight Concentrations = %v", cz)
+	}
+}
+
+func TestAnalyzerValidation(t *testing.T) {
+	if _, err := NewMixtureAnalyzer(nil, AnalyzerOptions{}); err == nil {
+		t.Fatal("empty component list must error")
+	}
+	comps := twoComponents()
+	an, _ := NewMixtureAnalyzer(comps, AnalyzerOptions{})
+	tiny := spectrum.New(spectrum.MustAxis(0, 1, 4))
+	if _, err := an.Analyze(tiny); err == nil {
+		t.Fatal("too-short spectrum must error")
+	}
+}

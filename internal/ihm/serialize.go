@@ -1,0 +1,56 @@
+package ihm
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// componentFormat versions the component-model JSON layout.
+const componentFormat = "specml/ihm-components/v1"
+
+type savedComponents struct {
+	Format     string            `json:"format"`
+	Components []*ComponentModel `json:"components"`
+}
+
+// SaveComponents writes a set of fitted hard models as JSON, so pure-
+// component fits can be reused across sessions without re-measuring.
+func SaveComponents(components []*ComponentModel, w io.Writer) error {
+	if len(components) == 0 {
+		return fmt.Errorf("ihm: no components to save")
+	}
+	for _, c := range components {
+		for _, p := range c.Peaks {
+			if err := p.Validate(); err != nil {
+				return fmt.Errorf("ihm: component %q: %w", c.Name, err)
+			}
+		}
+	}
+	return json.NewEncoder(w).Encode(&savedComponents{Format: componentFormat, Components: components})
+}
+
+// LoadComponents reads hard models saved with SaveComponents.
+func LoadComponents(r io.Reader) ([]*ComponentModel, error) {
+	var s savedComponents
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("ihm: decoding components: %w", err)
+	}
+	if s.Format != componentFormat {
+		return nil, fmt.Errorf("ihm: unsupported component format %q", s.Format)
+	}
+	if len(s.Components) == 0 {
+		return nil, fmt.Errorf("ihm: component file holds no components")
+	}
+	for _, c := range s.Components {
+		if len(c.Peaks) == 0 {
+			return nil, fmt.Errorf("ihm: component %q has no peaks", c.Name)
+		}
+		for _, p := range c.Peaks {
+			if err := p.Validate(); err != nil {
+				return nil, fmt.Errorf("ihm: component %q: %w", c.Name, err)
+			}
+		}
+	}
+	return s.Components, nil
+}

@@ -1,0 +1,58 @@
+package ihm
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"specml/internal/spectrum"
+)
+
+func TestComponentsSaveLoad(t *testing.T) {
+	comps := twoComponents()
+	var buf bytes.Buffer
+	if err := SaveComponents(comps, &buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadComponents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Name != "A" || len(got[1].Peaks) != len(comps[1].Peaks) {
+		t.Fatalf("round trip changed components: %+v", got)
+	}
+	// evaluation agrees
+	for _, x := range []float64{1.5, 2.0, 4.2, 8.5} {
+		if got[0].Value(x, 0.01, 1.1) != comps[0].Value(x, 0.01, 1.1) {
+			t.Fatal("loaded component evaluates differently")
+		}
+	}
+}
+
+func TestSaveComponentsValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SaveComponents(nil, &buf); err == nil {
+		t.Fatal("empty set must not save")
+	}
+	bad := []*ComponentModel{{Name: "x", Peaks: []spectrum.Peak{{Center: 1, Area: 1, Width: -1}}}}
+	if err := SaveComponents(bad, &buf); err == nil {
+		t.Fatal("invalid peak must not save")
+	}
+}
+
+func TestLoadComponentsErrors(t *testing.T) {
+	if _, err := LoadComponents(strings.NewReader("junk")); err == nil {
+		t.Fatal("junk must not load")
+	}
+	if _, err := LoadComponents(strings.NewReader(`{"format":"nope"}`)); err == nil {
+		t.Fatal("wrong format must not load")
+	}
+	if _, err := LoadComponents(strings.NewReader(
+		`{"format":"specml/ihm-components/v1","components":[]}`)); err == nil {
+		t.Fatal("empty components must not load")
+	}
+	if _, err := LoadComponents(strings.NewReader(
+		`{"format":"specml/ihm-components/v1","components":[{"Name":"x","Peaks":[]}]}`)); err == nil {
+		t.Fatal("peakless component must not load")
+	}
+}

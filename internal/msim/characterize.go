@@ -1,0 +1,360 @@
+package msim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"specml/internal/fit"
+	"specml/internal/spectrum"
+)
+
+// ReferenceSeries is one reference measurement series: a mixture of known
+// composition measured repeatedly on the real (virtual) instrument. These
+// are the inputs of Tool 2.
+type ReferenceSeries struct {
+	// Fractions are the known concentration setpoints in task order.
+	Fractions []float64
+	// Spectra are the repeated measurements of this mixture.
+	Spectra []*spectrum.Spectrum
+}
+
+// Characterizer is Tool 2: it estimates an InstrumentModel — peak shape,
+// mass-dependent attenuation, baseline drift and noise model — from a
+// limited number of reference measurement series. The number of series and
+// samples per series directly controls estimate quality, which is the
+// mechanism behind the paper's sample-size study (Fig. 6).
+type Characterizer struct {
+	// Task is the ordered compound list matching ReferenceSeries.Fractions.
+	Task []*Compound
+	// IgnitionMZ is the known position of the ignition-gas artifact.
+	IgnitionMZ float64
+	// AttenuationDegree and BaselineDegree are the polynomial orders of the
+	// fitted attenuation and baseline curves (defaults 1 and 1).
+	AttenuationDegree int
+	BaselineDegree    int
+}
+
+// minLineSeparation is the minimum distance (in m/z) to the nearest other
+// line for a line to be used as an isolated calibration peak.
+const minLineSeparation = 2.2
+
+// Estimate runs the characterization and returns the fitted model.
+func (c *Characterizer) Estimate(refs []ReferenceSeries) (*InstrumentModel, error) {
+	if len(c.Task) == 0 {
+		return nil, fmt.Errorf("msim: characterizer needs a task")
+	}
+	if len(refs) == 0 {
+		return nil, fmt.Errorf("msim: characterizer needs reference series")
+	}
+	attDeg := c.AttenuationDegree
+	if attDeg <= 0 {
+		attDeg = 1
+	}
+	baseDeg := c.BaselineDegree
+	if baseDeg <= 0 {
+		baseDeg = 1
+	}
+	sim, err := NewLineSimulator(c.Task)
+	if err != nil {
+		return nil, err
+	}
+
+	type peakObs struct {
+		mz, centerErr, fwhm, eta float64
+		areaRatio                float64
+	}
+	var (
+		observations []peakObs
+		baseXs       []float64
+		baseYs       []float64
+		noiseMeans   []float64
+		noiseStds    []float64
+		ignAreas     []float64
+	)
+
+	for ri, ref := range refs {
+		if len(ref.Spectra) == 0 {
+			return nil, fmt.Errorf("msim: reference series %d has no spectra", ri)
+		}
+		if len(ref.Fractions) != len(c.Task) {
+			return nil, fmt.Errorf("msim: reference series %d has %d fractions for %d compounds",
+				ri, len(ref.Fractions), len(c.Task))
+		}
+		axis := ref.Spectra[0].Axis
+		mean := meanSpectrum(ref.Spectra)
+
+		// --- noise model observations: per-point std across repeats ---
+		if len(ref.Spectra) >= 2 {
+			for i := 0; i < axis.N; i += 3 {
+				v := 0.0
+				for _, s := range ref.Spectra {
+					d := s.Intensities[i] - mean.Intensities[i]
+					v += d * d
+				}
+				noiseMeans = append(noiseMeans, math.Abs(mean.Intensities[i]))
+				noiseStds = append(noiseStds, math.Sqrt(v/float64(len(ref.Spectra)-1)))
+			}
+		}
+
+		ideal, err := sim.Mixture(ref.Fractions)
+		if err != nil {
+			return nil, err
+		}
+
+		// --- baseline observations: points far from any line ---
+		for i := 0; i < axis.N; i++ {
+			mz := axis.Value(i)
+			if distanceToNearestLine(mz, ideal, c.IgnitionMZ) > 4 {
+				baseXs = append(baseXs, mz)
+				baseYs = append(baseYs, mean.Intensities[i])
+			}
+		}
+
+		// --- isolated-peak fits: shape, position and area ---
+		for _, l := range isolatedLines(ideal) {
+			p, ok := fitSinglePeak(mean, l.Position, 2.5)
+			if !ok {
+				continue
+			}
+			observations = append(observations, peakObs{
+				mz:        l.Position,
+				centerErr: p.Center - l.Position,
+				fwhm:      p.Width,
+				eta:       p.Eta,
+				areaRatio: p.Area / l.Intensity,
+			})
+		}
+
+		// --- ignition artifact ---
+		if c.IgnitionMZ > 0 && distanceToNearestLine(c.IgnitionMZ, ideal, -1) > minLineSeparation {
+			if p, ok := fitSinglePeak(mean, c.IgnitionMZ, 2.5); ok && p.Area > 0 {
+				ignAreas = append(ignAreas, p.Area)
+			}
+		}
+	}
+
+	if len(observations) < 3 {
+		return nil, fmt.Errorf("msim: only %d usable calibration peaks; need at least 3", len(observations))
+	}
+
+	model := &InstrumentModel{}
+
+	// peak width vs m/z: linear fit
+	xs := make([]float64, len(observations))
+	ys := make([]float64, len(observations))
+	for i, o := range observations {
+		xs[i], ys[i] = o.mz, o.fwhm
+	}
+	wc, err := fit.Polyfit(xs, ys, 1)
+	if err != nil {
+		return nil, fmt.Errorf("msim: width fit: %w", err)
+	}
+	model.PeakFWHM0, model.PeakFWHMSlope = wc[0], wc[1]
+	if model.PeakFWHM0 <= 0 {
+		model.PeakFWHM0 = 0.05
+	}
+
+	// eta and mass offset: medians over observations (robust to bad fits)
+	etas := make([]float64, len(observations))
+	offs := make([]float64, len(observations))
+	for i, o := range observations {
+		etas[i], offs[i] = o.eta, o.centerErr
+	}
+	model.PeakEta = clamp01(median(etas))
+	model.MassOffset = median(offs)
+
+	// attenuation polynomial from area ratios
+	for i, o := range observations {
+		ys[i] = o.areaRatio
+	}
+	deg := attDeg
+	if len(observations) <= deg {
+		deg = len(observations) - 1
+	}
+	ac, err := fit.Polyfit(xs, ys, deg)
+	if err != nil {
+		return nil, fmt.Errorf("msim: attenuation fit: %w", err)
+	}
+	model.Attenuation = ac
+
+	// baseline polynomial
+	if len(baseXs) > baseDeg {
+		bc, err := fit.Polyfit(baseXs, baseYs, baseDeg)
+		if err == nil {
+			model.Baseline = bc
+		}
+	}
+
+	// noise model: std = floor + scale*|signal|
+	if len(noiseStds) > 2 {
+		nc, err := fit.Polyfit(noiseMeans, noiseStds, 1)
+		if err == nil {
+			model.NoiseFloor = math.Max(nc[0], 0)
+			model.NoiseScale = math.Max(nc[1], 0)
+		}
+	}
+	if model.NoiseFloor == 0 && model.NoiseScale == 0 {
+		// single-sample series cannot expose the noise; assume a tiny floor
+		model.NoiseFloor = 1e-4
+	}
+
+	// ignition artifact
+	if len(ignAreas) > 0 {
+		model.IgnitionMZ = c.IgnitionMZ
+		model.IgnitionArea = median(ignAreas)
+	}
+
+	if err := model.Validate(); err != nil {
+		return nil, fmt.Errorf("msim: characterization produced invalid model: %w", err)
+	}
+	return model, nil
+}
+
+// meanSpectrum averages spectra sharing one axis.
+func meanSpectrum(spectra []*spectrum.Spectrum) *spectrum.Spectrum {
+	mean := spectrum.New(spectra[0].Axis)
+	for _, s := range spectra {
+		for i, v := range s.Intensities {
+			mean.Intensities[i] += v
+		}
+	}
+	mean.Scale(1 / float64(len(spectra)))
+	return mean
+}
+
+// isolatedLines returns lines strong enough and far enough from neighbours
+// to serve as calibration peaks.
+func isolatedLines(ls *spectrum.LineSpectrum) []spectrum.Line {
+	maxI := 0.0
+	for _, l := range ls.Lines {
+		if l.Intensity > maxI {
+			maxI = l.Intensity
+		}
+	}
+	var out []spectrum.Line
+	for i, l := range ls.Lines {
+		if l.Intensity < 0.05*maxI {
+			continue
+		}
+		isolated := true
+		for j, o := range ls.Lines {
+			if i == j || o.Intensity < 0.02*l.Intensity {
+				continue
+			}
+			if math.Abs(o.Position-l.Position) < minLineSeparation {
+				isolated = false
+				break
+			}
+		}
+		if isolated {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// distanceToNearestLine returns the distance from mz to the nearest ideal
+// line (and the ignition artifact position, when >= 0).
+func distanceToNearestLine(mz float64, ls *spectrum.LineSpectrum, ignitionMZ float64) float64 {
+	d := math.Inf(1)
+	for _, l := range ls.Lines {
+		if l.Intensity <= 0 {
+			continue
+		}
+		if dd := math.Abs(l.Position - mz); dd < d {
+			d = dd
+		}
+	}
+	if ignitionMZ >= 0 {
+		if dd := math.Abs(ignitionMZ - mz); dd < d {
+			d = dd
+		}
+	}
+	return d
+}
+
+// fitSinglePeak fits a pseudo-Voigt peak plus a constant local baseline to
+// the spectrum in a window of +-halfWidth around pos. Returns ok=false when
+// the window leaves the axis or the fit fails.
+func fitSinglePeak(s *spectrum.Spectrum, pos, halfWidth float64) (spectrum.Peak, bool) {
+	axis := s.Axis
+	lo := axis.NearestIndex(pos - halfWidth)
+	hi := axis.NearestIndex(pos + halfWidth)
+	if hi-lo < 8 {
+		return spectrum.Peak{}, false
+	}
+	m := hi - lo + 1
+	xs := make([]float64, m)
+	ys := make([]float64, m)
+	localBase := math.Inf(1)
+	maxY := math.Inf(-1)
+	for i := 0; i < m; i++ {
+		xs[i] = axis.Value(lo + i)
+		ys[i] = s.Intensities[lo+i]
+		if ys[i] < localBase {
+			localBase = ys[i]
+		}
+		if ys[i] > maxY {
+			maxY = ys[i]
+		}
+	}
+	if maxY-localBase <= 0 {
+		return spectrum.Peak{}, false
+	}
+	// initial area estimate: trapezoid above the local base
+	area0 := 0.0
+	for i := 0; i < m-1; i++ {
+		area0 += 0.5 * (ys[i] + ys[i+1] - 2*localBase)
+	}
+	area0 *= axis.Step
+	if area0 <= 0 {
+		area0 = (maxY - localBase) * 0.5
+	}
+	prob := fit.Problem{
+		NumResiduals: m,
+		// params: center, area, fwhm, eta, base
+		Residuals: func(p, out []float64) {
+			pk := spectrum.Peak{Center: p[0], Area: p[1], Width: p[2], Eta: p[3]}
+			for i := range out {
+				out[i] = pk.Value(xs[i]) + p[4] - ys[i]
+			}
+		},
+		Lower: []float64{pos - halfWidth, 0, 0.02, 0, -math.MaxFloat64},
+		Upper: []float64{pos + halfWidth, math.MaxFloat64, 2 * halfWidth, 1, math.MaxFloat64},
+	}
+	res, err := fit.LevenbergMarquardt(prob,
+		[]float64{pos, area0, 0.5, 0.3, localBase},
+		fit.Options{MaxIterations: 80})
+	if err != nil && err != fit.ErrNoProgress {
+		return spectrum.Peak{}, false
+	}
+	p := spectrum.Peak{Center: res.Params[0], Area: res.Params[1], Width: res.Params[2], Eta: res.Params[3]}
+	if p.Validate() != nil || p.Area <= 0 {
+		return spectrum.Peak{}, false
+	}
+	return p, true
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	c := append([]float64(nil), xs...)
+	sort.Float64s(c)
+	n := len(c)
+	if n%2 == 1 {
+		return c[n/2]
+	}
+	return 0.5 * (c[n/2-1] + c[n/2])
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

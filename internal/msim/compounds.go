@@ -1,0 +1,144 @@
+// Package msim implements the paper's mass-spectrometry toolchain:
+//
+//	Tool 1 — an ideal line-spectra simulator that superposes known
+//	         electron-ionization fragmentation patterns of the compounds
+//	         in a mixture (LineSimulator);
+//	Tool 2 — a characterizer that estimates a portable-instrument model
+//	         (peak shape, mass-dependent attenuation, baseline drift and
+//	         noise) from a limited number of reference measurements
+//	         (Characterizer);
+//	Tool 3 — the instrument simulator itself, which turns an ideal line
+//	         spectrum into a continuous non-ideal spectrum at an arbitrary
+//	         m/z resolution (InstrumentModel.Measure);
+//
+// plus the stand-ins for the laboratory hardware: VirtualInstrument (the
+// miniaturized-mass-spectrometer prototype, with impurities and
+// session-to-session configuration drift the toolchain does not know
+// about) and Mixer (the mass-flow-controller gas rig used to prepare
+// evaluation mixtures with known composition).
+package msim
+
+import (
+	"fmt"
+
+	"specml/internal/spectrum"
+)
+
+// Compound is a chemical species with its ideal electron-ionization
+// fragmentation pattern: relative line intensities normalized so the sum
+// over all fragments is 1.
+type Compound struct {
+	Name    string
+	Formula string
+	// Fragments is the EI stick pattern (m/z, relative intensity). The
+	// intensities need not be normalized; Lines() normalizes.
+	Fragments []spectrum.Line
+}
+
+// Lines returns the compound's line spectrum with total intensity 1, so
+// superposition weights correspond directly to molar fractions.
+func (c *Compound) Lines() *spectrum.LineSpectrum {
+	ls := &spectrum.LineSpectrum{Lines: make([]spectrum.Line, len(c.Fragments))}
+	copy(ls.Lines, c.Fragments)
+	total := ls.TotalIntensity()
+	if total > 0 {
+		ls.Scale(1 / total)
+	}
+	return ls
+}
+
+// Library is the built-in compound library with approximate EI
+// fragmentation patterns of the permanent gases and light hydrocarbons a
+// miniaturized process mass spectrometer sees. Intensities are relative
+// (base peak 100) and follow the qualitative shape of published EI
+// spectra; exact values are irrelevant to the toolchain, which only needs
+// internally consistent ideal patterns.
+var Library = []Compound{
+	{Name: "H2", Formula: "H2", Fragments: []spectrum.Line{
+		{Position: 2, Intensity: 100}, {Position: 1, Intensity: 2},
+	}},
+	{Name: "He", Formula: "He", Fragments: []spectrum.Line{
+		{Position: 4, Intensity: 100},
+	}},
+	{Name: "CH4", Formula: "CH4", Fragments: []spectrum.Line{
+		{Position: 16, Intensity: 100}, {Position: 15, Intensity: 85},
+		{Position: 14, Intensity: 16}, {Position: 13, Intensity: 8},
+		{Position: 12, Intensity: 2.6}, {Position: 17, Intensity: 1.2},
+	}},
+	{Name: "H2O", Formula: "H2O", Fragments: []spectrum.Line{
+		{Position: 18, Intensity: 100}, {Position: 17, Intensity: 21},
+		{Position: 16, Intensity: 1},
+	}},
+	{Name: "N2", Formula: "N2", Fragments: []spectrum.Line{
+		{Position: 28, Intensity: 100}, {Position: 14, Intensity: 7.2},
+		{Position: 29, Intensity: 0.7},
+	}},
+	{Name: "O2", Formula: "O2", Fragments: []spectrum.Line{
+		{Position: 32, Intensity: 100}, {Position: 16, Intensity: 11},
+	}},
+	{Name: "Ar", Formula: "Ar", Fragments: []spectrum.Line{
+		{Position: 40, Intensity: 100}, {Position: 20, Intensity: 10},
+	}},
+	{Name: "CO2", Formula: "CO2", Fragments: []spectrum.Line{
+		{Position: 44, Intensity: 100}, {Position: 28, Intensity: 9.8},
+		{Position: 16, Intensity: 8.5}, {Position: 12, Intensity: 8.7},
+		{Position: 22, Intensity: 1.9},
+	}},
+	{Name: "CO", Formula: "CO", Fragments: []spectrum.Line{
+		{Position: 28, Intensity: 100}, {Position: 12, Intensity: 4.5},
+		{Position: 16, Intensity: 1.7}, {Position: 29, Intensity: 1.2},
+	}},
+	{Name: "NH3", Formula: "NH3", Fragments: []spectrum.Line{
+		{Position: 17, Intensity: 100}, {Position: 16, Intensity: 80},
+		{Position: 15, Intensity: 7.5}, {Position: 14, Intensity: 2},
+	}},
+	{Name: "C2H4", Formula: "C2H4", Fragments: []spectrum.Line{
+		{Position: 28, Intensity: 100}, {Position: 27, Intensity: 62},
+		{Position: 26, Intensity: 53}, {Position: 25, Intensity: 12},
+		{Position: 24, Intensity: 4},
+	}},
+	{Name: "C2H6", Formula: "C2H6", Fragments: []spectrum.Line{
+		{Position: 28, Intensity: 100}, {Position: 27, Intensity: 33},
+		{Position: 30, Intensity: 26}, {Position: 29, Intensity: 21},
+		{Position: 26, Intensity: 23}, {Position: 25, Intensity: 3.5},
+		{Position: 15, Intensity: 4.4},
+	}},
+	{Name: "C3H8", Formula: "C3H8", Fragments: []spectrum.Line{
+		{Position: 29, Intensity: 100}, {Position: 28, Intensity: 59},
+		{Position: 44, Intensity: 27}, {Position: 27, Intensity: 39},
+		{Position: 43, Intensity: 23}, {Position: 39, Intensity: 16},
+		{Position: 41, Intensity: 13},
+	}},
+	{Name: "Ne", Formula: "Ne", Fragments: []spectrum.Line{
+		{Position: 20, Intensity: 100}, {Position: 22, Intensity: 9.9},
+	}},
+}
+
+// ByName returns the library compound with the given name.
+func ByName(name string) (*Compound, error) {
+	for i := range Library {
+		if Library[i].Name == name {
+			return &Library[i], nil
+		}
+	}
+	return nil, fmt.Errorf("msim: unknown compound %q", name)
+}
+
+// Compounds resolves a list of names against the library.
+func Compounds(names ...string) ([]*Compound, error) {
+	out := make([]*Compound, len(names))
+	for i, n := range names {
+		c, err := ByName(n)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = c
+	}
+	return out, nil
+}
+
+// DefaultTask is the measurement task used throughout the experiments: the
+// eight substances whose concentrations the network predicts. The paper's
+// prototype monitored a comparable permanent-gas panel (Fig. 7 shows
+// species including O2 and the spurious H2O channel).
+var DefaultTask = []string{"H2", "CH4", "H2O", "N2", "O2", "Ar", "CO2", "C2H6"}

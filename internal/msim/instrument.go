@@ -1,0 +1,329 @@
+package msim
+
+import (
+	"fmt"
+	"math"
+
+	"specml/internal/fit"
+	"specml/internal/rng"
+	"specml/internal/spectrum"
+)
+
+// InstrumentModel is Tool 3: the parametric model of the portable mass
+// spectrometer that converts an ideal line spectrum into a continuous
+// non-ideal spectrum with the desired resolution. Its parameters are the
+// "characteristics of the measurement system" the paper's Tool 2 extracts
+// from real measurements: the deformation of the peaks to a curve, the
+// frequency-dependent attenuation, the drift and the noise model.
+type InstrumentModel struct {
+	// Peak shape: FWHM grows linearly with m/z (quadrupole-like behaviour),
+	// with a Lorentzian fraction Eta.
+	PeakFWHM0     float64
+	PeakFWHMSlope float64
+	PeakEta       float64
+	// Attenuation is a polynomial (increasing powers of m/z) multiplying
+	// line intensities: the instrument's mass-dependent sensitivity.
+	Attenuation []float64
+	// Baseline is a polynomial (increasing powers of m/z) added to every
+	// spectrum: the slow drift floor.
+	Baseline []float64
+	// Noise: additive Gaussian sigma (NoiseFloor) plus a signal-
+	// proportional component (NoiseScale * intensity).
+	NoiseFloor float64
+	NoiseScale float64
+	// MassOffset is a calibration shift of the m/z axis.
+	MassOffset float64
+	// Ignition-gas artifact: a peak at IgnitionMZ with area IgnitionArea
+	// that appears in every measurement regardless of the sample (the peak
+	// in Fig. 4 "which has no counterpart in the line spectrum").
+	IgnitionMZ   float64
+	IgnitionArea float64
+}
+
+// Validate reports whether the model parameters are usable.
+func (m *InstrumentModel) Validate() error {
+	if m.PeakFWHM0 <= 0 {
+		return fmt.Errorf("msim: PeakFWHM0 must be positive, got %g", m.PeakFWHM0)
+	}
+	if m.PeakEta < 0 || m.PeakEta > 1 {
+		return fmt.Errorf("msim: PeakEta must be in [0,1], got %g", m.PeakEta)
+	}
+	if m.NoiseFloor < 0 || m.NoiseScale < 0 {
+		return fmt.Errorf("msim: noise parameters must be non-negative")
+	}
+	return nil
+}
+
+// fwhmAt returns the peak FWHM at a given m/z, floored to stay positive.
+func (m *InstrumentModel) fwhmAt(mz float64) float64 {
+	w := m.PeakFWHM0 + m.PeakFWHMSlope*mz
+	if w < 1e-3 {
+		w = 1e-3
+	}
+	return w
+}
+
+// attenuationAt evaluates the sensitivity multiplier at m/z, clamped to a
+// small positive floor (a sensitivity can fade but not invert).
+func (m *InstrumentModel) attenuationAt(mz float64) float64 {
+	if len(m.Attenuation) == 0 {
+		return 1
+	}
+	a := fit.PolyEval(m.Attenuation, mz)
+	if a < 1e-4 {
+		return 1e-4
+	}
+	return a
+}
+
+// Measure converts an ideal line spectrum into a simulated continuous
+// measurement on the given axis. src supplies the measurement noise; pass
+// nil for the deterministic expected spectrum (no noise, no drift jitter).
+func (m *InstrumentModel) Measure(ls *spectrum.LineSpectrum, axis spectrum.Axis, src *rng.Source) (*spectrum.Spectrum, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	s := spectrum.New(axis)
+	peaks := make([]spectrum.Peak, 0, len(ls.Lines)+1)
+	for _, l := range ls.Lines {
+		if l.Intensity <= 0 {
+			continue
+		}
+		mz := l.Position + m.MassOffset
+		peaks = append(peaks, spectrum.Peak{
+			Center: mz,
+			Area:   l.Intensity * m.attenuationAt(l.Position),
+			Width:  m.fwhmAt(mz),
+			Eta:    m.PeakEta,
+		})
+	}
+	if m.IgnitionArea > 0 {
+		peaks = append(peaks, spectrum.Peak{
+			Center: m.IgnitionMZ + m.MassOffset,
+			Area:   m.IgnitionArea,
+			Width:  m.fwhmAt(m.IgnitionMZ),
+			Eta:    m.PeakEta,
+		})
+	}
+	if err := spectrum.RenderPeaks(s, peaks, 12); err != nil {
+		return nil, err
+	}
+	// baseline drift
+	if len(m.Baseline) > 0 {
+		for i := range s.Intensities {
+			s.Intensities[i] += fit.PolyEval(m.Baseline, axis.Value(i))
+		}
+	}
+	// noise
+	if src != nil && (m.NoiseFloor > 0 || m.NoiseScale > 0) {
+		for i, v := range s.Intensities {
+			sigma := m.NoiseFloor + m.NoiseScale*math.Abs(v)
+			s.Intensities[i] = v + src.Normal(0, sigma)
+		}
+	}
+	return s, nil
+}
+
+// Clone returns a deep copy of the model.
+func (m *InstrumentModel) Clone() *InstrumentModel {
+	c := *m
+	c.Attenuation = append([]float64(nil), m.Attenuation...)
+	c.Baseline = append([]float64(nil), m.Baseline...)
+	return &c
+}
+
+// DefaultTrueModel returns the ground-truth instrument parameters of the
+// virtual prototype. These are the values the characterizer must recover
+// from reference measurements; the experiment harness never hands them to
+// the training pipeline directly.
+func DefaultTrueModel() *InstrumentModel {
+	return &InstrumentModel{
+		PeakFWHM0:     0.35,
+		PeakFWHMSlope: 0.004,
+		PeakEta:       0.25,
+		// sensitivity fades toward high m/z: 1.0 at 0, ~0.55 at 100
+		Attenuation: []float64{1.0, -0.0045},
+		// small tilted baseline
+		Baseline:   []float64{0.002, 0.00001},
+		NoiseFloor: 0.0015,
+		NoiseScale: 0.01,
+		MassOffset: 0.05,
+		// helium ignition gas artifact at m/z 4
+		IgnitionMZ:   4,
+		IgnitionArea: 0.035,
+	}
+}
+
+// VirtualInstrument stands in for the miniaturized-mass-spectrometer
+// prototype: it measures *actual gas mixtures* through the true instrument
+// model, contaminated by ambient humidity (the H2O ingress the paper
+// blames for the O2/H2O confusion in Fig. 7) and subject to small
+// session-to-session configuration drift ("changes in the configuration of
+// the prototype").
+type VirtualInstrument struct {
+	truth   *InstrumentModel
+	session *InstrumentModel
+
+	// humidity contamination: fraction of total signal that is ambient H2O
+	HumidityMean   float64
+	HumidityJitter float64
+	// SessionDrift scales the random parameter perturbation applied by
+	// NewSession.
+	SessionDrift float64
+	// ScanMassJitter is the std-dev of an extra per-scan m/z displacement.
+	// The simulator "only considers a static system state; fluctuations of
+	// certain parameters, such as the displacement of the peaks, do not
+	// affect the simulated values" — this is that fluctuation, and a main
+	// driver of the simulated-vs-measured quality gap.
+	ScanMassJitter float64
+	// ScanGainJitter is the relative std-dev of a per-scan multiplicative
+	// sensitivity wobble applied on top of the attenuation curve.
+	ScanGainJitter float64
+
+	water *spectrum.LineSpectrum
+	src   *rng.Source
+}
+
+// NewVirtualInstrument returns a prototype with the given ground truth.
+// Pass nil to use DefaultTrueModel. The seed drives all stochastic
+// behaviour of the device.
+func NewVirtualInstrument(truth *InstrumentModel, seed uint64) *VirtualInstrument {
+	if truth == nil {
+		truth = DefaultTrueModel()
+	}
+	w, err := ByName("H2O")
+	if err != nil {
+		panic("msim: library must contain H2O") // build-time invariant
+	}
+	v := &VirtualInstrument{
+		truth:          truth.Clone(),
+		HumidityMean:   0.015,
+		HumidityJitter: 0.006,
+		SessionDrift:   0.03,
+		ScanMassJitter: 0.10,
+		ScanGainJitter: 0.05,
+		water:          w.Lines(),
+		src:            rng.New(seed),
+	}
+	v.session = truth.Clone()
+	return v
+}
+
+// Truth exposes the ground-truth model for test assertions only.
+func (v *VirtualInstrument) Truth() *InstrumentModel { return v.truth }
+
+// NewSession re-randomizes the prototype configuration: each continuous
+// parameter is perturbed by a relative amount drawn from
+// N(0, SessionDrift). Reference measurements and later evaluation
+// measurements typically come from different sessions, which is one source
+// of the simulated-vs-measured quality gap.
+func (v *VirtualInstrument) NewSession() {
+	p := v.truth.Clone()
+	jitter := func(x float64) float64 {
+		return x * (1 + v.src.Normal(0, v.SessionDrift))
+	}
+	p.PeakFWHM0 = jitter(p.PeakFWHM0)
+	p.PeakFWHMSlope = jitter(p.PeakFWHMSlope)
+	for i := range p.Attenuation {
+		p.Attenuation[i] = jitter(p.Attenuation[i])
+	}
+	for i := range p.Baseline {
+		p.Baseline[i] = jitter(p.Baseline[i])
+	}
+	p.NoiseFloor = math.Abs(jitter(p.NoiseFloor))
+	p.NoiseScale = math.Abs(jitter(p.NoiseScale))
+	p.MassOffset += v.src.Normal(0, 0.01)
+	p.IgnitionArea = math.Abs(jitter(p.IgnitionArea))
+	v.session = p
+}
+
+// Measure records one spectrum of the actual mixture described by the
+// ideal line spectrum ls. Ambient humidity is mixed in before measurement:
+// the sample that reaches the ion source is (1-h)*sample + h*H2O.
+func (v *VirtualInstrument) Measure(ls *spectrum.LineSpectrum, axis spectrum.Axis) (*spectrum.Spectrum, error) {
+	h := v.HumidityMean + v.src.Normal(0, v.HumidityJitter)
+	if h < 0 {
+		h = 0
+	}
+	contaminated, err := spectrum.SuperposeLines(
+		[]float64{1 - h, h},
+		[]*spectrum.LineSpectrum{ls, v.water},
+	)
+	if err != nil {
+		return nil, err
+	}
+	// per-scan fluctuations the static simulator cannot capture
+	scan := v.session
+	if v.ScanMassJitter > 0 || v.ScanGainJitter > 0 {
+		c := v.session.Clone()
+		c.MassOffset += v.src.Normal(0, v.ScanMassJitter)
+		if v.ScanGainJitter > 0 {
+			// a uniform gain change would cancel under sum-normalization,
+			// so the wobble tilts the sensitivity curve: the non-constant
+			// attenuation terms fluctuate relative to the constant one
+			wobble := 1 + v.src.Normal(0, v.ScanGainJitter)
+			if wobble < 0.1 {
+				wobble = 0.1
+			}
+			for i := 1; i < len(c.Attenuation); i++ {
+				c.Attenuation[i] *= wobble
+			}
+		}
+		scan = c
+	}
+	return scan.Measure(contaminated, axis, v.src)
+}
+
+// MeasureN records n repeated spectra of the same mixture (one
+// measurement series).
+func (v *VirtualInstrument) MeasureN(ls *spectrum.LineSpectrum, axis spectrum.Axis, n int) ([]*spectrum.Spectrum, error) {
+	out := make([]*spectrum.Spectrum, n)
+	for i := range out {
+		s, err := v.Measure(ls, axis)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// Mixer models the mass-flow-controller rig used to prepare evaluation
+// mixtures "with controlled concentrations of compounds": the delivered
+// fractions deviate from the setpoints by a small relative flow error.
+type Mixer struct {
+	// FlowError is the relative standard deviation of each controller
+	// (typical MFC accuracy is a fraction of a percent).
+	FlowError float64
+	src       *rng.Source
+}
+
+// NewMixer returns a mixer with the given relative flow error.
+func NewMixer(flowError float64, seed uint64) *Mixer {
+	return &Mixer{FlowError: flowError, src: rng.New(seed)}
+}
+
+// Mix returns the actually delivered fractions for the given setpoints
+// (renormalized to sum to 1).
+func (m *Mixer) Mix(setpoints []float64) ([]float64, error) {
+	sum := 0.0
+	out := make([]float64, len(setpoints))
+	for i, sp := range setpoints {
+		if sp < 0 {
+			return nil, fmt.Errorf("msim: negative setpoint %g", sp)
+		}
+		f := sp * (1 + m.src.Normal(0, m.FlowError))
+		if f < 0 {
+			f = 0
+		}
+		out[i] = f
+		sum += f
+	}
+	if sum == 0 {
+		return nil, fmt.Errorf("msim: all setpoints zero")
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out, nil
+}

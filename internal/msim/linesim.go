@@ -1,0 +1,71 @@
+package msim
+
+import (
+	"fmt"
+
+	"specml/internal/rng"
+	"specml/internal/spectrum"
+)
+
+// LineSimulator is Tool 1: it generates ideal line spectra of substance
+// mixtures with arbitrary concentrations by linear superposition of the
+// pure compounds' fragmentation patterns.
+type LineSimulator struct {
+	compounds []*Compound
+	pure      []*spectrum.LineSpectrum
+}
+
+// NewLineSimulator returns a simulator for the given measurement task
+// (an ordered compound list; the order defines the label vector).
+func NewLineSimulator(compounds []*Compound) (*LineSimulator, error) {
+	if len(compounds) == 0 {
+		return nil, fmt.Errorf("msim: line simulator needs at least one compound")
+	}
+	pure := make([]*spectrum.LineSpectrum, len(compounds))
+	for i, c := range compounds {
+		if c == nil {
+			return nil, fmt.Errorf("msim: nil compound at index %d", i)
+		}
+		pure[i] = c.Lines()
+	}
+	return &LineSimulator{compounds: compounds, pure: pure}, nil
+}
+
+// Compounds returns the ordered measurement task.
+func (s *LineSimulator) Compounds() []*Compound { return s.compounds }
+
+// Names returns the compound names in label order.
+func (s *LineSimulator) Names() []string {
+	names := make([]string, len(s.compounds))
+	for i, c := range s.compounds {
+		names[i] = c.Name
+	}
+	return names
+}
+
+// NumCompounds returns the size of the concentration vector.
+func (s *LineSimulator) NumCompounds() int { return len(s.compounds) }
+
+// Mixture returns the ideal line spectrum for the given concentration
+// fractions (which must match the task size; they are not required to sum
+// to 1, so the simulator can also express diluted or enriched samples).
+func (s *LineSimulator) Mixture(fractions []float64) (*spectrum.LineSpectrum, error) {
+	if len(fractions) != len(s.pure) {
+		return nil, fmt.Errorf("msim: %d fractions for %d compounds", len(fractions), len(s.pure))
+	}
+	for i, f := range fractions {
+		if f < 0 {
+			return nil, fmt.Errorf("msim: negative fraction %g for %s", f, s.compounds[i].Name)
+		}
+	}
+	return spectrum.SuperposeLines(fractions, s.pure)
+}
+
+// RandomFractions samples a random mixture composition on the simplex.
+// alpha < 1 produces sparse mixtures (a few dominant compounds), alpha = 1
+// uniform ones.
+func (s *LineSimulator) RandomFractions(src *rng.Source, alpha float64) []float64 {
+	f := make([]float64, len(s.pure))
+	src.Dirichlet(alpha, f)
+	return f
+}

@@ -1,0 +1,492 @@
+package msim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"specml/internal/rng"
+	"specml/internal/spectrum"
+)
+
+func TestLibraryIntegrity(t *testing.T) {
+	seen := map[string]bool{}
+	for _, c := range Library {
+		if c.Name == "" || len(c.Fragments) == 0 {
+			t.Fatalf("compound %+v incomplete", c)
+		}
+		if seen[c.Name] {
+			t.Fatalf("duplicate compound %s", c.Name)
+		}
+		seen[c.Name] = true
+		for _, f := range c.Fragments {
+			if f.Position <= 0 || f.Intensity <= 0 {
+				t.Fatalf("%s has invalid fragment %+v", c.Name, f)
+			}
+		}
+	}
+}
+
+func TestCompoundLinesNormalized(t *testing.T) {
+	for _, c := range Library {
+		ls := c.Lines()
+		if got := ls.TotalIntensity(); math.Abs(got-1) > 1e-9 {
+			t.Fatalf("%s lines total %v, want 1", c.Name, got)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	c, err := ByName("N2")
+	if err != nil || c.Name != "N2" {
+		t.Fatalf("ByName(N2) = %v, %v", c, err)
+	}
+	if _, err := ByName("Unobtainium"); err == nil {
+		t.Fatal("unknown compound must error")
+	}
+	if _, err := Compounds("H2", "O2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compounds("H2", "Nope"); err == nil {
+		t.Fatal("unknown compound in list must error")
+	}
+}
+
+func TestDefaultTaskResolves(t *testing.T) {
+	cs, err := Compounds(DefaultTask...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 8 {
+		t.Fatalf("default task has %d compounds, want 8", len(cs))
+	}
+}
+
+func taskSim(t *testing.T) *LineSimulator {
+	t.Helper()
+	cs, err := Compounds(DefaultTask...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := NewLineSimulator(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim
+}
+
+func TestLineSimulatorMixture(t *testing.T) {
+	sim := taskSim(t)
+	frac := make([]float64, sim.NumCompounds())
+	frac[0] = 1 // pure H2
+	ls, err := sim.Mixture(frac)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ls.TotalIntensity(); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("pure mixture total intensity = %v", got)
+	}
+	// mixture errors
+	if _, err := sim.Mixture([]float64{1}); err == nil {
+		t.Fatal("wrong fraction count must error")
+	}
+	if _, err := sim.Mixture([]float64{-1, 0, 0, 0, 0, 0, 0, 2}); err == nil {
+		t.Fatal("negative fraction must error")
+	}
+}
+
+// Property: any simplex mixture has total ideal intensity 1 (mass balance
+// of the normalized patterns).
+func TestMixtureIntensityProperty(t *testing.T) {
+	sim := taskSim(t)
+	src := rng.New(3)
+	f := func(alphaRaw uint8) bool {
+		alpha := 0.2 + float64(alphaRaw)/64
+		frac := sim.RandomFractions(src, alpha)
+		ls, err := sim.Mixture(frac)
+		if err != nil {
+			return false
+		}
+		return math.Abs(ls.TotalIntensity()-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInstrumentModelValidate(t *testing.T) {
+	m := DefaultTrueModel()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := m.Clone()
+	bad.PeakFWHM0 = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero FWHM must be invalid")
+	}
+	bad2 := m.Clone()
+	bad2.PeakEta = 2
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("eta > 1 must be invalid")
+	}
+	bad3 := m.Clone()
+	bad3.NoiseFloor = -1
+	if err := bad3.Validate(); err == nil {
+		t.Fatal("negative noise must be invalid")
+	}
+}
+
+func TestMeasureDeterministicWithoutSource(t *testing.T) {
+	sim := taskSim(t)
+	frac := make([]float64, sim.NumCompounds())
+	frac[3] = 1 // N2
+	ls, _ := sim.Mixture(frac)
+	m := DefaultTrueModel()
+	axis := DefaultAxis()
+	a, err := m.Measure(ls, axis, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := m.Measure(ls, axis, nil)
+	for i := range a.Intensities {
+		if a.Intensities[i] != b.Intensities[i] {
+			t.Fatal("noise-free measurement must be deterministic")
+		}
+	}
+}
+
+func TestMeasureContainsIgnitionArtifact(t *testing.T) {
+	// Fig. 4's artifact: a peak with no line-spectrum counterpart.
+	sim := taskSim(t)
+	frac := make([]float64, sim.NumCompounds())
+	frac[3] = 1 // pure N2: no ideal line anywhere near m/z 4
+	ls, _ := sim.Mixture(frac)
+	m := DefaultTrueModel()
+	axis := DefaultAxis()
+	s, err := m.Measure(ls, axis, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at4 := s.ValueAt(4 + m.MassOffset)
+	at10 := s.ValueAt(10)
+	if at4 < 10*at10 || at4 <= 0 {
+		t.Fatalf("no ignition artifact at m/z 4: %v vs background %v", at4, at10)
+	}
+	// disable the artifact: the peak disappears
+	m2 := m.Clone()
+	m2.IgnitionArea = 0
+	s2, _ := m2.Measure(ls, axis, nil)
+	if s2.ValueAt(4+m.MassOffset) > at4/10 {
+		t.Fatal("artifact persists with IgnitionArea=0")
+	}
+}
+
+func TestMeasureAttenuationShape(t *testing.T) {
+	// The same line intensity at low vs high m/z yields a smaller measured
+	// area at high m/z under the default fading sensitivity.
+	m := DefaultTrueModel()
+	m.NoiseFloor, m.NoiseScale = 0, 0
+	m.Baseline = nil
+	m.IgnitionArea = 0
+	axis := DefaultAxis()
+	low := &spectrum.LineSpectrum{Lines: []spectrum.Line{{Position: 20, Intensity: 1}}}
+	high := &spectrum.LineSpectrum{Lines: []spectrum.Line{{Position: 80, Intensity: 1}}}
+	sl, _ := m.Measure(low, axis, nil)
+	sh, _ := m.Measure(high, axis, nil)
+	al := sl.IntegrateBetween(15, 25)
+	ah := sh.IntegrateBetween(75, 85)
+	if ah >= al {
+		t.Fatalf("high-m/z area %v not attenuated vs low-m/z %v", ah, al)
+	}
+}
+
+func TestVirtualInstrumentHumidityShowsUp(t *testing.T) {
+	// A dry N2 sample measured on the prototype still shows an H2O signal.
+	sim := taskSim(t)
+	frac := make([]float64, sim.NumCompounds())
+	frac[3] = 1
+	ls, _ := sim.Mixture(frac)
+	vi := NewVirtualInstrument(nil, 7)
+	axis := DefaultAxis()
+	s, err := vi.Measure(ls, axis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at18 := s.IntegrateBetween(17.5, 18.7)
+	at24 := s.IntegrateBetween(23.5, 24.7) // empty region baseline
+	if at18 < 2*math.Abs(at24) {
+		t.Fatalf("no humidity signal at m/z 18: %v vs empty %v", at18, at24)
+	}
+}
+
+func TestVirtualInstrumentSessionsDiffer(t *testing.T) {
+	vi := NewVirtualInstrument(nil, 9)
+	before := *vi.session
+	vi.NewSession()
+	after := *vi.session
+	if before.PeakFWHM0 == after.PeakFWHM0 && before.MassOffset == after.MassOffset {
+		t.Fatal("NewSession did not perturb the configuration")
+	}
+	// truth must be untouched
+	if vi.Truth().PeakFWHM0 != DefaultTrueModel().PeakFWHM0 {
+		t.Fatal("NewSession corrupted the ground truth")
+	}
+}
+
+func TestMixer(t *testing.T) {
+	mix := NewMixer(0.005, 3)
+	actual, err := mix.Mix([]float64{0.5, 0.3, 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for i, v := range actual {
+		if math.Abs(v-[]float64{0.5, 0.3, 0.2}[i]) > 0.05 {
+			t.Fatalf("mixer deviates too much: %v", actual)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("mixer output not normalized: %v", sum)
+	}
+	if _, err := mix.Mix([]float64{-1, 1}); err == nil {
+		t.Fatal("negative setpoint must error")
+	}
+	if _, err := mix.Mix([]float64{0, 0}); err == nil {
+		t.Fatal("all-zero setpoints must error")
+	}
+}
+
+func TestPreprocessNormalizesAndClips(t *testing.T) {
+	s := spectrum.New(spectrum.MustAxis(0, 1, 4))
+	s.Intensities = []float64{2, -1, 3, 0}
+	x := Preprocess(s)
+	if x[1] != 0 {
+		t.Fatal("negative intensity not clipped")
+	}
+	sum := 0.0
+	for _, v := range x {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("preprocessed sum = %v", sum)
+	}
+	// all-zero spectrum stays zero without NaN
+	z := spectrum.New(spectrum.MustAxis(0, 1, 3))
+	for _, v := range Preprocess(z) {
+		if math.IsNaN(v) || v != 0 {
+			t.Fatal("zero spectrum preprocessing broken")
+		}
+	}
+}
+
+func TestStandardMixtures(t *testing.T) {
+	ms := StandardMixtures(8)
+	if len(ms) != 14 {
+		t.Fatalf("want 14 mixtures (paper), got %d", len(ms))
+	}
+	for i, m := range ms {
+		if len(m) != 8 {
+			t.Fatalf("mixture %d has %d entries", i, len(m))
+		}
+		sum := 0.0
+		for _, v := range m {
+			if v < 0 {
+				t.Fatalf("mixture %d has negative fraction", i)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("mixture %d sums to %v", i, sum)
+		}
+	}
+	// first 8 are the pure components
+	for i := 0; i < 8; i++ {
+		if ms[i][i] != 1 {
+			t.Fatalf("mixture %d is not pure component %d: %v", i, i, ms[i])
+		}
+	}
+}
+
+func TestGenerateTraining(t *testing.T) {
+	sim := taskSim(t)
+	model := DefaultTrueModel()
+	d, err := GenerateTraining(sim, model, DefaultAxis(), 20, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 20 {
+		t.Fatalf("dataset len = %d", d.Len())
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.X[0]) != DefaultAxis().N {
+		t.Fatalf("feature width %d, want %d", len(d.X[0]), DefaultAxis().N)
+	}
+	for i := range d.Y {
+		sum := 0.0
+		for _, v := range d.Y[i] {
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("label %d not on simplex: %v", i, sum)
+		}
+	}
+	if _, err := GenerateTraining(sim, model, DefaultAxis(), 0, 1, 5); err == nil {
+		t.Fatal("zero samples must error")
+	}
+	// determinism
+	d2, _ := GenerateTraining(sim, model, DefaultAxis(), 20, 1, 5)
+	for i := range d.X[0] {
+		if d.X[0][i] != d2.X[0][i] {
+			t.Fatal("generation not deterministic for equal seeds")
+		}
+	}
+}
+
+func TestCollectReferencesAndEvaluationData(t *testing.T) {
+	sim := taskSim(t)
+	vi := NewVirtualInstrument(nil, 11)
+	axis := DefaultAxis()
+	refs, err := CollectReferences(vi, sim, axis, StandardMixtures(8)[:3], 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) != 3 || len(refs[0].Spectra) != 4 {
+		t.Fatalf("reference shape wrong: %d series", len(refs))
+	}
+	if _, err := CollectReferences(vi, sim, axis, StandardMixtures(8)[:1], 0); err == nil {
+		t.Fatal("zero samples per mixture must error")
+	}
+
+	mixer := NewMixer(0.005, 1)
+	eval, err := MeasureEvaluation(vi, mixer, sim, axis, StandardMixtures(8)[:2], 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eval.Len() != 6 {
+		t.Fatalf("eval len = %d, want 6", eval.Len())
+	}
+	if err := eval.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The central Tool-2 integration test: with plenty of reference data the
+// characterizer recovers the true instrument parameters well.
+func TestCharacterizerRecoversTrueModel(t *testing.T) {
+	sim := taskSim(t)
+	truth := DefaultTrueModel()
+	vi := NewVirtualInstrument(truth, 21)
+	vi.HumidityMean = 0 // clean references isolate the estimation quality
+	vi.HumidityJitter = 0
+	vi.ScanMassJitter = 0
+	vi.ScanGainJitter = 0
+	axis := DefaultAxis()
+	refs, err := CollectReferences(vi, sim, axis, StandardMixtures(8), 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &Characterizer{Task: sim.Compounds(), IgnitionMZ: truth.IgnitionMZ}
+	est, err := c.Estimate(refs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// peak width at m/z 50
+	wTrue := truth.PeakFWHM0 + 50*truth.PeakFWHMSlope
+	wEst := est.PeakFWHM0 + 50*est.PeakFWHMSlope
+	if math.Abs(wEst-wTrue)/wTrue > 0.15 {
+		t.Fatalf("width at 50: est %v vs true %v", wEst, wTrue)
+	}
+	// attenuation at m/z 20 and 80
+	for _, mz := range []float64{20, 80} {
+		aTrue := truth.attenuationAt(mz)
+		aEst := est.attenuationAt(mz)
+		if math.Abs(aEst-aTrue)/aTrue > 0.2 {
+			t.Fatalf("attenuation at %v: est %v vs true %v", mz, aEst, aTrue)
+		}
+	}
+	// mass offset within half a step
+	if math.Abs(est.MassOffset-truth.MassOffset) > 0.15 {
+		t.Fatalf("mass offset: est %v vs true %v", est.MassOffset, truth.MassOffset)
+	}
+	// ignition artifact found
+	if est.IgnitionMZ != truth.IgnitionMZ || est.IgnitionArea <= 0 {
+		t.Fatalf("ignition artifact not recovered: %+v", est)
+	}
+	if math.Abs(est.IgnitionArea-truth.IgnitionArea)/truth.IgnitionArea > 0.4 {
+		t.Fatalf("ignition area: est %v vs true %v", est.IgnitionArea, truth.IgnitionArea)
+	}
+	// noise floor order of magnitude
+	if est.NoiseFloor <= 0 {
+		t.Fatalf("noise floor not estimated: %v", est.NoiseFloor)
+	}
+}
+
+// Fewer reference samples must give a (weakly) worse width estimate on
+// average — the mechanism behind Fig. 6.
+func TestCharacterizerQualityImprovesWithSamples(t *testing.T) {
+	sim := taskSim(t)
+	truth := DefaultTrueModel()
+	axis := DefaultAxis()
+	widthErr := func(n int, seed uint64) float64 {
+		vi := NewVirtualInstrument(truth, seed)
+		vi.HumidityMean, vi.HumidityJitter = 0, 0
+		vi.ScanMassJitter, vi.ScanGainJitter = 0, 0
+		vi.ScanMassJitter, vi.ScanGainJitter = 0, 0
+		refs, err := CollectReferences(vi, sim, axis, StandardMixtures(8), n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := &Characterizer{Task: sim.Compounds(), IgnitionMZ: truth.IgnitionMZ}
+		est, err := c.Estimate(refs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		errSum := 0.0
+		for _, mz := range []float64{10, 30, 50, 70, 90} {
+			tw := truth.PeakFWHM0 + mz*truth.PeakFWHMSlope
+			ew := est.PeakFWHM0 + mz*est.PeakFWHMSlope
+			errSum += math.Abs(ew-tw) / tw
+		}
+		return errSum / 5
+	}
+	small, large := 0.0, 0.0
+	for seed := uint64(0); seed < 3; seed++ {
+		small += widthErr(2, 100+seed)
+		large += widthErr(40, 200+seed)
+	}
+	if large > small {
+		t.Fatalf("more samples gave worse width estimates: n=40 err %v vs n=2 err %v", large/3, small/3)
+	}
+}
+
+func TestCharacterizerInputValidation(t *testing.T) {
+	sim := taskSim(t)
+	c := &Characterizer{Task: sim.Compounds()}
+	if _, err := c.Estimate(nil); err == nil {
+		t.Fatal("no references must error")
+	}
+	if _, err := (&Characterizer{}).Estimate([]ReferenceSeries{{}}); err == nil {
+		t.Fatal("empty task must error")
+	}
+	if _, err := c.Estimate([]ReferenceSeries{{Fractions: []float64{1}, Spectra: nil}}); err == nil {
+		t.Fatal("series without spectra must error")
+	}
+}
+
+func TestMedianAndClamp(t *testing.T) {
+	if median([]float64{3, 1, 2}) != 2 {
+		t.Fatal("odd median wrong")
+	}
+	if median([]float64{4, 1, 2, 3}) != 2.5 {
+		t.Fatal("even median wrong")
+	}
+	if median(nil) != 0 {
+		t.Fatal("empty median wrong")
+	}
+	if clamp01(-1) != 0 || clamp01(2) != 1 || clamp01(0.5) != 0.5 {
+		t.Fatal("clamp01 wrong")
+	}
+}

@@ -1,0 +1,43 @@
+package msim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// instrumentFormat versions the instrument-model JSON layout.
+const instrumentFormat = "specml/instrument/v1"
+
+type savedInstrument struct {
+	Format string           `json:"format"`
+	Model  *InstrumentModel `json:"model"`
+}
+
+// Save writes the instrument model as JSON, so characterization results
+// can be stored, diffed between sessions and reloaded without re-measuring
+// references.
+func (m *InstrumentModel) Save(w io.Writer) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	return json.NewEncoder(w).Encode(&savedInstrument{Format: instrumentFormat, Model: m})
+}
+
+// LoadInstrumentModel reads a model saved with Save.
+func LoadInstrumentModel(r io.Reader) (*InstrumentModel, error) {
+	var s savedInstrument
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("msim: decoding instrument model: %w", err)
+	}
+	if s.Format != instrumentFormat {
+		return nil, fmt.Errorf("msim: unsupported instrument format %q", s.Format)
+	}
+	if s.Model == nil {
+		return nil, fmt.Errorf("msim: instrument file has no model")
+	}
+	if err := s.Model.Validate(); err != nil {
+		return nil, fmt.Errorf("msim: loaded model invalid: %w", err)
+	}
+	return s.Model, nil
+}

@@ -1,0 +1,60 @@
+package msim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestInstrumentModelSaveLoad(t *testing.T) {
+	m := DefaultTrueModel()
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadInstrumentModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.PeakFWHM0 != m.PeakFWHM0 || got.IgnitionMZ != m.IgnitionMZ ||
+		len(got.Attenuation) != len(m.Attenuation) {
+		t.Fatalf("round trip changed model: %+v vs %+v", got, m)
+	}
+	// spectra produced by the two models agree exactly
+	sim := taskSim(t)
+	frac := make([]float64, sim.NumCompounds())
+	frac[3] = 1
+	ls, _ := sim.Mixture(frac)
+	a, _ := m.Measure(ls, DefaultAxis(), nil)
+	b, _ := got.Measure(ls, DefaultAxis(), nil)
+	for i := range a.Intensities {
+		if a.Intensities[i] != b.Intensities[i] {
+			t.Fatal("loaded model measures differently")
+		}
+	}
+}
+
+func TestInstrumentModelSaveRejectsInvalid(t *testing.T) {
+	m := DefaultTrueModel()
+	m.PeakFWHM0 = -1
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err == nil {
+		t.Fatal("invalid model must not save")
+	}
+}
+
+func TestLoadInstrumentModelErrors(t *testing.T) {
+	if _, err := LoadInstrumentModel(strings.NewReader("junk")); err == nil {
+		t.Fatal("junk must not load")
+	}
+	if _, err := LoadInstrumentModel(strings.NewReader(`{"format":"nope"}`)); err == nil {
+		t.Fatal("wrong format must not load")
+	}
+	if _, err := LoadInstrumentModel(strings.NewReader(`{"format":"specml/instrument/v1"}`)); err == nil {
+		t.Fatal("missing model must not load")
+	}
+	if _, err := LoadInstrumentModel(strings.NewReader(
+		`{"format":"specml/instrument/v1","model":{"PeakFWHM0":-3}}`)); err == nil {
+		t.Fatal("invalid model payload must not load")
+	}
+}

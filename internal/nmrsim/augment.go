@@ -1,0 +1,210 @@
+package nmrsim
+
+import (
+	"fmt"
+
+	"specml/internal/dataset"
+	"specml/internal/ihm"
+	"specml/internal/rng"
+	"specml/internal/spectrum"
+)
+
+// Augmenter generates synthetic training spectra from fitted IHM
+// pure-component models: linear combinations with random concentrations
+// plus the physically motivated distortions (peak shift and broadening)
+// that a naive linear combination of measured spectra would miss. This is
+// the paper's central data-augmentation method for NMR.
+type Augmenter struct {
+	Axis spectrum.Axis
+	// Components are the fitted pure-component hard models (label order).
+	Components []*ihm.ComponentModel
+	// ConcLo/ConcHi bound the sampled concentration of each component; the
+	// training corpus covers "the full concentration range of interest".
+	ConcLo, ConcHi []float64
+	// ShiftJitter and WidthJitter are the distortion magnitudes (per
+	// component, per spectrum).
+	ShiftJitter float64
+	WidthJitter float64
+	// NoiseSigma is the additive noise level of the synthetic spectra.
+	NoiseSigma float64
+	// IntensityScale matches the instrument's receiver gain.
+	IntensityScale float64
+}
+
+// Validate checks the augmenter configuration.
+func (a *Augmenter) Validate() error {
+	k := len(a.Components)
+	if k == 0 {
+		return fmt.Errorf("nmrsim: augmenter needs components")
+	}
+	if len(a.ConcLo) != k || len(a.ConcHi) != k {
+		return fmt.Errorf("nmrsim: concentration bounds must match %d components", k)
+	}
+	for j := range a.ConcLo {
+		if a.ConcLo[j] < 0 || a.ConcHi[j] < a.ConcLo[j] {
+			return fmt.Errorf("nmrsim: invalid concentration range [%g, %g] for component %d",
+				a.ConcLo[j], a.ConcHi[j], j)
+		}
+	}
+	if a.IntensityScale <= 0 {
+		return fmt.Errorf("nmrsim: IntensityScale must be positive")
+	}
+	return nil
+}
+
+// Sample renders one synthetic spectrum with random concentrations,
+// returning the input vector and its label.
+func (a *Augmenter) Sample(src *rng.Source) ([]float64, []float64, error) {
+	k := len(a.Components)
+	conc := make([]float64, k)
+	for j := range conc {
+		conc[j] = src.Uniform(a.ConcLo[j], a.ConcHi[j])
+	}
+	s := spectrum.New(a.Axis)
+	for j, c := range a.Components {
+		if conc[j] == 0 {
+			continue
+		}
+		shift := src.Normal(0, a.ShiftJitter)
+		wf := 1 + src.Normal(0, a.WidthJitter)
+		if wf < 0.2 {
+			wf = 0.2
+		}
+		if err := c.Render(s, conc[j]*a.IntensityScale, shift, wf); err != nil {
+			return nil, nil, err
+		}
+	}
+	if a.NoiseSigma > 0 {
+		for i := range s.Intensities {
+			s.Intensities[i] += src.Normal(0, a.NoiseSigma)
+		}
+	}
+	return s.Intensities, conc, nil
+}
+
+// Generate produces n synthetic labelled spectra.
+func (a *Augmenter) Generate(n int, seed uint64) (*dataset.Dataset, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("nmrsim: need a positive sample count, got %d", n)
+	}
+	src := rng.New(seed)
+	d := dataset.New(n)
+	d.Names = componentNames(a.Components)
+	for i := 0; i < n; i++ {
+		x, y, err := a.Sample(src)
+		if err != nil {
+			return nil, err
+		}
+		d.Append(x, y)
+	}
+	return d, nil
+}
+
+// GenerateTimeSeries produces synthetic plateau time series for LSTM
+// training: random compositions are repeated 1 to maxRepeat times "to
+// emulate plateaus with jumps between them", then windows of `steps`
+// consecutive spectra become one sample whose label is the concentration
+// at the window end.
+func (a *Augmenter) GenerateTimeSeries(nWindows, steps, maxRepeat int, seed uint64) (*dataset.Dataset, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	if nWindows <= 0 || steps <= 0 || maxRepeat <= 0 {
+		return nil, fmt.Errorf("nmrsim: nWindows, steps and maxRepeat must be positive")
+	}
+	src := rng.New(seed)
+	d := dataset.New(nWindows)
+	d.Names = componentNames(a.Components)
+
+	// rolling buffer of recent spectra/labels emulating the online stream
+	var bufX [][]float64
+	var bufY [][]float64
+	for d.Len() < nWindows {
+		x, y, err := a.Sample(src)
+		if err != nil {
+			return nil, err
+		}
+		repeat := 1 + src.Intn(maxRepeat)
+		for r := 0; r < repeat; r++ {
+			// re-measure the same plateau (new jitter and noise)
+			if r > 0 {
+				x, _, err = a.resample(src, y)
+				if err != nil {
+					return nil, err
+				}
+			}
+			bufX = append(bufX, x)
+			bufY = append(bufY, y)
+			if len(bufX) >= steps {
+				window := make([]float64, 0, steps*len(x))
+				for _, row := range bufX[len(bufX)-steps:] {
+					window = append(window, row...)
+				}
+				d.Append(window, bufY[len(bufY)-1])
+				if d.Len() >= nWindows {
+					return d, nil
+				}
+			}
+		}
+	}
+	return d, nil
+}
+
+// resample renders another spectrum at fixed concentrations.
+func (a *Augmenter) resample(src *rng.Source, conc []float64) ([]float64, []float64, error) {
+	s := spectrum.New(a.Axis)
+	for j, c := range a.Components {
+		if conc[j] == 0 {
+			continue
+		}
+		shift := src.Normal(0, a.ShiftJitter)
+		wf := 1 + src.Normal(0, a.WidthJitter)
+		if wf < 0.2 {
+			wf = 0.2
+		}
+		if err := c.Render(s, conc[j]*a.IntensityScale, shift, wf); err != nil {
+			return nil, nil, err
+		}
+	}
+	if a.NoiseSigma > 0 {
+		for i := range s.Intensities {
+			s.Intensities[i] += src.Normal(0, a.NoiseSigma)
+		}
+	}
+	return s.Intensities, conc, nil
+}
+
+func componentNames(cs []*ihm.ComponentModel) []string {
+	names := make([]string, len(cs))
+	for i, c := range cs {
+		names[i] = c.Name
+	}
+	return names
+}
+
+// WindowCampaign converts a measured campaign into LSTM evaluation
+// windows: each sample is `steps` consecutive spectra, labelled with the
+// reference concentrations at the window end.
+func WindowCampaign(spectra []*spectrum.Spectrum, labels [][]float64, steps int) (*dataset.Dataset, error) {
+	if steps <= 0 {
+		return nil, fmt.Errorf("nmrsim: steps must be positive")
+	}
+	if len(spectra) != len(labels) {
+		return nil, fmt.Errorf("nmrsim: %d spectra vs %d labels", len(spectra), len(labels))
+	}
+	if len(spectra) < steps {
+		return nil, fmt.Errorf("nmrsim: %d spectra shorter than window %d", len(spectra), steps)
+	}
+	d := dataset.New(len(spectra) - steps + 1)
+	for end := steps - 1; end < len(spectra); end++ {
+		window := make([]float64, 0, steps*spectra[0].Axis.N)
+		for k := end - steps + 1; k <= end; k++ {
+			window = append(window, spectra[k].Intensities...)
+		}
+		d.Append(window, labels[end])
+	}
+	return d, nil
+}

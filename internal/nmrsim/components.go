@@ -1,0 +1,76 @@
+// Package nmrsim implements the paper's NMR use case: the synthesis of
+// 2-nitro-4'-methyldiphenylamine (MNDPA) from p-toluidine and
+// 1-fluoro-2-nitrobenzene (o-FNB) with the lithium amide Li-HMDS, run in a
+// laboratory flow reactor along a design of experiments and monitored
+// online with a medium-resolution (benchtop) NMR spectrometer, with
+// high-field NMR as the reference method.
+//
+// The package provides the ground-truth pure-component spectra, a
+// steady-state reactor model that produces concentration plateaus, virtual
+// low-field and high-field instruments, and the IHM-based data augmenter
+// that turns a handful of measured spectra into an arbitrarily large
+// training corpus ("enhanced to 300.000 spectra on basis of a physically
+// motivated simulation method").
+package nmrsim
+
+import (
+	"specml/internal/ihm"
+	"specml/internal/spectrum"
+)
+
+// ComponentNames lists the four relevant species in label order: the two
+// reactants, the activating base and the product.
+var ComponentNames = []string{"p-toluidine", "Li-HMDS", "o-FNB", "MNDPA"}
+
+// NumComponents is the number of predicted concentrations (the four
+// labels of interest).
+const NumComponents = 4
+
+// Axis returns the canonical ¹H chemical-shift axis: 0 to 10 ppm sampled
+// with 1700 points. This length makes the paper's parameter counts exact:
+// the locally connected CNN has 10 532 and the LSTM model 221 956
+// trainable parameters.
+func Axis() spectrum.Axis {
+	return spectrum.MustAxis(0, 10.0/1699.0, 1700)
+}
+
+// baseWidth is the natural (high-field) line width in ppm.
+const baseWidth = 0.015
+
+// TrueComponents returns the ground-truth hard models of the four pure
+// components. Peak positions follow the qualitative ¹H NMR assignments of
+// the species (aromatic protons 6.5–8.3 ppm, CH₃ near 2.2–2.4 ppm, the
+// trimethylsilyl protons of Li-HMDS near 0.1 ppm, amine/NH protons broad);
+// areas are proportional to proton counts and normalized per component.
+func TrueComponents() []*ihm.ComponentModel {
+	mk := func(name string, peaks ...spectrum.Peak) *ihm.ComponentModel {
+		c := &ihm.ComponentModel{Name: name, Peaks: peaks}
+		c.Normalize()
+		return c
+	}
+	const eta = 0.8
+	return []*ihm.ComponentModel{
+		mk("p-toluidine",
+			spectrum.Peak{Center: 6.55, Area: 2, Width: baseWidth, Eta: eta},
+			spectrum.Peak{Center: 6.95, Area: 2, Width: baseWidth, Eta: eta},
+			spectrum.Peak{Center: 3.30, Area: 2, Width: 2.2 * baseWidth, Eta: eta}, // NH2, broadened
+			spectrum.Peak{Center: 2.20, Area: 3, Width: baseWidth, Eta: eta},
+		),
+		mk("Li-HMDS",
+			spectrum.Peak{Center: 0.10, Area: 18, Width: baseWidth, Eta: eta}, // Si(CH3)3 x2
+		),
+		mk("o-FNB",
+			spectrum.Peak{Center: 7.30, Area: 1, Width: baseWidth, Eta: eta},
+			spectrum.Peak{Center: 7.42, Area: 1, Width: baseWidth, Eta: eta},
+			spectrum.Peak{Center: 7.68, Area: 1, Width: baseWidth, Eta: eta},
+			spectrum.Peak{Center: 8.05, Area: 1, Width: baseWidth, Eta: eta},
+		),
+		mk("MNDPA",
+			spectrum.Peak{Center: 2.36, Area: 3, Width: baseWidth, Eta: eta},
+			spectrum.Peak{Center: 7.12, Area: 4, Width: 1.4 * baseWidth, Eta: eta},
+			spectrum.Peak{Center: 7.48, Area: 1, Width: baseWidth, Eta: eta},
+			spectrum.Peak{Center: 8.18, Area: 1, Width: baseWidth, Eta: eta},
+			spectrum.Peak{Center: 9.50, Area: 1, Width: 2.5 * baseWidth, Eta: eta}, // NH, broad
+		),
+	}
+}

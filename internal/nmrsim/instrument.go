@@ -1,0 +1,104 @@
+package nmrsim
+
+import (
+	"fmt"
+
+	"specml/internal/ihm"
+	"specml/internal/rng"
+	"specml/internal/spectrum"
+)
+
+// Instrument is a virtual NMR spectrometer rendering mixture spectra from
+// the ground-truth component models. Field strength is abstracted into the
+// line-width factor: a benchtop (medium-resolution) instrument broadens
+// lines ~3x relative to the high-field reference spectrometer.
+type Instrument struct {
+	Axis spectrum.Axis
+	// Components are the ground-truth pure models (label order).
+	Components []*ihm.ComponentModel
+	// WidthFactor scales all line widths (1 = high-field reference).
+	WidthFactor float64
+	// ShiftJitter is the std-dev of the per-component random chemical-shift
+	// offset in each measurement (solvent/matrix effects).
+	ShiftJitter float64
+	// WidthJitter is the relative std-dev of per-measurement line-width
+	// variation.
+	WidthJitter float64
+	// NoiseSigma is the additive Gaussian noise level.
+	NoiseSigma float64
+	// IntensityScale multiplies the whole spectrum to keep network inputs
+	// O(1); it models receiver gain.
+	IntensityScale float64
+
+	src *rng.Source
+}
+
+// NewLowField returns the benchtop process spectrometer stand-in.
+func NewLowField(seed uint64) *Instrument {
+	return &Instrument{
+		Axis:           Axis(),
+		Components:     TrueComponents(),
+		WidthFactor:    3.0,
+		ShiftJitter:    0.008,
+		WidthJitter:    0.05,
+		NoiseSigma:     0.010,
+		IntensityScale: 0.05,
+		src:            rng.New(seed),
+	}
+}
+
+// NewHighField returns the high-field reference spectrometer stand-in.
+func NewHighField(seed uint64) *Instrument {
+	return &Instrument{
+		Axis:           Axis(),
+		Components:     TrueComponents(),
+		WidthFactor:    1.0,
+		ShiftJitter:    0.001,
+		WidthJitter:    0.01,
+		NoiseSigma:     0.001,
+		IntensityScale: 0.05,
+		src:            rng.New(seed),
+	}
+}
+
+// Measure renders one spectrum of a mixture with the given component
+// concentrations (label order, arbitrary non-negative units).
+func (ins *Instrument) Measure(conc []float64) (*spectrum.Spectrum, error) {
+	if len(conc) != len(ins.Components) {
+		return nil, fmt.Errorf("nmrsim: %d concentrations for %d components", len(conc), len(ins.Components))
+	}
+	s := spectrum.New(ins.Axis)
+	for j, c := range ins.Components {
+		if conc[j] < 0 {
+			return nil, fmt.Errorf("nmrsim: negative concentration %g for %s", conc[j], c.Name)
+		}
+		if conc[j] == 0 {
+			continue
+		}
+		shift := ins.src.Normal(0, ins.ShiftJitter)
+		wf := ins.WidthFactor * (1 + ins.src.Normal(0, ins.WidthJitter))
+		if wf < 0.1 {
+			wf = 0.1
+		}
+		if err := c.Render(s, conc[j]*ins.IntensityScale, shift, wf); err != nil {
+			return nil, err
+		}
+	}
+	if ins.NoiseSigma > 0 {
+		for i := range s.Intensities {
+			s.Intensities[i] += ins.src.Normal(0, ins.NoiseSigma)
+		}
+	}
+	return s, nil
+}
+
+// MeasurePure records a pure-component spectrum at unit concentration —
+// the input for the IHM pure-component fits.
+func (ins *Instrument) MeasurePure(componentIndex int) (*spectrum.Spectrum, error) {
+	if componentIndex < 0 || componentIndex >= len(ins.Components) {
+		return nil, fmt.Errorf("nmrsim: component index %d out of range", componentIndex)
+	}
+	conc := make([]float64, len(ins.Components))
+	conc[componentIndex] = 1
+	return ins.Measure(conc)
+}

@@ -1,0 +1,367 @@
+package nmrsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"specml/internal/ihm"
+	"specml/internal/rng"
+)
+
+func TestAxisMatchesPaperParameterCounts(t *testing.T) {
+	a := Axis()
+	if a.N != 1700 {
+		t.Fatalf("axis has %d points, want 1700", a.N)
+	}
+	if math.Abs(a.End()-10) > 1e-9 {
+		t.Fatalf("axis end = %v, want 10 ppm", a.End())
+	}
+}
+
+func TestTrueComponents(t *testing.T) {
+	cs := TrueComponents()
+	if len(cs) != NumComponents {
+		t.Fatalf("%d components, want %d", len(cs), NumComponents)
+	}
+	axis := Axis()
+	for i, c := range cs {
+		if c.Name != ComponentNames[i] {
+			t.Fatalf("component %d name %q, want %q", i, c.Name, ComponentNames[i])
+		}
+		if math.Abs(c.TotalArea()-1) > 1e-9 {
+			t.Fatalf("%s area = %v, want 1", c.Name, c.TotalArea())
+		}
+		for _, p := range c.Peaks {
+			if err := p.Validate(); err != nil {
+				t.Fatalf("%s: %v", c.Name, err)
+			}
+			if !axis.Contains(p.Center) {
+				t.Fatalf("%s peak at %v ppm outside axis", c.Name, p.Center)
+			}
+		}
+	}
+}
+
+func TestComponentsAreDistinguishable(t *testing.T) {
+	// Every pair of components must differ somewhere on the axis, otherwise
+	// the concentration prediction problem is ill-posed.
+	cs := TrueComponents()
+	axis := Axis()
+	for i := 0; i < len(cs); i++ {
+		for j := i + 1; j < len(cs); j++ {
+			diff := 0.0
+			for k := 0; k < axis.N; k += 5 {
+				x := axis.Value(k)
+				d := cs[i].Value(x, 0, 1) - cs[j].Value(x, 0, 1)
+				diff += d * d
+			}
+			if diff < 1 {
+				t.Fatalf("components %s and %s nearly identical (diff %v)", cs[i].Name, cs[j].Name, diff)
+			}
+		}
+	}
+}
+
+func TestInstrumentMeasure(t *testing.T) {
+	ins := NewLowField(1)
+	conc := []float64{0.3, 0.2, 0.3, 0.2}
+	s, err := ins.Measure(conc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Axis.N != 1700 {
+		t.Fatalf("spectrum length %d", s.Axis.N)
+	}
+	if s.Max() <= 0 {
+		t.Fatal("spectrum has no signal")
+	}
+	if _, err := ins.Measure([]float64{1}); err == nil {
+		t.Fatal("wrong concentration count must error")
+	}
+	if _, err := ins.Measure([]float64{-1, 0, 0, 0}); err == nil {
+		t.Fatal("negative concentration must error")
+	}
+}
+
+func TestLowFieldBroaderThanHighField(t *testing.T) {
+	low := NewLowField(2)
+	low.NoiseSigma, low.ShiftJitter, low.WidthJitter = 0, 0, 0
+	high := NewHighField(2)
+	high.NoiseSigma, high.ShiftJitter, high.WidthJitter = 0, 0, 0
+	conc := []float64{0, 1, 0, 0} // Li-HMDS: single isolated peak at 0.1 ppm
+	sl, _ := low.Measure(conc)
+	sh, _ := high.Measure(conc)
+	// same area, but the low-field peak is lower and wider
+	if sl.Max() >= sh.Max() {
+		t.Fatalf("low-field peak height %v not below high-field %v", sl.Max(), sh.Max())
+	}
+	al := sl.IntegrateBetween(0, 0.6)
+	ah := sh.IntegrateBetween(0, 0.6)
+	if math.Abs(al-ah)/ah > 0.05 {
+		t.Fatalf("areas differ: low %v vs high %v", al, ah)
+	}
+}
+
+func TestMeasurePure(t *testing.T) {
+	ins := NewHighField(3)
+	s, err := ins.MeasurePure(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Li-HMDS peaks only near 0.1 ppm
+	if s.ValueAt(0.1) < 10*math.Abs(s.ValueAt(5)) {
+		t.Fatal("pure Li-HMDS spectrum wrong")
+	}
+	if _, err := ins.MeasurePure(7); err == nil {
+		t.Fatal("bad index must error")
+	}
+}
+
+func TestReactorSteadyMassBalance(t *testing.T) {
+	r := NewReactor()
+	op := OperatingPoint{Toluidine: 0.5, LiHMDS: 0.55, OFNB: 0.4, ResidenceTime: 2}
+	c, err := r.Steady(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// product equals consumed amounts
+	if math.Abs((op.Toluidine-c[0])-c[3]) > 1e-12 ||
+		math.Abs((op.LiHMDS-c[1])-c[3]) > 1e-12 ||
+		math.Abs((op.OFNB-c[2])-c[3]) > 1e-12 {
+		t.Fatalf("mass balance violated: %v", c)
+	}
+	for j, v := range c {
+		if v < 0 {
+			t.Fatalf("negative concentration %d: %v", j, c)
+		}
+	}
+	if _, err := r.Steady(OperatingPoint{Toluidine: -1}); err == nil {
+		t.Fatal("negative feed must error")
+	}
+}
+
+// Property: conversion increases with residence time; product never
+// exceeds the limiting feed.
+func TestReactorMonotoneConversionProperty(t *testing.T) {
+	r := NewReactor()
+	src := rng.New(5)
+	f := func(_ uint8) bool {
+		op := OperatingPoint{
+			Toluidine:     src.Uniform(0.1, 1),
+			LiHMDS:        src.Uniform(0.1, 1),
+			OFNB:          src.Uniform(0.1, 1),
+			ResidenceTime: src.Uniform(0.1, 5),
+		}
+		c1, err := r.Steady(op)
+		if err != nil {
+			return false
+		}
+		op2 := op
+		op2.ResidenceTime *= 2
+		c2, err := r.Steady(op2)
+		if err != nil {
+			return false
+		}
+		limiting := math.Min(op.Toluidine, math.Min(op.LiHMDS, op.OFNB))
+		return c2[3] >= c1[3] && c1[3] <= limiting+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDoEGrid(t *testing.T) {
+	pts := DoE(3, 5)
+	if len(pts) != 15 {
+		t.Fatalf("DoE(3,5) has %d points, want 15", len(pts))
+	}
+	for _, p := range pts {
+		if p.ResidenceTime <= 0 || p.OFNB <= 0 {
+			t.Fatalf("invalid DoE point %+v", p)
+		}
+	}
+}
+
+func TestCampaignProduces300Spectra(t *testing.T) {
+	r := NewReactor()
+	ins := NewLowField(4)
+	plateaus, err := Campaign(r, ins, DoE(3, 5), 20, 0.002, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spectra, labels := FlattenCampaign(plateaus)
+	if len(spectra) != 300 || len(labels) != 300 {
+		t.Fatalf("campaign yielded %d spectra, want 300 (paper)", len(spectra))
+	}
+	// labels close to true plateau concentrations
+	for _, p := range plateaus {
+		for k := range p.Reference {
+			for j := range p.Reference[k] {
+				if math.Abs(p.Reference[k][j]-p.Concentrations[j]) > 0.02 {
+					t.Fatalf("reference far from truth: %v vs %v", p.Reference[k], p.Concentrations)
+				}
+			}
+		}
+	}
+	if _, err := Campaign(r, ins, DoE(1, 1), 0, 0, 1); err == nil {
+		t.Fatal("zero spectra per plateau must error")
+	}
+}
+
+func defaultAugmenter() *Augmenter {
+	return &Augmenter{
+		Axis:           Axis(),
+		Components:     TrueComponents(),
+		ConcLo:         []float64{0, 0, 0, 0},
+		ConcHi:         []float64{0.6, 0.6, 0.6, 0.5},
+		ShiftJitter:    0.008,
+		WidthJitter:    0.05,
+		NoiseSigma:     0.01,
+		IntensityScale: 0.05,
+	}
+}
+
+func TestAugmenterValidate(t *testing.T) {
+	a := defaultAugmenter()
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	b := defaultAugmenter()
+	b.ConcHi = []float64{1}
+	if err := b.Validate(); err == nil {
+		t.Fatal("bound length mismatch must error")
+	}
+	c := defaultAugmenter()
+	c.ConcLo[0] = 2 // lo > hi
+	if err := c.Validate(); err == nil {
+		t.Fatal("inverted range must error")
+	}
+	d := defaultAugmenter()
+	d.IntensityScale = 0
+	if err := d.Validate(); err == nil {
+		t.Fatal("zero intensity scale must error")
+	}
+}
+
+func TestAugmenterGenerate(t *testing.T) {
+	a := defaultAugmenter()
+	d, err := a.Generate(25, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 25 {
+		t.Fatalf("generated %d", d.Len())
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.X[0]) != 1700 || len(d.Y[0]) != 4 {
+		t.Fatalf("sample shape %dx%d", len(d.X[0]), len(d.Y[0]))
+	}
+	for i := range d.Y {
+		for j, v := range d.Y[i] {
+			if v < a.ConcLo[j] || v > a.ConcHi[j] {
+				t.Fatalf("label %d out of range: %v", i, d.Y[i])
+			}
+		}
+	}
+	// determinism
+	d2, _ := a.Generate(25, 3)
+	for i := range d.X[0] {
+		if d.X[0][i] != d2.X[0][i] {
+			t.Fatal("augmentation not deterministic")
+		}
+	}
+	if _, err := a.Generate(0, 1); err == nil {
+		t.Fatal("zero samples must error")
+	}
+}
+
+func TestAugmenterTimeSeries(t *testing.T) {
+	a := defaultAugmenter()
+	const steps = 5
+	d, err := a.GenerateTimeSeries(12, steps, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 12 {
+		t.Fatalf("generated %d windows", d.Len())
+	}
+	if len(d.X[0]) != steps*1700 {
+		t.Fatalf("window width %d, want %d", len(d.X[0]), steps*1700)
+	}
+	if _, err := a.GenerateTimeSeries(0, 5, 3, 1); err == nil {
+		t.Fatal("invalid window count must error")
+	}
+}
+
+func TestWindowCampaign(t *testing.T) {
+	r := NewReactor()
+	ins := NewLowField(8)
+	plateaus, err := Campaign(r, ins, DoE(2, 2), 3, 0.002, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spectra, labels := FlattenCampaign(plateaus)
+	d, err := WindowCampaign(spectra, labels, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != len(spectra)-4 {
+		t.Fatalf("window count %d, want %d", d.Len(), len(spectra)-4)
+	}
+	if _, err := WindowCampaign(spectra[:3], labels[:3], 5); err == nil {
+		t.Fatal("too few spectra must error")
+	}
+	if _, err := WindowCampaign(spectra, labels[:1], 5); err == nil {
+		t.Fatal("label mismatch must error")
+	}
+}
+
+// The cross-package integration: IHM models fitted on measured pure
+// spectra feed the augmenter; an IHM analyzer on the fitted models must
+// recover mixture concentrations from a low-field measurement.
+func TestIHMOnVirtualInstrument(t *testing.T) {
+	ins := NewLowField(10)
+	var fitted []*ihm.ComponentModel
+	for j := 0; j < NumComponents; j++ {
+		s, err := ins.MeasurePure(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := ihm.FitPureComponent(ComponentNames[j], s, 8)
+		if err != nil {
+			t.Fatalf("fitting %s: %v", ComponentNames[j], err)
+		}
+		fitted = append(fitted, c)
+	}
+	an, err := ihm.NewMixtureAnalyzer(fitted, ihm.AnalyzerOptions{MaxShift: 0.03, WidthRange: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conc := []float64{0.4, 0.15, 0.3, 0.15}
+	s, err := ins.Measure(conc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := an.Analyze(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// weights are in instrument-scaled units; compare relative composition
+	got := res.Concentrations()
+	want := make([]float64, len(conc))
+	sum := 0.0
+	for _, v := range conc {
+		sum += v
+	}
+	for j, v := range conc {
+		want[j] = v / sum
+	}
+	for j := range want {
+		if math.Abs(got[j]-want[j]) > 0.05 {
+			t.Fatalf("IHM composition %v, want %v", got, want)
+		}
+	}
+}

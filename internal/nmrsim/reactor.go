@@ -1,0 +1,133 @@
+package nmrsim
+
+import (
+	"fmt"
+	"math"
+
+	"specml/internal/rng"
+	"specml/internal/spectrum"
+)
+
+// Reactor is a steady-state model of the laboratory flow reactor running
+// the MNDPA synthesis: p-toluidine is activated by Li-HMDS and reacts with
+// o-FNB by aromatic substitution to the product. The reactor is operated
+// along a design of experiments; each operating point yields a steady
+// concentration plateau.
+type Reactor struct {
+	// RateConstant folds the kinetics into a dimensionless Damköhler
+	// number Da = RateConstant * residenceTime; conversion of the limiting
+	// reagent is Da/(1+Da).
+	RateConstant float64
+}
+
+// NewReactor returns a reactor with default kinetics.
+func NewReactor() *Reactor { return &Reactor{RateConstant: 0.8} }
+
+// OperatingPoint is one condition of the design of experiments.
+type OperatingPoint struct {
+	// Feed concentrations (arbitrary molar units) of the three inputs.
+	Toluidine float64
+	LiHMDS    float64
+	OFNB      float64
+	// ResidenceTime in minutes.
+	ResidenceTime float64
+}
+
+// Steady returns the steady-state outlet concentrations in label order
+// [p-toluidine, Li-HMDS, o-FNB, MNDPA].
+func (r *Reactor) Steady(op OperatingPoint) ([]float64, error) {
+	if op.Toluidine < 0 || op.LiHMDS < 0 || op.OFNB < 0 || op.ResidenceTime < 0 {
+		return nil, fmt.Errorf("nmrsim: negative operating parameter %+v", op)
+	}
+	da := r.RateConstant * op.ResidenceTime
+	x := da / (1 + da)
+	limiting := math.Min(op.Toluidine, math.Min(op.LiHMDS, op.OFNB))
+	xi := x * limiting // extent of reaction
+	return []float64{
+		op.Toluidine - xi,
+		op.LiHMDS - xi,
+		op.OFNB - xi,
+		xi,
+	}, nil
+}
+
+// DoE returns a full-factorial design over feed stoichiometry and
+// residence time with nRatio x nTime points, spanning the concentration
+// ranges of interest.
+func DoE(nRatio, nTime int) []OperatingPoint {
+	var pts []OperatingPoint
+	for i := 0; i < nRatio; i++ {
+		// o-FNB : p-toluidine feed ratio from 0.6 to 1.4
+		ratio := 0.6 + 0.8*float64(i)/math.Max(1, float64(nRatio-1))
+		for j := 0; j < nTime; j++ {
+			tau := 0.5 + 5.5*float64(j)/math.Max(1, float64(nTime-1))
+			pts = append(pts, OperatingPoint{
+				Toluidine:     0.5,
+				LiHMDS:        0.55, // slight excess of base
+				OFNB:          0.5 * ratio,
+				ResidenceTime: tau,
+			})
+		}
+	}
+	return pts
+}
+
+// Plateau is one steady-state section of the monitored campaign.
+type Plateau struct {
+	Point OperatingPoint
+	// True outlet concentrations (the labels).
+	Concentrations []float64
+	// Spectra measured on the process (low-field) instrument.
+	Spectra []*spectrum.Spectrum
+	// Reference concentrations from the high-field reference method (true
+	// values plus small analytical error).
+	Reference [][]float64
+}
+
+// Campaign runs the DoE on the process instrument: each operating point is
+// held for spectraPerPlateau measurements. With 15 operating points and 20
+// spectra each this reproduces the paper's raw-data basis of 300 spectra.
+func Campaign(r *Reactor, ins *Instrument, points []OperatingPoint,
+	spectraPerPlateau int, refErr float64, seed uint64) ([]*Plateau, error) {
+	if spectraPerPlateau <= 0 {
+		return nil, fmt.Errorf("nmrsim: spectraPerPlateau must be positive")
+	}
+	src := rng.New(seed)
+	var out []*Plateau
+	for _, op := range points {
+		conc, err := r.Steady(op)
+		if err != nil {
+			return nil, err
+		}
+		p := &Plateau{Point: op, Concentrations: conc}
+		for k := 0; k < spectraPerPlateau; k++ {
+			s, err := ins.Measure(conc)
+			if err != nil {
+				return nil, err
+			}
+			p.Spectra = append(p.Spectra, s)
+			ref := make([]float64, len(conc))
+			for j, c := range conc {
+				ref[j] = c + src.Normal(0, refErr)
+				if ref[j] < 0 {
+					ref[j] = 0
+				}
+			}
+			p.Reference = append(p.Reference, ref)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// FlattenCampaign converts plateaus into parallel spectra/label slices in
+// campaign time order.
+func FlattenCampaign(plateaus []*Plateau) (spectra []*spectrum.Spectrum, labels [][]float64) {
+	for _, p := range plateaus {
+		for k := range p.Spectra {
+			spectra = append(spectra, p.Spectra[k])
+			labels = append(labels, p.Reference[k])
+		}
+	}
+	return spectra, labels
+}

@@ -1,0 +1,413 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"specml/internal/rng"
+	"specml/internal/tensor"
+)
+
+// Param is a trainable parameter tensor with its gradient accumulator.
+type Param struct {
+	Name string
+	Data []float64
+	Grad []float64
+}
+
+func newParam(name string, n int) *Param {
+	return &Param{Name: name, Data: make([]float64, n), Grad: make([]float64, n)}
+}
+
+// ZeroGrad clears the gradient accumulator.
+func (p *Param) ZeroGrad() {
+	for i := range p.Grad {
+		p.Grad[i] = 0
+	}
+}
+
+// Layer is one stage of a feed-forward network. Layers are stateful: Build
+// fixes shapes and allocates parameters, Forward caches whatever Backward
+// needs, and Backward consumes the most recent Forward's cache. A layer
+// instance therefore serves one goroutine at a time.
+type Layer interface {
+	// Kind returns the canonical layer-type name ("dense", "conv1d", ...).
+	Kind() string
+	// Build validates the input shape, allocates and initializes
+	// parameters using src, and returns the output shape. Shapes are
+	// either [n] (a vector) or [length, channels] (a 1-D sequence).
+	Build(src *rng.Source, inputShape []int) (outputShape []int, err error)
+	// Forward computes the layer output for one sample.
+	Forward(x []float64) []float64
+	// Backward receives dLoss/dOutput and returns dLoss/dInput, adding
+	// parameter gradients into Params' Grad buffers.
+	Backward(gradOut []float64) []float64
+	// Params returns the trainable parameters (nil for stateless layers).
+	Params() []*Param
+	// Spec returns a serializable description of the layer configuration
+	// (without weights).
+	Spec() LayerSpec
+}
+
+// shapeLen returns the element count of a shape.
+func shapeLen(shape []int) int {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	return n
+}
+
+func shapeEq(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// glorotUniform initializes w with the Glorot/Xavier uniform scheme.
+func glorotUniform(src *rng.Source, w []float64, fanIn, fanOut int) {
+	limit := math.Sqrt(6.0 / float64(fanIn+fanOut))
+	for i := range w {
+		w[i] = src.Uniform(-limit, limit)
+	}
+}
+
+// lecunNormal initializes w with the LeCun normal scheme (recommended for
+// SELU networks).
+func lecunNormal(src *rng.Source, w []float64, fanIn int) {
+	std := math.Sqrt(1.0 / float64(fanIn))
+	for i := range w {
+		w[i] = src.Normal(0, std)
+	}
+}
+
+// Dense is a fully connected layer: y = W*x + b.
+type Dense struct {
+	Out  int
+	Init string // "glorot" (default) or "lecun"
+
+	in   int
+	w, b *Param
+	x    []float64 // cached input
+	y    []float64
+	gin  []float64
+}
+
+// NewDense returns a dense layer with Out output units.
+func NewDense(out int) *Dense { return &Dense{Out: out} }
+
+// Kind implements Layer.
+func (d *Dense) Kind() string { return "dense" }
+
+// Build implements Layer.
+func (d *Dense) Build(src *rng.Source, inputShape []int) ([]int, error) {
+	if d.Out <= 0 {
+		return nil, fmt.Errorf("nn: dense layer needs positive Out, got %d", d.Out)
+	}
+	d.in = shapeLen(inputShape)
+	if d.in == 0 {
+		return nil, fmt.Errorf("nn: dense layer got empty input shape %v", inputShape)
+	}
+	d.w = newParam("w", d.Out*d.in)
+	d.b = newParam("b", d.Out)
+	if d.Init == "lecun" {
+		lecunNormal(src, d.w.Data, d.in)
+	} else {
+		glorotUniform(src, d.w.Data, d.in, d.Out)
+	}
+	d.x = make([]float64, d.in)
+	d.y = make([]float64, d.Out)
+	d.gin = make([]float64, d.in)
+	return []int{d.Out}, nil
+}
+
+// Forward implements Layer.
+func (d *Dense) Forward(x []float64) []float64 {
+	copy(d.x, x)
+	tensor.MatVec(d.y, d.w.Data, x, d.Out, d.in)
+	for i := range d.y {
+		d.y[i] += d.b.Data[i]
+	}
+	return d.y
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(gradOut []float64) []float64 {
+	tensor.OuterAccum(d.w.Grad, gradOut, d.x, d.Out, d.in)
+	for i, g := range gradOut {
+		d.b.Grad[i] += g
+	}
+	tensor.MatTVec(d.gin, d.w.Data, gradOut, d.Out, d.in)
+	return d.gin
+}
+
+// Params implements Layer.
+func (d *Dense) Params() []*Param { return []*Param{d.w, d.b} }
+
+// Spec implements Layer.
+func (d *Dense) Spec() LayerSpec {
+	return LayerSpec{Type: "dense", Out: d.Out, Init: d.Init}
+}
+
+// ActivationLayer applies a pointwise activation.
+type ActivationLayer struct {
+	Act Activation
+
+	x, y, gin []float64
+}
+
+// NewActivation wraps a pointwise activation as a layer.
+func NewActivation(a Activation) *ActivationLayer { return &ActivationLayer{Act: a} }
+
+// Kind implements Layer.
+func (l *ActivationLayer) Kind() string { return "activation" }
+
+// Build implements Layer.
+func (l *ActivationLayer) Build(_ *rng.Source, inputShape []int) ([]int, error) {
+	if l.Act == nil {
+		return nil, fmt.Errorf("nn: activation layer without activation")
+	}
+	n := shapeLen(inputShape)
+	l.x = make([]float64, n)
+	l.y = make([]float64, n)
+	l.gin = make([]float64, n)
+	out := make([]int, len(inputShape))
+	copy(out, inputShape)
+	return out, nil
+}
+
+// Forward implements Layer.
+func (l *ActivationLayer) Forward(x []float64) []float64 {
+	copy(l.x, x)
+	for i, v := range x {
+		l.y[i] = l.Act.Value(v)
+	}
+	return l.y
+}
+
+// Backward implements Layer.
+func (l *ActivationLayer) Backward(gradOut []float64) []float64 {
+	for i, g := range gradOut {
+		l.gin[i] = g * l.Act.Deriv(l.x[i], l.y[i])
+	}
+	return l.gin
+}
+
+// Params implements Layer.
+func (l *ActivationLayer) Params() []*Param { return nil }
+
+// Spec implements Layer.
+func (l *ActivationLayer) Spec() LayerSpec {
+	return LayerSpec{Type: "activation", Activation: l.Act.Name()}
+}
+
+// SoftmaxLayer applies the softmax map. On a vector input it normalizes
+// the whole vector (the usual output-layer softmax). On a sequence input
+// of shape [length, channels] it follows the Keras semantics of a softmax
+// activation on a Conv1D layer: the normalization runs over the channel
+// axis independently at every position (Table 1's layer 6).
+type SoftmaxLayer struct {
+	groups, width int // groups x width = total size; softmax within each width-sized row
+	y, gin        []float64
+}
+
+// NewSoftmax returns a softmax layer.
+func NewSoftmax() *SoftmaxLayer { return &SoftmaxLayer{} }
+
+// Kind implements Layer.
+func (l *SoftmaxLayer) Kind() string { return "softmax" }
+
+// Build implements Layer.
+func (l *SoftmaxLayer) Build(_ *rng.Source, inputShape []int) ([]int, error) {
+	n := shapeLen(inputShape)
+	if len(inputShape) == 2 {
+		l.groups, l.width = inputShape[0], inputShape[1]
+	} else {
+		l.groups, l.width = 1, n
+	}
+	l.y = make([]float64, n)
+	l.gin = make([]float64, n)
+	out := make([]int, len(inputShape))
+	copy(out, inputShape)
+	return out, nil
+}
+
+// Forward implements Layer.
+func (l *SoftmaxLayer) Forward(x []float64) []float64 {
+	for g := 0; g < l.groups; g++ {
+		lo, hi := g*l.width, (g+1)*l.width
+		Softmax(l.y[lo:hi], x[lo:hi])
+	}
+	return l.y
+}
+
+// Backward implements Layer.
+func (l *SoftmaxLayer) Backward(gradOut []float64) []float64 {
+	// per group: dL/dx_i = y_i * (g_i - Σ_j g_j y_j)
+	for g := 0; g < l.groups; g++ {
+		lo, hi := g*l.width, (g+1)*l.width
+		y := l.y[lo:hi]
+		grad := gradOut[lo:hi]
+		dot := 0.0
+		for i, gv := range grad {
+			dot += gv * y[i]
+		}
+		gin := l.gin[lo:hi]
+		for i, gv := range grad {
+			gin[i] = y[i] * (gv - dot)
+		}
+	}
+	return l.gin
+}
+
+// Params implements Layer.
+func (l *SoftmaxLayer) Params() []*Param { return nil }
+
+// Spec implements Layer.
+func (l *SoftmaxLayer) Spec() LayerSpec { return LayerSpec{Type: "softmax"} }
+
+// Reshape reinterprets the input as TargetShape (element count preserved).
+type Reshape struct {
+	TargetShape []int
+}
+
+// NewReshape returns a reshape layer targeting the given shape.
+func NewReshape(shape ...int) *Reshape { return &Reshape{TargetShape: shape} }
+
+// Kind implements Layer.
+func (l *Reshape) Kind() string { return "reshape" }
+
+// Build implements Layer.
+func (l *Reshape) Build(_ *rng.Source, inputShape []int) ([]int, error) {
+	if shapeLen(l.TargetShape) != shapeLen(inputShape) {
+		return nil, fmt.Errorf("nn: reshape %v incompatible with input %v", l.TargetShape, inputShape)
+	}
+	out := make([]int, len(l.TargetShape))
+	copy(out, l.TargetShape)
+	return out, nil
+}
+
+// Forward implements Layer.
+func (l *Reshape) Forward(x []float64) []float64 { return x }
+
+// Backward implements Layer.
+func (l *Reshape) Backward(gradOut []float64) []float64 { return gradOut }
+
+// Params implements Layer.
+func (l *Reshape) Params() []*Param { return nil }
+
+// Spec implements Layer.
+func (l *Reshape) Spec() LayerSpec {
+	return LayerSpec{Type: "reshape", TargetShape: append([]int(nil), l.TargetShape...)}
+}
+
+// Flatten collapses any input shape to a vector.
+type Flatten struct{}
+
+// NewFlatten returns a flatten layer.
+func NewFlatten() *Flatten { return &Flatten{} }
+
+// Kind implements Layer.
+func (l *Flatten) Kind() string { return "flatten" }
+
+// Build implements Layer.
+func (l *Flatten) Build(_ *rng.Source, inputShape []int) ([]int, error) {
+	return []int{shapeLen(inputShape)}, nil
+}
+
+// Forward implements Layer.
+func (l *Flatten) Forward(x []float64) []float64 { return x }
+
+// Backward implements Layer.
+func (l *Flatten) Backward(gradOut []float64) []float64 { return gradOut }
+
+// Params implements Layer.
+func (l *Flatten) Params() []*Param { return nil }
+
+// Spec implements Layer.
+func (l *Flatten) Spec() LayerSpec { return LayerSpec{Type: "flatten"} }
+
+// Dropout zeroes a fraction Rate of activations during training and
+// rescales the survivors by 1/(1-Rate) (inverted dropout). Outside
+// training mode it is the identity.
+type Dropout struct {
+	Rate float64
+
+	src      *rng.Source
+	training bool
+	mask     []float64
+	y, gin   []float64
+}
+
+// NewDropout returns a dropout layer with the given drop rate in [0,1).
+func NewDropout(rate float64) *Dropout { return &Dropout{Rate: rate} }
+
+// Kind implements Layer.
+func (l *Dropout) Kind() string { return "dropout" }
+
+// Build implements Layer.
+func (l *Dropout) Build(src *rng.Source, inputShape []int) ([]int, error) {
+	if l.Rate < 0 || l.Rate >= 1 {
+		return nil, fmt.Errorf("nn: dropout rate must be in [0,1), got %g", l.Rate)
+	}
+	n := shapeLen(inputShape)
+	l.src = src.Split()
+	l.mask = make([]float64, n)
+	l.y = make([]float64, n)
+	l.gin = make([]float64, n)
+	out := make([]int, len(inputShape))
+	copy(out, inputShape)
+	return out, nil
+}
+
+// SetTraining toggles training mode.
+func (l *Dropout) SetTraining(training bool) { l.training = training }
+
+// Forward implements Layer.
+func (l *Dropout) Forward(x []float64) []float64 {
+	if !l.training || l.Rate == 0 {
+		copy(l.y, x)
+		return l.y
+	}
+	keep := 1 - l.Rate
+	inv := 1 / keep
+	for i, v := range x {
+		if l.src.Float64() < keep {
+			l.mask[i] = inv
+		} else {
+			l.mask[i] = 0
+		}
+		l.y[i] = v * l.mask[i]
+	}
+	return l.y
+}
+
+// Backward implements Layer.
+func (l *Dropout) Backward(gradOut []float64) []float64 {
+	if !l.training || l.Rate == 0 {
+		copy(l.gin, gradOut)
+		return l.gin
+	}
+	for i, g := range gradOut {
+		l.gin[i] = g * l.mask[i]
+	}
+	return l.gin
+}
+
+// Params implements Layer.
+func (l *Dropout) Params() []*Param { return nil }
+
+// Spec implements Layer.
+func (l *Dropout) Spec() LayerSpec { return LayerSpec{Type: "dropout", Rate: l.Rate} }
+
+// trainingAware is implemented by layers whose behaviour differs between
+// training and inference (currently only Dropout).
+type trainingAware interface {
+	SetTraining(bool)
+}

@@ -1,0 +1,146 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Loss is a differentiable training objective over one sample.
+type Loss interface {
+	// Name returns the canonical loss name ("mae", "mse", "huber").
+	Name() string
+	// Loss returns the scalar loss for a prediction/target pair.
+	Loss(pred, target []float64) float64
+	// Grad writes dLoss/dPred into out.
+	Grad(pred, target, out []float64)
+}
+
+type maeLoss struct{}
+
+// MAE is the mean absolute error, the loss the paper trains the MS
+// networks with ("we used the mean absolute error (MAE) as loss function").
+var MAE Loss = maeLoss{}
+
+func (maeLoss) Name() string { return "mae" }
+
+func (maeLoss) Loss(pred, target []float64) float64 {
+	checkLen(pred, target)
+	s := 0.0
+	for i, p := range pred {
+		s += math.Abs(p - target[i])
+	}
+	return s / float64(len(pred))
+}
+
+func (maeLoss) Grad(pred, target, out []float64) {
+	checkLen(pred, target)
+	inv := 1 / float64(len(pred))
+	for i, p := range pred {
+		d := p - target[i]
+		switch {
+		case d > 0:
+			out[i] = inv
+		case d < 0:
+			out[i] = -inv
+		default:
+			out[i] = 0
+		}
+	}
+}
+
+type mseLoss struct{}
+
+// MSE is the mean squared error, used for the NMR models and as the
+// comparison metric against IHM.
+var MSE Loss = mseLoss{}
+
+func (mseLoss) Name() string { return "mse" }
+
+func (mseLoss) Loss(pred, target []float64) float64 {
+	checkLen(pred, target)
+	s := 0.0
+	for i, p := range pred {
+		d := p - target[i]
+		s += d * d
+	}
+	return s / float64(len(pred))
+}
+
+func (mseLoss) Grad(pred, target, out []float64) {
+	checkLen(pred, target)
+	inv := 2 / float64(len(pred))
+	for i, p := range pred {
+		out[i] = inv * (p - target[i])
+	}
+}
+
+// HuberLoss is the Huber loss with transition point Delta; quadratic near
+// zero, linear in the tails. Useful for spectra with occasional outlier
+// samples.
+type HuberLoss struct {
+	Delta float64
+}
+
+// Name implements Loss.
+func (h HuberLoss) Name() string { return "huber" }
+
+func (h HuberLoss) delta() float64 {
+	if h.Delta <= 0 {
+		return 1
+	}
+	return h.Delta
+}
+
+// Loss implements Loss.
+func (h HuberLoss) Loss(pred, target []float64) float64 {
+	checkLen(pred, target)
+	d := h.delta()
+	s := 0.0
+	for i, p := range pred {
+		e := math.Abs(p - target[i])
+		if e <= d {
+			s += 0.5 * e * e
+		} else {
+			s += d * (e - 0.5*d)
+		}
+	}
+	return s / float64(len(pred))
+}
+
+// Grad implements Loss.
+func (h HuberLoss) Grad(pred, target, out []float64) {
+	checkLen(pred, target)
+	d := h.delta()
+	inv := 1 / float64(len(pred))
+	for i, p := range pred {
+		e := p - target[i]
+		switch {
+		case e > d:
+			out[i] = d * inv
+		case e < -d:
+			out[i] = -d * inv
+		default:
+			out[i] = e * inv
+		}
+	}
+}
+
+// LossByName resolves a canonical loss name.
+func LossByName(name string) (Loss, error) {
+	switch name {
+	case "mae", "":
+		return MAE, nil
+	case "mse":
+		return MSE, nil
+	case "huber":
+		return HuberLoss{}, nil
+	default:
+		return nil, fmt.Errorf("nn: unknown loss %q", name)
+	}
+}
+
+func checkLen(pred, target []float64) {
+	if len(pred) != len(target) {
+		panic(fmt.Sprintf("nn: loss length mismatch (%d vs %d)", len(pred), len(target)))
+	}
+}

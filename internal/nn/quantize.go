@@ -1,0 +1,87 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Quantization support for embedded deployment. Section IV of the paper
+// motivates FPGA overlays whose processing elements are tailored "to
+// specific operations and number formats"; the functions here simulate
+// post-training fixed-point quantization of a trained network so the
+// accuracy cost of a number format can be measured before committing to a
+// hardware configuration.
+
+// QuantizeParams rounds every parameter tensor of a built model to a
+// symmetric fixed-point grid with the given bit width (sign bit included)
+// and per-tensor scaling, returning a new model whose float64 parameters
+// hold the dequantized values. The original model is unchanged.
+func QuantizeParams(m *Model, bits int) (*Model, error) {
+	if bits < 2 || bits > 32 {
+		return nil, fmt.Errorf("nn: quantization bits must be in [2,32], got %d", bits)
+	}
+	q, err := m.Clone()
+	if err != nil {
+		return nil, err
+	}
+	levels := float64(int64(1)<<(bits-1)) - 1 // e.g. 127 for int8
+	for _, p := range q.Params() {
+		maxAbs := 0.0
+		for _, v := range p.Data {
+			if a := math.Abs(v); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		if maxAbs == 0 {
+			continue
+		}
+		scale := maxAbs / levels
+		for i, v := range p.Data {
+			p.Data[i] = math.Round(v/scale) * scale
+		}
+	}
+	return q, nil
+}
+
+// QuantizationError reports the worst-case and root-mean-square relative
+// parameter error between a model and its quantized copy.
+func QuantizationError(m, q *Model) (maxRel, rms float64, err error) {
+	a, b := m.Params(), q.Params()
+	if len(a) != len(b) {
+		return 0, 0, fmt.Errorf("nn: model/quantized parameter mismatch")
+	}
+	n := 0
+	for t := range a {
+		if len(a[t].Data) != len(b[t].Data) {
+			return 0, 0, fmt.Errorf("nn: parameter tensor %d size mismatch", t)
+		}
+		maxAbs := 0.0
+		for _, v := range a[t].Data {
+			if x := math.Abs(v); x > maxAbs {
+				maxAbs = x
+			}
+		}
+		if maxAbs == 0 {
+			continue
+		}
+		for i := range a[t].Data {
+			d := (a[t].Data[i] - b[t].Data[i]) / maxAbs
+			if r := math.Abs(d); r > maxRel {
+				maxRel = r
+			}
+			rms += d * d
+			n++
+		}
+	}
+	if n > 0 {
+		rms = math.Sqrt(rms / float64(n))
+	}
+	return maxRel, rms, nil
+}
+
+// QuantizedBytes returns the parameter storage a fixed-point deployment of
+// the model needs at the given bit width (packed, excluding scales).
+func QuantizedBytes(m *Model, bits int) int64 {
+	totalBits := int64(m.NumParams()) * int64(bits)
+	return (totalBits + 7) / 8
+}

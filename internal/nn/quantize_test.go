@@ -1,0 +1,104 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"specml/internal/rng"
+)
+
+func TestQuantizeParamsBounds(t *testing.T) {
+	m := buildModel(t, 51, []int{10}, NewDense(8), NewActivation(Tanh), NewDense(3))
+	if _, err := QuantizeParams(m, 1); err == nil {
+		t.Fatal("1 bit must error")
+	}
+	if _, err := QuantizeParams(m, 33); err == nil {
+		t.Fatal("33 bits must error")
+	}
+}
+
+func TestQuantizeParamsErrorShrinksWithBits(t *testing.T) {
+	m := buildModel(t, 52, []int{16}, NewDense(12), NewActivation(Tanh), NewDense(4))
+	prev := math.Inf(1)
+	for _, bits := range []int{4, 8, 12, 16} {
+		q, err := QuantizeParams(m, bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, rms, err := QuantizationError(m, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rms > prev {
+			t.Fatalf("rms error grew from %v to %v at %d bits", prev, rms, bits)
+		}
+		// the grid step at b bits bounds the per-weight error
+		maxRel, _, _ := QuantizationError(m, q)
+		levels := float64(int64(1)<<(bits-1)) - 1
+		if maxRel > 0.5/levels+1e-12 {
+			t.Fatalf("%d bits: max relative error %v exceeds grid bound %v", bits, maxRel, 0.5/levels)
+		}
+		prev = rms
+	}
+}
+
+func TestQuantizeParamsLeavesOriginalUntouched(t *testing.T) {
+	m := buildModel(t, 53, []int{4}, NewDense(2))
+	before := append([]float64(nil), m.Params()[0].Data...)
+	if _, err := QuantizeParams(m, 4); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range m.Params()[0].Data {
+		if v != before[i] {
+			t.Fatal("quantization mutated the original model")
+		}
+	}
+}
+
+func TestQuantizedPredictionDegradesGracefully(t *testing.T) {
+	// train a small regression net, then check 12-bit quantization barely
+	// moves predictions while 3-bit visibly does
+	src := rng.New(54)
+	var xs, ys [][]float64
+	for i := 0; i < 150; i++ {
+		x := src.Uniform(-1, 1)
+		xs = append(xs, []float64{x})
+		ys = append(ys, []float64{math.Sin(2 * x)})
+	}
+	m := buildModel(t, 55, []int{1}, NewDense(12), NewActivation(Tanh), NewDense(1))
+	if _, err := m.Fit(xs, ys, FitConfig{Epochs: 80, BatchSize: 16, Loss: MSE, Optimizer: NewAdam(0.02), Seed: 9}); err != nil {
+		t.Fatal(err)
+	}
+	base := m.EvaluateMSE(xs, ys)
+	q12, _ := QuantizeParams(m, 12)
+	q3, _ := QuantizeParams(m, 3)
+	mse12 := q12.EvaluateMSE(xs, ys)
+	mse3 := q3.EvaluateMSE(xs, ys)
+	if mse12 > 2*base+1e-6 {
+		t.Fatalf("12-bit quantization degraded MSE %v -> %v", base, mse12)
+	}
+	if mse3 < mse12 {
+		t.Fatalf("3-bit (%v) should be worse than 12-bit (%v)", mse3, mse12)
+	}
+}
+
+func TestQuantizedBytes(t *testing.T) {
+	m := buildModel(t, 56, []int{10}, NewDense(10)) // 110 params
+	if got := QuantizedBytes(m, 8); got != 110 {
+		t.Fatalf("8-bit bytes = %d, want 110", got)
+	}
+	if got := QuantizedBytes(m, 4); got != 55 {
+		t.Fatalf("4-bit bytes = %d, want 55", got)
+	}
+	if got := QuantizedBytes(m, 10); got != (110*10+7)/8 {
+		t.Fatalf("10-bit bytes = %d", got)
+	}
+}
+
+func TestQuantizationErrorMismatch(t *testing.T) {
+	a := buildModel(t, 57, []int{4}, NewDense(2))
+	b := buildModel(t, 57, []int{4}, NewDense(3))
+	if _, _, err := QuantizationError(a, b); err == nil {
+		t.Fatal("mismatched models must error")
+	}
+}

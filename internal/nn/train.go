@@ -1,0 +1,279 @@
+package nn
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"specml/internal/rng"
+)
+
+// FitConfig configures Model.Fit.
+type FitConfig struct {
+	Epochs    int       // number of passes over the training data (default 10)
+	BatchSize int       // gradient-accumulation batch size (default 32)
+	Loss      Loss      // default MAE
+	Optimizer Optimizer // default Adam(1e-3)
+	// Seed drives shuffling; fits with equal seeds and data are identical.
+	Seed uint64
+	// ValX/ValY, when non-empty, are evaluated after every epoch; with
+	// Patience > 0 training stops early when validation loss has not
+	// improved for Patience epochs, and the best-epoch weights are
+	// restored ("the network with the best performance on the experimental
+	// validation dataset was selected").
+	ValX, ValY [][]float64
+	Patience   int
+	// KeepBest restores the weights of the best validation epoch even
+	// without early stopping.
+	KeepBest bool
+	// Verbose, when non-nil, receives one progress line per epoch.
+	Verbose io.Writer
+	// ClipNorm, when positive, rescales the per-batch gradient so its
+	// global L2 norm never exceeds this value (stabilizes LSTM training).
+	ClipNorm float64
+	// LRSchedule, when non-nil, sets the optimizer learning rate before
+	// each epoch (0-based). The optimizer must implement LRSettable.
+	LRSchedule func(epoch int) float64
+}
+
+// History records per-epoch training metrics.
+type History struct {
+	TrainLoss []float64
+	ValLoss   []float64
+	BestEpoch int  // index into the loss slices; -1 when no validation data
+	Stopped   bool // true when early stopping triggered
+}
+
+// Fit trains the model with mini-batch gradient descent. X and Y hold one
+// flat sample per row.
+func (m *Model) Fit(x, y [][]float64, cfg FitConfig) (*History, error) {
+	if !m.built {
+		return nil, fmt.Errorf("nn: Fit before Build")
+	}
+	if len(x) == 0 || len(x) != len(y) {
+		return nil, fmt.Errorf("nn: Fit needs equal, non-zero sample counts (%d, %d)", len(x), len(y))
+	}
+	if len(cfg.ValX) != len(cfg.ValY) {
+		return nil, fmt.Errorf("nn: validation sample counts differ (%d, %d)", len(cfg.ValX), len(cfg.ValY))
+	}
+	inLen, outLen := m.InputLen(), m.OutputLen()
+	for i := range x {
+		if len(x[i]) != inLen {
+			return nil, fmt.Errorf("nn: sample %d has %d features, model expects %d", i, len(x[i]), inLen)
+		}
+		if len(y[i]) != outLen {
+			return nil, fmt.Errorf("nn: label %d has %d values, model expects %d", i, len(y[i]), outLen)
+		}
+		for _, v := range x[i] {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("nn: sample %d contains a non-finite feature", i)
+			}
+		}
+		for _, v := range y[i] {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("nn: label %d contains a non-finite value", i)
+			}
+		}
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 10
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 32
+	}
+	if cfg.Loss == nil {
+		cfg.Loss = MAE
+	}
+	if cfg.Optimizer == nil {
+		cfg.Optimizer = NewAdam(0)
+	}
+
+	src := rng.New(cfg.Seed)
+	idx := make([]int, len(x))
+	for i := range idx {
+		idx[i] = i
+	}
+	grad := make([]float64, outLen)
+	hist := &History{BestEpoch: -1}
+	bestVal := math.Inf(1)
+	var bestModel *Model
+	sinceBest := 0
+
+	if cfg.LRSchedule != nil {
+		if _, ok := cfg.Optimizer.(LRSettable); !ok {
+			return nil, fmt.Errorf("nn: optimizer %s does not support LR scheduling", cfg.Optimizer.Name())
+		}
+	}
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		if cfg.LRSchedule != nil {
+			cfg.Optimizer.(LRSettable).SetLR(cfg.LRSchedule(epoch))
+		}
+		m.SetTraining(true)
+		src.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		epochLoss := 0.0
+		for start := 0; start < len(idx); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(idx) {
+				end = len(idx)
+			}
+			m.ZeroGrad()
+			for _, k := range idx[start:end] {
+				out := m.Forward(x[k])
+				epochLoss += cfg.Loss.Loss(out, y[k])
+				cfg.Loss.Grad(out, y[k], grad)
+				m.Backward(grad)
+			}
+			// average gradients over the batch
+			inv := 1 / float64(end-start)
+			for _, p := range m.Params() {
+				for i := range p.Grad {
+					p.Grad[i] *= inv
+				}
+			}
+			if cfg.ClipNorm > 0 {
+				clipGradNorm(m.Params(), cfg.ClipNorm)
+			}
+			cfg.Optimizer.Step(m.Params())
+		}
+		m.SetTraining(false)
+		epochLoss /= float64(len(idx))
+		hist.TrainLoss = append(hist.TrainLoss, epochLoss)
+
+		if len(cfg.ValX) > 0 {
+			valLoss := m.EvaluateLoss(cfg.ValX, cfg.ValY, cfg.Loss)
+			hist.ValLoss = append(hist.ValLoss, valLoss)
+			if cfg.Verbose != nil {
+				fmt.Fprintf(cfg.Verbose, "epoch %3d  train=%.6f  val=%.6f\n", epoch+1, epochLoss, valLoss)
+			}
+			if valLoss < bestVal {
+				bestVal = valLoss
+				hist.BestEpoch = epoch
+				sinceBest = 0
+				if cfg.KeepBest || cfg.Patience > 0 {
+					c, err := m.Clone()
+					if err != nil {
+						return nil, err
+					}
+					bestModel = c
+				}
+			} else {
+				sinceBest++
+				if cfg.Patience > 0 && sinceBest >= cfg.Patience {
+					hist.Stopped = true
+					break
+				}
+			}
+		} else if cfg.Verbose != nil {
+			fmt.Fprintf(cfg.Verbose, "epoch %3d  train=%.6f\n", epoch+1, epochLoss)
+		}
+	}
+	if bestModel != nil && (cfg.KeepBest || hist.Stopped) {
+		if err := m.CopyParamsFrom(bestModel); err != nil {
+			return nil, err
+		}
+	}
+	return hist, nil
+}
+
+// clipGradNorm rescales all gradients so the global L2 norm does not
+// exceed maxNorm.
+func clipGradNorm(params []*Param, maxNorm float64) {
+	total := 0.0
+	for _, p := range params {
+		for _, g := range p.Grad {
+			total += g * g
+		}
+	}
+	norm := math.Sqrt(total)
+	if norm <= maxNorm || norm == 0 {
+		return
+	}
+	scale := maxNorm / norm
+	for _, p := range params {
+		for i := range p.Grad {
+			p.Grad[i] *= scale
+		}
+	}
+}
+
+// PredictWithUncertainty estimates the prediction and its epistemic
+// uncertainty by Monte-Carlo dropout: n stochastic forward passes with the
+// dropout layers active, returning per-output mean and standard deviation.
+// The model must contain at least one Dropout layer for the std to be
+// meaningful ("real-time estimates of error margins" — the paper's
+// future-work direction for online monitoring).
+func (m *Model) PredictWithUncertainty(x []float64, n int) (mean, std []float64, err error) {
+	if n < 2 {
+		return nil, nil, fmt.Errorf("nn: need at least 2 MC samples, got %d", n)
+	}
+	m.SetTraining(true)
+	defer m.SetTraining(false)
+	k := m.OutputLen()
+	mean = make([]float64, k)
+	sq := make([]float64, k)
+	for i := 0; i < n; i++ {
+		out := m.Forward(x)
+		for j, v := range out {
+			mean[j] += v
+			sq[j] += v * v
+		}
+	}
+	std = make([]float64, k)
+	inv := 1 / float64(n)
+	for j := range mean {
+		mean[j] *= inv
+		variance := sq[j]*inv - mean[j]*mean[j]
+		if variance < 0 {
+			variance = 0
+		}
+		std[j] = math.Sqrt(variance)
+	}
+	return mean, std, nil
+}
+
+// EvaluateLoss returns the mean loss over a dataset.
+func (m *Model) EvaluateLoss(x, y [][]float64, loss Loss) float64 {
+	if loss == nil {
+		loss = MAE
+	}
+	m.SetTraining(false)
+	total := 0.0
+	for i := range x {
+		out := m.Forward(x[i])
+		total += loss.Loss(out, y[i])
+	}
+	if len(x) == 0 {
+		return 0
+	}
+	return total / float64(len(x))
+}
+
+// EvaluateMAE returns the overall mean absolute error and the per-output
+// mean absolute errors over a dataset — the per-substance error bars of
+// Figs. 5-7.
+func (m *Model) EvaluateMAE(x, y [][]float64) (mean float64, perOutput []float64) {
+	m.SetTraining(false)
+	if len(x) == 0 {
+		return 0, nil
+	}
+	perOutput = make([]float64, m.OutputLen())
+	for i := range x {
+		out := m.Forward(x[i])
+		for j, p := range out {
+			perOutput[j] += math.Abs(p - y[i][j])
+		}
+	}
+	inv := 1 / float64(len(x))
+	sum := 0.0
+	for j := range perOutput {
+		perOutput[j] *= inv
+		sum += perOutput[j]
+	}
+	return sum / float64(len(perOutput)), perOutput
+}
+
+// EvaluateMSE returns the overall mean squared error over a dataset.
+func (m *Model) EvaluateMSE(x, y [][]float64) float64 {
+	return m.EvaluateLoss(x, y, MSE)
+}

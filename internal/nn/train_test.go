@@ -1,0 +1,297 @@
+package nn
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"specml/internal/rng"
+)
+
+func TestLossValues(t *testing.T) {
+	pred := []float64{1, 2, 3}
+	target := []float64{1, 3, 5}
+	if got := MAE.Loss(pred, target); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("MAE = %v, want 1", got)
+	}
+	if got := MSE.Loss(pred, target); math.Abs(got-5.0/3) > 1e-12 {
+		t.Fatalf("MSE = %v, want 5/3", got)
+	}
+	h := HuberLoss{Delta: 1}
+	// errors 0,1,2 -> 0 + 0.5 + (2-0.5) = 2 -> /3
+	if got := h.Loss(pred, target); math.Abs(got-2.0/3) > 1e-12 {
+		t.Fatalf("Huber = %v, want 2/3", got)
+	}
+}
+
+func TestLossGradMatchesFiniteDifference(t *testing.T) {
+	src := rng.New(1)
+	losses := []Loss{MAE, MSE, HuberLoss{Delta: 0.7}}
+	f := func(which uint8) bool {
+		loss := losses[int(which)%len(losses)]
+		n := 4
+		pred := make([]float64, n)
+		target := make([]float64, n)
+		for i := range pred {
+			pred[i] = src.Normal(0, 1)
+			target[i] = src.Normal(0, 1)
+		}
+		grad := make([]float64, n)
+		loss.Grad(pred, target, grad)
+		const h = 1e-6
+		for i := range pred {
+			orig := pred[i]
+			pred[i] = orig + h
+			lp := loss.Loss(pred, target)
+			pred[i] = orig - h
+			lm := loss.Loss(pred, target)
+			pred[i] = orig
+			numeric := (lp - lm) / (2 * h)
+			if math.Abs(numeric-grad[i]) > 1e-4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLossByName(t *testing.T) {
+	for _, name := range []string{"mae", "mse", "huber", ""} {
+		if _, err := LossByName(name); err != nil {
+			t.Errorf("LossByName(%q): %v", name, err)
+		}
+	}
+	if _, err := LossByName("xent"); err == nil {
+		t.Error("unknown loss must error")
+	}
+}
+
+func TestOptimizerByName(t *testing.T) {
+	for _, name := range []string{"adam", "sgd", "momentum", ""} {
+		if _, err := OptimizerByName(name, 0); err != nil {
+			t.Errorf("OptimizerByName(%q): %v", name, err)
+		}
+	}
+	if _, err := OptimizerByName("rmsprop", 0); err == nil {
+		t.Error("unknown optimizer must error")
+	}
+}
+
+// optimizers minimize a simple quadratic via the Param interface
+func TestOptimizersMinimizeQuadratic(t *testing.T) {
+	opts := map[string]Optimizer{
+		"sgd":      &SGD{LR: 0.1},
+		"momentum": &Momentum{LR: 0.05, Mu: 0.9},
+		"adam":     NewAdam(0.1),
+	}
+	for name, opt := range opts {
+		p := newParam("w", 2)
+		p.Data[0], p.Data[1] = 4, -3
+		for iter := 0; iter < 300; iter++ {
+			// f = 0.5*(w0² + 4 w1²); grad = (w0, 4 w1)
+			p.Grad[0] = p.Data[0]
+			p.Grad[1] = 4 * p.Data[1]
+			opt.Step([]*Param{p})
+		}
+		if math.Abs(p.Data[0]) > 1e-2 || math.Abs(p.Data[1]) > 1e-2 {
+			t.Errorf("%s failed to minimize quadratic: %v", name, p.Data)
+		}
+	}
+}
+
+func TestFitLearnsLinearMap(t *testing.T) {
+	// y = A x with a 2x3 matrix; a linear model must drive MSE to ~0.
+	src := rng.New(7)
+	a := [][]float64{{0.5, -1, 0.25}, {1, 0.5, -0.5}}
+	var xs, ys [][]float64
+	for i := 0; i < 200; i++ {
+		x := []float64{src.Normal(0, 1), src.Normal(0, 1), src.Normal(0, 1)}
+		y := []float64{
+			a[0][0]*x[0] + a[0][1]*x[1] + a[0][2]*x[2],
+			a[1][0]*x[0] + a[1][1]*x[1] + a[1][2]*x[2],
+		}
+		xs = append(xs, x)
+		ys = append(ys, y)
+	}
+	m := buildModel(t, 1, []int{3}, NewDense(2))
+	hist, err := m.Fit(xs, ys, FitConfig{
+		Epochs: 60, BatchSize: 16, Loss: MSE, Optimizer: NewAdam(0.02), Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := hist.TrainLoss[len(hist.TrainLoss)-1]
+	if final > 1e-4 {
+		t.Fatalf("linear map not learned: final MSE %v", final)
+	}
+}
+
+func TestFitLearnsNonlinearFunction(t *testing.T) {
+	// Learn y = sin(x) on [-2,2] with a small MLP.
+	src := rng.New(9)
+	var xs, ys [][]float64
+	for i := 0; i < 300; i++ {
+		x := src.Uniform(-2, 2)
+		xs = append(xs, []float64{x})
+		ys = append(ys, []float64{math.Sin(x)})
+	}
+	m := buildModel(t, 2, []int{1},
+		NewDense(16), NewActivation(Tanh), NewDense(1))
+	hist, err := m.Fit(xs, ys, FitConfig{
+		Epochs: 150, BatchSize: 32, Loss: MSE, Optimizer: NewAdam(0.01), Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := hist.TrainLoss[len(hist.TrainLoss)-1]
+	if final > 5e-3 {
+		t.Fatalf("sin not learned: final MSE %v", final)
+	}
+}
+
+func TestFitValidationAndEarlyStopping(t *testing.T) {
+	src := rng.New(11)
+	var xs, ys [][]float64
+	for i := 0; i < 100; i++ {
+		x := src.Normal(0, 1)
+		xs = append(xs, []float64{x})
+		ys = append(ys, []float64{2 * x})
+	}
+	m := buildModel(t, 3, []int{1}, NewDense(1))
+	hist, err := m.Fit(xs[:80], ys[:80], FitConfig{
+		Epochs: 500, BatchSize: 16, Loss: MSE, Optimizer: NewAdam(0.05),
+		ValX: xs[80:], ValY: ys[80:], Patience: 5, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist.ValLoss) == 0 {
+		t.Fatal("no validation losses recorded")
+	}
+	if hist.BestEpoch < 0 {
+		t.Fatal("best epoch not tracked")
+	}
+	// after convergence the run must have stopped well before 500 epochs
+	if !hist.Stopped && len(hist.TrainLoss) == 500 {
+		t.Log("early stopping did not trigger (acceptable if still improving), final val:",
+			hist.ValLoss[len(hist.ValLoss)-1])
+	}
+	if v := m.EvaluateMSE(xs[80:], ys[80:]); v > 1e-3 {
+		t.Fatalf("validation MSE after training = %v", v)
+	}
+}
+
+func TestFitKeepBestRestoresBestWeights(t *testing.T) {
+	src := rng.New(13)
+	var xs, ys [][]float64
+	for i := 0; i < 60; i++ {
+		x := src.Normal(0, 1)
+		xs = append(xs, []float64{x})
+		ys = append(ys, []float64{x})
+	}
+	m := buildModel(t, 5, []int{1}, NewDense(1))
+	// Huge LR makes late epochs diverge, so KeepBest must restore an
+	// earlier, better epoch.
+	hist, err := m.Fit(xs[:40], ys[:40], FitConfig{
+		Epochs: 30, BatchSize: 8, Loss: MSE, Optimizer: &SGD{LR: 0.9},
+		ValX: xs[40:], ValY: ys[40:], KeepBest: true, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := hist.ValLoss[hist.BestEpoch]
+	got := m.EvaluateMSE(xs[40:], ys[40:])
+	if math.Abs(got-best) > 1e-9 {
+		t.Fatalf("KeepBest did not restore best weights: eval %v vs best %v", got, best)
+	}
+}
+
+func TestFitInputValidation(t *testing.T) {
+	m := buildModel(t, 1, []int{2}, NewDense(1))
+	if _, err := m.Fit(nil, nil, FitConfig{}); err == nil {
+		t.Fatal("empty data must error")
+	}
+	if _, err := m.Fit([][]float64{{1, 2}}, [][]float64{{1}, {2}}, FitConfig{}); err == nil {
+		t.Fatal("count mismatch must error")
+	}
+	if _, err := m.Fit([][]float64{{1}}, [][]float64{{1}}, FitConfig{}); err == nil {
+		t.Fatal("wrong feature width must error")
+	}
+	if _, err := m.Fit([][]float64{{1, 2}}, [][]float64{{1, 2}}, FitConfig{}); err == nil {
+		t.Fatal("wrong label width must error")
+	}
+	if _, err := m.Fit([][]float64{{1, 2}}, [][]float64{{1}},
+		FitConfig{ValX: [][]float64{{1, 2}}}); err == nil {
+		t.Fatal("validation mismatch must error")
+	}
+}
+
+func TestFitDeterminism(t *testing.T) {
+	src := rng.New(21)
+	var xs, ys [][]float64
+	for i := 0; i < 50; i++ {
+		x := src.Normal(0, 1)
+		xs = append(xs, []float64{x})
+		ys = append(ys, []float64{3 * x})
+	}
+	run := func() []float64 {
+		m := buildModel(t, 77, []int{1}, NewDense(4), NewActivation(Tanh), NewDense(1))
+		if _, err := m.Fit(xs, ys, FitConfig{Epochs: 5, BatchSize: 10, Seed: 99, Optimizer: NewAdam(0.01)}); err != nil {
+			t.Fatal(err)
+		}
+		return m.Predict([]float64{0.5})
+	}
+	a, b := run(), run()
+	if a[0] != b[0] {
+		t.Fatalf("training not deterministic: %v vs %v", a, b)
+	}
+}
+
+func TestEvaluateMAEPerOutput(t *testing.T) {
+	m := buildModel(t, 1, []int{1}, NewDense(2))
+	// force known weights: y = [x, -x]
+	p := m.Params()
+	p[0].Data[0], p[0].Data[1] = 1, -1
+	p[1].Data[0], p[1].Data[1] = 0, 0
+	xs := [][]float64{{1}, {2}}
+	ys := [][]float64{{1, 0}, {2, 0}}
+	mean, per := m.EvaluateMAE(xs, ys)
+	// output0 exact, output1 errors |−1−0|=1, |−2−0|=2 -> 1.5
+	if math.Abs(per[0]) > 1e-12 || math.Abs(per[1]-1.5) > 1e-12 {
+		t.Fatalf("per-output MAE = %v", per)
+	}
+	if math.Abs(mean-0.75) > 1e-12 {
+		t.Fatalf("mean MAE = %v, want 0.75", mean)
+	}
+}
+
+func TestLSTMFitLearnsSequenceSum(t *testing.T) {
+	// Predict the mean of a 4-step scalar sequence.
+	src := rng.New(31)
+	var xs, ys [][]float64
+	for i := 0; i < 200; i++ {
+		seq := make([]float64, 4)
+		sum := 0.0
+		for j := range seq {
+			seq[j] = src.Uniform(-1, 1)
+			sum += seq[j]
+		}
+		xs = append(xs, seq)
+		ys = append(ys, []float64{sum / 4})
+	}
+	m := NewModel().Add(NewLSTM(8)).Add(NewDense(1))
+	if err := m.Build(rng.New(8), 4, 1); err != nil {
+		t.Fatal(err)
+	}
+	hist, err := m.Fit(xs, ys, FitConfig{Epochs: 60, BatchSize: 16, Loss: MSE, Optimizer: NewAdam(0.02), Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := hist.TrainLoss[len(hist.TrainLoss)-1]
+	if final > 5e-3 {
+		t.Fatalf("LSTM failed to learn sequence mean: MSE %v", final)
+	}
+}

@@ -1,0 +1,171 @@
+package platform
+
+import (
+	"math"
+	"testing"
+
+	"specml/internal/nn"
+	"specml/internal/rng"
+	"specml/internal/toolflow"
+)
+
+func table1Model(t testing.TB) *nn.Model {
+	t.Helper()
+	spec, err := toolflow.MSTable1Spec(199, 8, "selu", "softmax", "softmax", 1, 32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestCountModelTable1(t *testing.T) {
+	m := table1Model(t)
+	ops, err := CountModel(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// hand-computed MAC budget: conv1 180*25*20 + conv2 54*25*500 +
+	// conv3 20*25*375 + conv4 2*15*375 + dense 8*30 = ~964k MACs
+	macs := int64(180*25*20 + 54*25*500 + 20*25*375 + 2*15*375 + 8*30)
+	wantFLOPs := 2 * macs
+	// activations add a small overhead; total must be close to the MAC count
+	if ops.FLOPs < wantFLOPs || ops.FLOPs > wantFLOPs+200000 {
+		t.Fatalf("FLOPs = %d, want about %d", ops.FLOPs, wantFLOPs)
+	}
+	// parameter bytes dominate traffic: ~28.3k params * 4B
+	if ops.Bytes < 4*28000 {
+		t.Fatalf("Bytes = %d, too small", ops.Bytes)
+	}
+}
+
+func TestCountModelDense(t *testing.T) {
+	m := nn.NewModel().Add(nn.NewDense(10))
+	if err := m.Build(rng.New(1), 20); err != nil {
+		t.Fatal(err)
+	}
+	ops, err := CountModel(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ops.FLOPs != 2*20*10 {
+		t.Fatalf("dense FLOPs = %d, want 400", ops.FLOPs)
+	}
+}
+
+func TestCountModelLSTM(t *testing.T) {
+	m := nn.NewModel().Add(nn.NewLSTM(32)).Add(nn.NewDense(4))
+	if err := m.Build(rng.New(1), 5, 1700); err != nil {
+		t.Fatal(err)
+	}
+	ops, err := CountModel(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 steps * (2*4*32*(1700+32) + 10*32) plus the dense head
+	want := int64(5*(2*4*32*(1700+32)+10*32) + 2*32*4)
+	if math.Abs(float64(ops.FLOPs-want)) > 0.02*float64(want) {
+		t.Fatalf("LSTM FLOPs = %d, want ~%d", ops.FLOPs, want)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	ops := OpCount{FLOPs: 1e6, Bytes: 1e5}
+	if _, err := JetsonNanoCPU.Run(ops, 0); err == nil {
+		t.Fatal("zero samples must error")
+	}
+	bad := Profile{}
+	if _, err := bad.Run(ops, 1); err == nil {
+		t.Fatal("invalid profile must error")
+	}
+}
+
+func TestRunScalesLinearly(t *testing.T) {
+	ops := OpCount{FLOPs: 2e6, Bytes: 2e5}
+	e1, err := JetsonNanoGPU.Run(ops, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := JetsonNanoGPU.Run(ops, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e2.TimeSeconds/e1.TimeSeconds-2) > 1e-9 {
+		t.Fatalf("time not linear in samples: %v vs %v", e1.TimeSeconds, e2.TimeSeconds)
+	}
+	if e1.EnergyJoules <= 0 || math.Abs(e1.EnergyJoules-e1.TimeSeconds*e1.PowerWatts) > 1e-9 {
+		t.Fatal("energy must be time x power")
+	}
+}
+
+// The Table-2 reproduction: run the Table-1 network 21600 times on all
+// four platforms and check the paper's qualitative relationships.
+func TestTable2Relationships(t *testing.T) {
+	m := table1Model(t)
+	ops, err := CountModel(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const samples = 21600
+	est := map[string]Estimate{}
+	for _, p := range Table2Profiles() {
+		e, err := p.Run(ops, samples)
+		if err != nil {
+			t.Fatal(err)
+		}
+		est[p.Name+"/"+p.Device] = e
+	}
+	nanoCPU := est["Jetson Nano/cpu"]
+	nanoGPU := est["Jetson Nano/gpu"]
+	tx2CPU := est["Jetson TX2/cpu"]
+	tx2GPU := est["Jetson TX2/gpu"]
+
+	// GPU speedup 4.8-7.1x (paper), allow a modest tolerance band
+	for _, pair := range []struct {
+		name     string
+		cpu, gpu Estimate
+	}{{"nano", nanoCPU, nanoGPU}, {"tx2", tx2CPU, tx2GPU}} {
+		sp := pair.cpu.TimeSeconds / pair.gpu.TimeSeconds
+		if sp < 3.5 || sp > 9 {
+			t.Fatalf("%s GPU speedup %v outside the paper's 4.8-7.1x envelope", pair.name, sp)
+		}
+		er := pair.cpu.EnergyJoules / pair.gpu.EnergyJoules
+		if er < 3.5 || er > 8 {
+			t.Fatalf("%s GPU energy ratio %v outside the paper's 5.0-6.3x envelope", pair.name, er)
+		}
+	}
+	// TX2 GPU about 2.1x Nano GPU
+	if r := nanoGPU.TimeSeconds / tx2GPU.TimeSeconds; r < 1.6 || r > 2.6 {
+		t.Fatalf("TX2-GPU vs Nano-GPU ratio %v, paper reports ~2.1x", r)
+	}
+	// absolute times within a factor ~1.6 of the published cells
+	published := map[string]float64{
+		"Jetson Nano/cpu": 30.19, "Jetson Nano/gpu": 6.34,
+		"Jetson TX2/cpu": 21.64, "Jetson TX2/gpu": 3.03,
+	}
+	for k, want := range published {
+		got := est[k].TimeSeconds
+		if got < want/1.6 || got > want*1.6 {
+			t.Fatalf("%s time %v too far from published %v", k, got, want)
+		}
+	}
+	// power envelope ~5-7 W
+	for k, e := range est {
+		if e.PowerWatts < 4 || e.PowerWatts > 7 {
+			t.Fatalf("%s power %v outside envelope", k, e.PowerWatts)
+		}
+	}
+}
+
+func TestCountModelBeforeBuildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m := nn.NewModel().Add(nn.NewDense(3))
+	_, _ = CountModel(m)
+}

@@ -1,0 +1,242 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("seeds 1 and 2 collided %d/100 times", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	child := parent.Split()
+	// The child stream must not equal the parent's continuing stream.
+	same := 0
+	for i := 0; i < 100; i++ {
+		if parent.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("parent and child streams collided %d/100 times", same)
+	}
+}
+
+func TestZeroSeedWorks(t *testing.T) {
+	s := New(0)
+	v := s.Uint64()
+	w := s.Uint64()
+	if v == 0 && w == 0 {
+		t.Fatal("zero seed produced a stuck all-zero state")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 10000; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	s := New(4)
+	for i := 0; i < 1000; i++ {
+		v := s.Uniform(-3, 5)
+		if v < -3 || v >= 5 {
+			t.Fatalf("Uniform out of range: %v", v)
+		}
+	}
+}
+
+func TestUniformMean(t *testing.T) {
+	s := New(5)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += s.Uniform(0, 10)
+	}
+	mean := sum / n
+	if math.Abs(mean-5) > 0.05 {
+		t.Fatalf("uniform(0,10) mean = %v, want ~5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	s := New(6)
+	seen := make(map[int]int)
+	for i := 0; i < 10000; i++ {
+		v := s.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) out of range: %d", v)
+		}
+		seen[v]++
+	}
+	for k := 0; k < 7; k++ {
+		if seen[k] == 0 {
+			t.Fatalf("Intn(7) never produced %d", k)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestNormalMoments(t *testing.T) {
+	s := New(8)
+	const n = 200000
+	sum, sumsq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := s.Normal(2, 3)
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean-2) > 0.05 {
+		t.Fatalf("normal mean = %v, want ~2", mean)
+	}
+	if math.Abs(math.Sqrt(variance)-3) > 0.05 {
+		t.Fatalf("normal stddev = %v, want ~3", math.Sqrt(variance))
+	}
+}
+
+func TestLogUniformRange(t *testing.T) {
+	s := New(9)
+	for i := 0; i < 1000; i++ {
+		v := s.LogUniform(0.1, 10)
+		if v < 0.1 || v >= 10 {
+			t.Fatalf("LogUniform out of range: %v", v)
+		}
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	s := New(10)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += s.Exponential(2)
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Exponential(2) mean = %v, want ~0.5", mean)
+	}
+}
+
+// Property: Dirichlet samples always lie on the probability simplex.
+func TestDirichletSimplexProperty(t *testing.T) {
+	s := New(11)
+	f := func(seed uint64, dim uint8, alphaRaw uint16) bool {
+		n := int(dim%12) + 2
+		alpha := 0.05 + float64(alphaRaw%1000)/100.0
+		out := make([]float64, n)
+		s.Dirichlet(alpha, out)
+		sum := 0.0
+		for _, v := range out {
+			if v < 0 || math.IsNaN(v) {
+				return false
+			}
+			sum += v
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDirichletMean(t *testing.T) {
+	// Symmetric Dirichlet over k categories has mean 1/k per coordinate.
+	s := New(12)
+	const k, n = 4, 20000
+	sums := make([]float64, k)
+	out := make([]float64, k)
+	for i := 0; i < n; i++ {
+		s.Dirichlet(2.0, out)
+		for j, v := range out {
+			sums[j] += v
+		}
+	}
+	for j, v := range sums {
+		if math.Abs(v/n-0.25) > 0.01 {
+			t.Fatalf("Dirichlet coordinate %d mean = %v, want ~0.25", j, v/n)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(13)
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + s.Intn(50)
+		p := s.Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) invalid: %v", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestShuffleKeepsElements(t *testing.T) {
+	s := New(14)
+	xs := []int{1, 2, 3, 4, 5, 6}
+	sum := 0
+	for _, v := range xs {
+		sum += v
+	}
+	s.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	got := 0
+	for _, v := range xs {
+		got += v
+	}
+	if got != sum {
+		t.Fatalf("shuffle changed element multiset: %v", xs)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = s.Uint64()
+	}
+}
+
+func BenchmarkStdNormal(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = s.StdNormal()
+	}
+}

@@ -1,0 +1,208 @@
+package spectrum
+
+import (
+	"fmt"
+	"math"
+)
+
+// Peak is an analytic spectral line described by a Lorentz-Gauss
+// (pseudo-Voigt) profile, the hard-model primitive of Indirect Hard
+// Modelling:
+//
+//	f(x) = Area * [ Eta * L(x; Center, Width) + (1-Eta) * G(x; Center, Width) ]
+//
+// where L and G are area-normalized Lorentzian and Gaussian profiles with
+// the same full width at half maximum (FWHM) Width. Eta in [0,1] mixes the
+// two: Eta=1 is pure Lorentzian (typical NMR line), Eta=0 pure Gaussian
+// (typical instrument broadening).
+type Peak struct {
+	Center float64 // peak position (m/z or ppm)
+	Area   float64 // integrated intensity
+	Width  float64 // FWHM; must be positive
+	Eta    float64 // Lorentzian fraction in [0,1]
+}
+
+// Validate reports whether the peak parameters are physically meaningful.
+func (p Peak) Validate() error {
+	if p.Width <= 0 {
+		return fmt.Errorf("spectrum: peak width must be positive, got %g", p.Width)
+	}
+	if p.Eta < 0 || p.Eta > 1 {
+		return fmt.Errorf("spectrum: peak eta must be in [0,1], got %g", p.Eta)
+	}
+	if math.IsNaN(p.Center) || math.IsNaN(p.Area) {
+		return fmt.Errorf("spectrum: peak has NaN parameters")
+	}
+	return nil
+}
+
+// gaussianSigma converts a FWHM to the Gaussian sigma.
+func gaussianSigma(fwhm float64) float64 {
+	return fwhm / (2 * math.Sqrt(2*math.Ln2))
+}
+
+// GaussianValue evaluates an area-normalized Gaussian with the given
+// center and FWHM at x.
+func GaussianValue(x, center, fwhm float64) float64 {
+	sigma := gaussianSigma(fwhm)
+	d := (x - center) / sigma
+	return math.Exp(-0.5*d*d) / (sigma * math.Sqrt(2*math.Pi))
+}
+
+// LorentzianValue evaluates an area-normalized Lorentzian with the given
+// center and FWHM at x.
+func LorentzianValue(x, center, fwhm float64) float64 {
+	gamma := fwhm / 2 // half width at half maximum
+	d := x - center
+	return gamma / (math.Pi * (d*d + gamma*gamma))
+}
+
+// Value evaluates the peak profile at x.
+func (p Peak) Value(x float64) float64 {
+	return p.Area * (p.Eta*LorentzianValue(x, p.Center, p.Width) +
+		(1-p.Eta)*GaussianValue(x, p.Center, p.Width))
+}
+
+// Height returns the profile value at the peak center.
+func (p Peak) Height() float64 { return p.Value(p.Center) }
+
+// Shifted returns a copy of the peak moved by delta along the axis.
+func (p Peak) Shifted(delta float64) Peak {
+	p.Center += delta
+	return p
+}
+
+// Broadened returns a copy of the peak with Width multiplied by factor.
+func (p Peak) Broadened(factor float64) Peak {
+	p.Width *= factor
+	return p
+}
+
+// RenderPeaks accumulates the analytic profiles of peaks onto a spectrum
+// sampled on axis. Existing intensities are preserved (accumulation), so a
+// caller can layer several components. Peaks are evaluated only within
+// +-cutoffWidths of their center for speed; pass cutoffWidths <= 0 for a
+// full-axis evaluation (needed for accurate Lorentzian tails).
+func RenderPeaks(s *Spectrum, peaks []Peak, cutoffWidths float64) error {
+	for _, p := range peaks {
+		if err := p.Validate(); err != nil {
+			return err
+		}
+		lo, hi := 0, s.Axis.N-1
+		if cutoffWidths > 0 {
+			lo = s.Axis.NearestIndex(p.Center - cutoffWidths*p.Width)
+			hi = s.Axis.NearestIndex(p.Center + cutoffWidths*p.Width)
+		}
+		for i := lo; i <= hi; i++ {
+			s.Intensities[i] += p.Value(s.Axis.Value(i))
+		}
+	}
+	return nil
+}
+
+// Line is a single entry of a discrete (stick) spectrum: an ideal,
+// infinitely narrow signal at Position with integrated intensity.
+type Line struct {
+	Position  float64
+	Intensity float64
+}
+
+// LineSpectrum is an ideal line (stick) spectrum — the output of the
+// paper's Tool 1 before instrument effects are applied.
+type LineSpectrum struct {
+	Lines []Line
+}
+
+// Clone returns a deep copy.
+func (ls *LineSpectrum) Clone() *LineSpectrum {
+	out := &LineSpectrum{Lines: make([]Line, len(ls.Lines))}
+	copy(out.Lines, ls.Lines)
+	return out
+}
+
+// Scale multiplies every line intensity by w and returns the receiver.
+func (ls *LineSpectrum) Scale(w float64) *LineSpectrum {
+	for i := range ls.Lines {
+		ls.Lines[i].Intensity *= w
+	}
+	return ls
+}
+
+// TotalIntensity returns the summed line intensities.
+func (ls *LineSpectrum) TotalIntensity() float64 {
+	t := 0.0
+	for _, l := range ls.Lines {
+		t += l.Intensity
+	}
+	return t
+}
+
+// Merge combines lines closer than tol into single lines positioned at the
+// intensity-weighted mean, returning a new spectrum. Lines are assumed
+// unsorted; the result is sorted by position. This models finite
+// instrument resolution at the ideal-spectrum level: "in the case of low
+// resolution ... both elements would be catalogued as the same one".
+func (ls *LineSpectrum) Merge(tol float64) *LineSpectrum {
+	sorted := ls.Clone()
+	sortLines(sorted.Lines)
+	out := &LineSpectrum{}
+	i := 0
+	for i < len(sorted.Lines) {
+		j := i + 1
+		pos := sorted.Lines[i].Position * sorted.Lines[i].Intensity
+		inten := sorted.Lines[i].Intensity
+		for j < len(sorted.Lines) && sorted.Lines[j].Position-sorted.Lines[j-1].Position <= tol {
+			pos += sorted.Lines[j].Position * sorted.Lines[j].Intensity
+			inten += sorted.Lines[j].Intensity
+			j++
+		}
+		if inten > 0 {
+			out.Lines = append(out.Lines, Line{Position: pos / inten, Intensity: inten})
+		} else if j-i > 0 {
+			out.Lines = append(out.Lines, Line{Position: sorted.Lines[i].Position, Intensity: 0})
+		}
+		i = j
+	}
+	return out
+}
+
+func sortLines(lines []Line) {
+	// insertion sort: line lists are short (tens of fragments)
+	for i := 1; i < len(lines); i++ {
+		for j := i; j > 0 && lines[j].Position < lines[j-1].Position; j-- {
+			lines[j], lines[j-1] = lines[j-1], lines[j]
+		}
+	}
+}
+
+// SuperposeLines returns the weighted superposition of several line
+// spectra: the ideal spectrum of a mixture is the linear combination of
+// the components' ideal spectra (Tool 1's core operation).
+func SuperposeLines(weights []float64, components []*LineSpectrum) (*LineSpectrum, error) {
+	if len(weights) != len(components) {
+		return nil, fmt.Errorf("spectrum: %d weights for %d line spectra", len(weights), len(components))
+	}
+	out := &LineSpectrum{}
+	for i, c := range components {
+		for _, l := range c.Lines {
+			out.Lines = append(out.Lines, Line{Position: l.Position, Intensity: weights[i] * l.Intensity})
+		}
+	}
+	merged := out.Merge(1e-9) // coalesce identical positions from different components
+	return merged, nil
+}
+
+// RenderLines converts a line spectrum to a continuous spectrum on axis by
+// giving every line a peak profile of the given FWHM and Lorentzian
+// fraction eta. Line intensities become peak areas.
+func (ls *LineSpectrum) Render(axis Axis, fwhm, eta float64) (*Spectrum, error) {
+	s := New(axis)
+	peaks := make([]Peak, len(ls.Lines))
+	for i, l := range ls.Lines {
+		peaks[i] = Peak{Center: l.Position, Area: l.Intensity, Width: fwhm, Eta: eta}
+	}
+	if err := RenderPeaks(s, peaks, 0); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

@@ -1,0 +1,233 @@
+package spectrum
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"specml/internal/rng"
+)
+
+func TestGaussianAreaAndFWHM(t *testing.T) {
+	// Integrate numerically over a wide axis: area must be ~1.
+	axis := MustAxis(-50, 0.01, 10001)
+	s := New(axis)
+	const fwhm = 2.0
+	for i := range s.Intensities {
+		s.Intensities[i] = GaussianValue(axis.Value(i), 0, fwhm)
+	}
+	if got := s.Integrate(); math.Abs(got-1) > 1e-6 {
+		t.Fatalf("gaussian area = %v, want 1", got)
+	}
+	// At +-FWHM/2 the value is half the peak value.
+	peak := GaussianValue(0, 0, fwhm)
+	half := GaussianValue(fwhm/2, 0, fwhm)
+	if math.Abs(half/peak-0.5) > 1e-9 {
+		t.Fatalf("gaussian FWHM violated: ratio %v", half/peak)
+	}
+}
+
+func TestLorentzianAreaAndFWHM(t *testing.T) {
+	// Lorentzian tails decay slowly; integrate over a very wide range.
+	axis := MustAxis(-2000, 0.05, 80001)
+	s := New(axis)
+	const fwhm = 2.0
+	for i := range s.Intensities {
+		s.Intensities[i] = LorentzianValue(axis.Value(i), 0, fwhm)
+	}
+	if got := s.Integrate(); math.Abs(got-1) > 1e-3 {
+		t.Fatalf("lorentzian area = %v, want ~1", got)
+	}
+	peak := LorentzianValue(0, 0, fwhm)
+	half := LorentzianValue(fwhm/2, 0, fwhm)
+	if math.Abs(half/peak-0.5) > 1e-9 {
+		t.Fatalf("lorentzian FWHM violated: ratio %v", half/peak)
+	}
+}
+
+func TestPeakValidate(t *testing.T) {
+	cases := []struct {
+		p  Peak
+		ok bool
+	}{
+		{Peak{Center: 1, Area: 1, Width: 1, Eta: 0.5}, true},
+		{Peak{Center: 1, Area: 1, Width: 0, Eta: 0.5}, false},
+		{Peak{Center: 1, Area: 1, Width: -1, Eta: 0.5}, false},
+		{Peak{Center: 1, Area: 1, Width: 1, Eta: 1.5}, false},
+		{Peak{Center: 1, Area: 1, Width: 1, Eta: -0.1}, false},
+		{Peak{Center: math.NaN(), Area: 1, Width: 1, Eta: 0}, false},
+	}
+	for i, c := range cases {
+		if err := c.p.Validate(); (err == nil) != c.ok {
+			t.Fatalf("case %d: Validate() err=%v, want ok=%v", i, err, c.ok)
+		}
+	}
+}
+
+func TestPeakMixing(t *testing.T) {
+	// Eta=1 matches the Lorentzian, Eta=0 the Gaussian, in between it
+	// interpolates.
+	p := Peak{Center: 3, Area: 2, Width: 1.5}
+	x := 3.4
+	pl := p
+	pl.Eta = 1
+	pg := p
+	pg.Eta = 0
+	wantL := 2 * LorentzianValue(x, 3, 1.5)
+	wantG := 2 * GaussianValue(x, 3, 1.5)
+	if math.Abs(pl.Value(x)-wantL) > 1e-12 {
+		t.Fatal("eta=1 must be lorentzian")
+	}
+	if math.Abs(pg.Value(x)-wantG) > 1e-12 {
+		t.Fatal("eta=0 must be gaussian")
+	}
+	pm := p
+	pm.Eta = 0.3
+	want := 0.3*wantL + 0.7*wantG
+	if math.Abs(pm.Value(x)-want) > 1e-12 {
+		t.Fatal("eta mixing must be linear")
+	}
+}
+
+func TestPeakShiftBroaden(t *testing.T) {
+	p := Peak{Center: 5, Area: 1, Width: 2, Eta: 0.5}
+	if s := p.Shifted(0.5); s.Center != 5.5 || p.Center != 5 {
+		t.Fatal("Shifted must return a moved copy")
+	}
+	if b := p.Broadened(2); b.Width != 4 || p.Width != 2 {
+		t.Fatal("Broadened must return a widened copy")
+	}
+}
+
+// Property: peak area is invariant under shift and is preserved through
+// rendering (within numerical tolerance for in-range, narrow peaks).
+func TestRenderPreservesAreaProperty(t *testing.T) {
+	src := rng.New(31)
+	axis := MustAxis(0, 0.02, 5001) // [0,100]
+	f := func(cRaw, wRaw, eRaw uint16) bool {
+		p := Peak{
+			Center: 30 + float64(cRaw%400)/10, // 30..70, far from edges
+			Area:   0.1 + src.Float64()*5,
+			Width:  0.2 + float64(wRaw%100)/100, // 0.2..1.2
+			Eta:    0,                           // gaussian: compact support, exact area check
+		}
+		_ = eRaw
+		s := New(axis)
+		if err := RenderPeaks(s, []Peak{p}, 0); err != nil {
+			return false
+		}
+		return math.Abs(s.Integrate()-p.Area) < 1e-3*p.Area+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRenderPeaksCutoff(t *testing.T) {
+	axis := MustAxis(0, 0.1, 1001)
+	full := New(axis)
+	cut := New(axis)
+	p := []Peak{{Center: 50, Area: 1, Width: 0.5, Eta: 0}}
+	if err := RenderPeaks(full, p, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := RenderPeaks(cut, p, 8); err != nil {
+		t.Fatal(err)
+	}
+	// With an 8-width cutoff a Gaussian loses essentially nothing.
+	if math.Abs(full.Integrate()-cut.Integrate()) > 1e-6 {
+		t.Fatalf("cutoff rendering lost area: %v vs %v", full.Integrate(), cut.Integrate())
+	}
+}
+
+func TestRenderPeaksRejectsInvalid(t *testing.T) {
+	s := New(MustAxis(0, 1, 10))
+	if err := RenderPeaks(s, []Peak{{Center: 1, Area: 1, Width: -1}}, 0); err == nil {
+		t.Fatal("invalid peak must be rejected")
+	}
+}
+
+func TestLineSpectrumMerge(t *testing.T) {
+	ls := &LineSpectrum{Lines: []Line{
+		{Position: 28.0, Intensity: 1},
+		{Position: 28.005, Intensity: 3},
+		{Position: 32.0, Intensity: 2},
+	}}
+	m := ls.Merge(0.01)
+	if len(m.Lines) != 2 {
+		t.Fatalf("Merge produced %d lines, want 2", len(m.Lines))
+	}
+	// intensity-weighted center: (28*1 + 28.005*3)/4
+	want := (28.0 + 28.005*3) / 4
+	if math.Abs(m.Lines[0].Position-want) > 1e-9 {
+		t.Fatalf("merged position = %v, want %v", m.Lines[0].Position, want)
+	}
+	if m.Lines[0].Intensity != 4 || m.Lines[1].Intensity != 2 {
+		t.Fatalf("merged intensities wrong: %+v", m.Lines)
+	}
+}
+
+func TestLineSpectrumMergeKeepsTotalIntensity(t *testing.T) {
+	src := rng.New(4)
+	ls := &LineSpectrum{}
+	for i := 0; i < 40; i++ {
+		ls.Lines = append(ls.Lines, Line{Position: src.Uniform(0, 100), Intensity: src.Float64()})
+	}
+	before := ls.TotalIntensity()
+	after := ls.Merge(1.0).TotalIntensity()
+	if math.Abs(before-after) > 1e-9 {
+		t.Fatalf("Merge changed total intensity: %v -> %v", before, after)
+	}
+}
+
+// Property: superposing line spectra preserves total intensity linearly.
+func TestSuperposeLinesIntensityProperty(t *testing.T) {
+	src := rng.New(8)
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%3) + 1
+		weights := make([]float64, n)
+		comps := make([]*LineSpectrum, n)
+		wantTotal := 0.0
+		for i := range comps {
+			weights[i] = src.Float64()
+			c := &LineSpectrum{}
+			for j := 0; j < 5; j++ {
+				c.Lines = append(c.Lines, Line{Position: src.Uniform(1, 100), Intensity: src.Float64()})
+			}
+			comps[i] = c
+			wantTotal += weights[i] * c.TotalIntensity()
+		}
+		sum, err := SuperposeLines(weights, comps)
+		if err != nil {
+			return false
+		}
+		return math.Abs(sum.TotalIntensity()-wantTotal) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLineRenderAreaMatchesIntensity(t *testing.T) {
+	ls := &LineSpectrum{Lines: []Line{
+		{Position: 20, Intensity: 2},
+		{Position: 60, Intensity: 1},
+	}}
+	s, err := ls.Render(MustAxis(0, 0.05, 2001), 0.8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Integrate(); math.Abs(got-3) > 1e-3 {
+		t.Fatalf("rendered area = %v, want 3", got)
+	}
+	// the rendered spectrum peaks near the line positions
+	if i := s.Axis.NearestIndex(20); s.Intensities[i] < s.Intensities[i+40] {
+		t.Fatal("no peak near m/z 20")
+	}
+}
+
+func TestSuperposeLinesMismatch(t *testing.T) {
+	if _, err := SuperposeLines([]float64{1, 2}, []*LineSpectrum{{}}); err == nil {
+		t.Fatal("mismatched lengths must error")
+	}
+}

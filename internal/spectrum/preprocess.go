@@ -1,0 +1,156 @@
+package spectrum
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"specml/internal/fit"
+)
+
+// SavitzkyGolay smooths (deriv = 0) or differentiates (deriv >= 1) a
+// spectrum with a Savitzky-Golay filter of the given half-window and
+// polynomial degree: within every window of 2*halfWindow+1 samples a
+// polynomial is least-squares fitted and evaluated (or differentiated) at
+// the center. Edges use shifted windows so the output covers the full
+// axis. This is the standard denoising step applied to spectra before
+// classical multivariate analysis.
+func SavitzkyGolay(s *Spectrum, halfWindow, degree, deriv int) (*Spectrum, error) {
+	if halfWindow < 1 {
+		return nil, fmt.Errorf("spectrum: halfWindow must be >= 1, got %d", halfWindow)
+	}
+	window := 2*halfWindow + 1
+	if degree < deriv {
+		return nil, fmt.Errorf("spectrum: degree %d cannot support derivative order %d", degree, deriv)
+	}
+	if degree >= window {
+		return nil, fmt.Errorf("spectrum: degree %d too high for window %d", degree, window)
+	}
+	if deriv < 0 {
+		return nil, fmt.Errorf("spectrum: negative derivative order")
+	}
+	if s.Axis.N < window {
+		return nil, fmt.Errorf("spectrum: %d samples shorter than window %d", s.Axis.N, window)
+	}
+	out := New(s.Axis)
+	xs := make([]float64, window)
+	ys := make([]float64, window)
+	for i := 0; i < s.Axis.N; i++ {
+		// window start clamped to the axis; the evaluation point moves
+		// inside the window near the edges
+		start := i - halfWindow
+		if start < 0 {
+			start = 0
+		}
+		if start+window > s.Axis.N {
+			start = s.Axis.N - window
+		}
+		for k := 0; k < window; k++ {
+			// local coordinates keep the fit well conditioned
+			xs[k] = float64(start + k - i)
+			ys[k] = s.Intensities[start+k]
+		}
+		coeffs, err := fit.Polyfit(xs, ys, degree)
+		if err != nil {
+			return nil, err
+		}
+		// evaluate the deriv-th derivative at local x = 0:
+		// d^n/dx^n sum c_k x^k |_0 = n! * c_n
+		factorial := 1.0
+		for f := 2; f <= deriv; f++ {
+			factorial *= float64(f)
+		}
+		v := 0.0
+		if deriv < len(coeffs) {
+			v = coeffs[deriv] * factorial
+		}
+		// convert the derivative from sample units to axis units
+		v /= math.Pow(s.Axis.Step, float64(deriv))
+		out.Intensities[i] = v
+	}
+	return out, nil
+}
+
+// EstimateBaseline estimates a slowly varying baseline with the iterative
+// minimum-suppression scheme (a simplified SNIP): the spectrum is clipped
+// repeatedly against the average of symmetric neighbours at decreasing
+// spans, leaving the broad background while removing peaks.
+func EstimateBaseline(s *Spectrum, maxSpan int) (*Spectrum, error) {
+	if maxSpan < 1 {
+		return nil, fmt.Errorf("spectrum: maxSpan must be >= 1, got %d", maxSpan)
+	}
+	if maxSpan >= s.Axis.N/2 {
+		maxSpan = s.Axis.N/2 - 1
+		if maxSpan < 1 {
+			return nil, fmt.Errorf("spectrum: spectrum too short for baseline estimation")
+		}
+	}
+	base := s.Clone()
+	tmp := make([]float64, s.Axis.N)
+	for span := maxSpan; span >= 1; span-- {
+		copy(tmp, base.Intensities)
+		for i := span; i < s.Axis.N-span; i++ {
+			avg := 0.5 * (base.Intensities[i-span] + base.Intensities[i+span])
+			if avg < tmp[i] {
+				tmp[i] = avg
+			}
+		}
+		copy(base.Intensities, tmp)
+	}
+	return base, nil
+}
+
+// SubtractBaseline returns the spectrum with its estimated baseline
+// removed.
+func SubtractBaseline(s *Spectrum, maxSpan int) (*Spectrum, error) {
+	base, err := EstimateBaseline(s, maxSpan)
+	if err != nil {
+		return nil, err
+	}
+	out := s.Clone()
+	for i := range out.Intensities {
+		out.Intensities[i] -= base.Intensities[i]
+	}
+	return out, nil
+}
+
+// SNR estimates the signal-to-noise ratio of a spectrum: the maximum
+// baseline-corrected signal divided by the robust noise level (median
+// absolute deviation of the first difference, scaled to sigma).
+func SNR(s *Spectrum) float64 {
+	if s.Axis.N < 8 {
+		return 0
+	}
+	diffs := make([]float64, 0, s.Axis.N-1)
+	for i := 1; i < s.Axis.N; i++ {
+		diffs = append(diffs, math.Abs(s.Intensities[i]-s.Intensities[i-1]))
+	}
+	noise := medianFloat(diffs) / (0.6745 * math.Sqrt2)
+	if noise <= 0 {
+		return math.Inf(1)
+	}
+	base, err := EstimateBaseline(s, s.Axis.N/8)
+	if err != nil {
+		return 0
+	}
+	peak := 0.0
+	for i := range s.Intensities {
+		if v := s.Intensities[i] - base.Intensities[i]; v > peak {
+			peak = v
+		}
+	}
+	return peak / noise
+}
+
+func medianFloat(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	c := append([]float64(nil), xs...)
+	sort.Float64s(c)
+	n := len(c)
+	if n%2 == 1 {
+		return c[n/2]
+	}
+	return 0.5 * (c[n/2-1] + c[n/2])
+}

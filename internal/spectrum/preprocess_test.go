@@ -1,0 +1,193 @@
+package spectrum
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"specml/internal/rng"
+)
+
+func TestSavitzkyGolayReproducesPolynomials(t *testing.T) {
+	// A degree-2 filter must reproduce any quadratic exactly (smoothing is
+	// the identity on polynomials up to the filter degree).
+	axis := MustAxis(0, 0.5, 101)
+	s := New(axis)
+	for i := range s.Intensities {
+		x := axis.Value(i)
+		s.Intensities[i] = 2 + 3*x - 0.1*x*x
+	}
+	sm, err := SavitzkyGolay(s, 5, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sm.Intensities {
+		if math.Abs(sm.Intensities[i]-s.Intensities[i]) > 1e-6*(1+math.Abs(s.Intensities[i])) {
+			t.Fatalf("sample %d: %v vs %v", i, sm.Intensities[i], s.Intensities[i])
+		}
+	}
+}
+
+func TestSavitzkyGolayDerivative(t *testing.T) {
+	// First derivative of 3x - 0.1x² is 3 - 0.2x, in axis units.
+	axis := MustAxis(0, 0.25, 201)
+	s := New(axis)
+	for i := range s.Intensities {
+		x := axis.Value(i)
+		s.Intensities[i] = 3*x - 0.1*x*x
+	}
+	d, err := SavitzkyGolay(s, 4, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < axis.N; i += 13 {
+		want := 3 - 0.2*axis.Value(i)
+		if math.Abs(d.Intensities[i]-want) > 1e-6 {
+			t.Fatalf("derivative at %v = %v, want %v", axis.Value(i), d.Intensities[i], want)
+		}
+	}
+}
+
+func TestSavitzkyGolayDenoises(t *testing.T) {
+	axis := MustAxis(0, 0.02, 501)
+	clean := New(axis)
+	noisy := New(axis)
+	src := rng.New(9)
+	for i := range clean.Intensities {
+		x := axis.Value(i)
+		clean.Intensities[i] = GaussianValue(x, 5, 1.2)
+		noisy.Intensities[i] = clean.Intensities[i] + src.Normal(0, 0.02)
+	}
+	sm, err := SavitzkyGolay(noisy, 8, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mseNoisy, mseSmooth := 0.0, 0.0
+	for i := range clean.Intensities {
+		dn := noisy.Intensities[i] - clean.Intensities[i]
+		ds := sm.Intensities[i] - clean.Intensities[i]
+		mseNoisy += dn * dn
+		mseSmooth += ds * ds
+	}
+	if mseSmooth > mseNoisy/3 {
+		t.Fatalf("smoothing barely helped: %v vs %v", mseSmooth, mseNoisy)
+	}
+}
+
+func TestSavitzkyGolayValidation(t *testing.T) {
+	s := New(MustAxis(0, 1, 50))
+	cases := []struct{ hw, deg, deriv int }{
+		{0, 2, 0},  // window too small
+		{3, 1, 2},  // derivative above degree
+		{2, 5, 0},  // degree >= window
+		{3, 2, -1}, // negative derivative
+		{30, 2, 0}, // window longer than axis
+	}
+	for i, c := range cases {
+		if _, err := SavitzkyGolay(s, c.hw, c.deg, c.deriv); err == nil {
+			t.Fatalf("case %d must error", i)
+		}
+	}
+}
+
+func TestEstimateBaselineRecoversOffset(t *testing.T) {
+	// peaks on a tilted baseline: the estimate must track the tilt and
+	// ignore the peaks
+	axis := MustAxis(0, 0.05, 801)
+	s := New(axis)
+	for i := range s.Intensities {
+		x := axis.Value(i)
+		s.Intensities[i] = 0.5 + 0.02*x // baseline
+	}
+	if err := RenderPeaks(s, []Peak{
+		{Center: 10, Area: 5, Width: 0.4, Eta: 0},
+		{Center: 25, Area: 3, Width: 0.5, Eta: 0},
+	}, 0); err != nil {
+		t.Fatal(err)
+	}
+	base, err := EstimateBaseline(s, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// away from the edges the baseline should be close to the true line
+	for i := 100; i < axis.N-100; i += 37 {
+		x := axis.Value(i)
+		want := 0.5 + 0.02*x
+		if math.Abs(base.Intensities[i]-want) > 0.08 {
+			t.Fatalf("baseline at %v = %v, want ~%v", x, base.Intensities[i], want)
+		}
+	}
+	// and the corrected spectrum keeps the peaks
+	corr, err := SubtractBaseline(s, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corr.ValueAt(10) < 1 {
+		t.Fatalf("peak lost after baseline subtraction: %v", corr.ValueAt(10))
+	}
+	if v := corr.ValueAt(35); math.Abs(v) > 0.1 {
+		t.Fatalf("peak-free region not flattened: %v", v)
+	}
+}
+
+// Property: the estimated baseline never exceeds the spectrum.
+func TestBaselineNeverAboveSpectrumProperty(t *testing.T) {
+	src := rng.New(13)
+	axis := MustAxis(0, 0.1, 201)
+	f := func(_ uint8) bool {
+		s := New(axis)
+		for i := range s.Intensities {
+			s.Intensities[i] = src.Float64()
+		}
+		base, err := EstimateBaseline(s, 20)
+		if err != nil {
+			return false
+		}
+		for i := range base.Intensities {
+			if base.Intensities[i] > s.Intensities[i]+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEstimateBaselineValidation(t *testing.T) {
+	s := New(MustAxis(0, 1, 3))
+	if _, err := EstimateBaseline(s, 0); err == nil {
+		t.Fatal("zero span must error")
+	}
+	if _, err := EstimateBaseline(s, 5); err == nil {
+		t.Fatal("too-short spectrum must error")
+	}
+}
+
+func TestSNRRankings(t *testing.T) {
+	axis := MustAxis(0, 0.01, 1001)
+	mk := func(noise float64, seed uint64) *Spectrum {
+		s := New(axis)
+		if err := RenderPeaks(s, []Peak{{Center: 5, Area: 1, Width: 0.2, Eta: 0}}, 0); err != nil {
+			t.Fatal(err)
+		}
+		src := rng.New(seed)
+		for i := range s.Intensities {
+			s.Intensities[i] += src.Normal(0, noise)
+		}
+		return s
+	}
+	clean := SNR(mk(0.001, 1))
+	dirty := SNR(mk(0.05, 2))
+	if clean <= dirty {
+		t.Fatalf("SNR ordering wrong: clean %v vs dirty %v", clean, dirty)
+	}
+	if dirty < 1 {
+		t.Fatalf("dirty SNR implausibly low: %v", dirty)
+	}
+	// degenerate inputs
+	if SNR(New(MustAxis(0, 1, 4))) != 0 {
+		t.Fatal("too-short spectrum must give 0")
+	}
+}

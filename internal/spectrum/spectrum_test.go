@@ -1,0 +1,213 @@
+package spectrum
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"specml/internal/rng"
+)
+
+func TestNewAxisValidation(t *testing.T) {
+	if _, err := NewAxis(0, -1, 10); err == nil {
+		t.Fatal("negative step must error")
+	}
+	if _, err := NewAxis(0, 1, 0); err == nil {
+		t.Fatal("zero length must error")
+	}
+	a, err := NewAxis(1, 0.5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.End() != 3 {
+		t.Fatalf("End = %v, want 3", a.End())
+	}
+}
+
+func TestAxisIndexRoundTrip(t *testing.T) {
+	a := MustAxis(10, 0.25, 100)
+	for i := 0; i < a.N; i += 7 {
+		x := a.Value(i)
+		if got := a.Index(x); math.Abs(got-float64(i)) > 1e-9 {
+			t.Fatalf("Index(Value(%d)) = %v", i, got)
+		}
+		if a.NearestIndex(x) != i {
+			t.Fatalf("NearestIndex(Value(%d)) = %d", i, a.NearestIndex(x))
+		}
+	}
+}
+
+func TestAxisNearestIndexClamps(t *testing.T) {
+	a := MustAxis(0, 1, 10)
+	if a.NearestIndex(-5) != 0 || a.NearestIndex(100) != 9 {
+		t.Fatal("NearestIndex must clamp to the axis")
+	}
+}
+
+func TestAxisContains(t *testing.T) {
+	a := MustAxis(2, 1, 3) // 2,3,4
+	if !a.Contains(2) || !a.Contains(4) || a.Contains(1.9) || a.Contains(4.1) {
+		t.Fatal("Contains wrong")
+	}
+}
+
+func TestAddAxisMismatch(t *testing.T) {
+	s1 := New(MustAxis(0, 1, 10))
+	s2 := New(MustAxis(0, 2, 10))
+	if err := s1.Add(1, s2); err == nil {
+		t.Fatal("Add with mismatched axes must error")
+	}
+}
+
+func TestIntegrateConstant(t *testing.T) {
+	s := New(MustAxis(0, 0.1, 101)) // spans [0,10]
+	for i := range s.Intensities {
+		s.Intensities[i] = 2
+	}
+	if got := s.Integrate(); math.Abs(got-20) > 1e-9 {
+		t.Fatalf("Integrate = %v, want 20", got)
+	}
+}
+
+func TestIntegrateBetween(t *testing.T) {
+	s := New(MustAxis(0, 0.1, 101))
+	for i := range s.Intensities {
+		s.Intensities[i] = 1
+	}
+	if got := s.IntegrateBetween(2, 5); math.Abs(got-3) > 1e-9 {
+		t.Fatalf("IntegrateBetween = %v, want 3", got)
+	}
+	// reversed bounds are normalized
+	if got := s.IntegrateBetween(5, 2); math.Abs(got-3) > 1e-9 {
+		t.Fatalf("IntegrateBetween reversed = %v, want 3", got)
+	}
+}
+
+func TestValueAtInterpolatesLinearly(t *testing.T) {
+	s := New(MustAxis(0, 1, 3))
+	s.Intensities = []float64{0, 10, 20}
+	if got := s.ValueAt(0.5); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("ValueAt(0.5) = %v, want 5", got)
+	}
+	if got := s.ValueAt(1.75); math.Abs(got-17.5) > 1e-12 {
+		t.Fatalf("ValueAt(1.75) = %v, want 17.5", got)
+	}
+	if s.ValueAt(-1) != 0 || s.ValueAt(5) != 0 {
+		t.Fatal("out-of-range ValueAt must be 0")
+	}
+}
+
+func TestResampleIdentity(t *testing.T) {
+	axis := MustAxis(0, 1, 50)
+	s := New(axis)
+	src := rng.New(5)
+	for i := range s.Intensities {
+		s.Intensities[i] = src.Float64()
+	}
+	r := s.Resample(axis)
+	for i := range r.Intensities {
+		if math.Abs(r.Intensities[i]-s.Intensities[i]) > 1e-12 {
+			t.Fatal("resampling onto the same axis must be the identity")
+		}
+	}
+}
+
+func TestResampleRefineAndCoarsen(t *testing.T) {
+	// A linear ramp is reproduced exactly by linear interpolation at any
+	// resolution.
+	s := New(MustAxis(0, 1, 11))
+	for i := range s.Intensities {
+		s.Intensities[i] = float64(i)
+	}
+	fine := s.Resample(MustAxis(0, 0.25, 41))
+	for i := range fine.Intensities {
+		want := fine.Axis.Value(i)
+		if math.Abs(fine.Intensities[i]-want) > 1e-12 {
+			t.Fatalf("refined sample %d = %v, want %v", i, fine.Intensities[i], want)
+		}
+	}
+	coarse := fine.Resample(MustAxis(0, 2, 6))
+	for i := range coarse.Intensities {
+		want := coarse.Axis.Value(i)
+		if math.Abs(coarse.Intensities[i]-want) > 1e-12 {
+			t.Fatalf("coarse sample %d = %v, want %v", i, coarse.Intensities[i], want)
+		}
+	}
+}
+
+func TestNormalizeMax(t *testing.T) {
+	s := New(MustAxis(0, 1, 4))
+	s.Intensities = []float64{1, 4, 2, 0}
+	s.NormalizeMax()
+	if s.Max() != 1 || s.Intensities[0] != 0.25 {
+		t.Fatalf("NormalizeMax wrong: %v", s.Intensities)
+	}
+	// all-zero spectrum is untouched
+	z := New(MustAxis(0, 1, 3))
+	z.NormalizeMax()
+	if z.Max() != 0 {
+		t.Fatal("zero spectrum changed")
+	}
+}
+
+func TestNormalizeAreaAndSum(t *testing.T) {
+	s := New(MustAxis(0, 0.5, 21))
+	for i := range s.Intensities {
+		s.Intensities[i] = 3
+	}
+	s.NormalizeArea()
+	if got := s.Integrate(); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("area after NormalizeArea = %v", got)
+	}
+	s.NormalizeSum()
+	if got := s.TotalIntensity(); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("sum after NormalizeSum = %v", got)
+	}
+}
+
+// Property: superposition is linear — Superpose(w, c) evaluated pointwise
+// equals the weighted sum of components.
+func TestSuperposeLinearityProperty(t *testing.T) {
+	src := rng.New(77)
+	axis := MustAxis(0, 1, 32)
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%4) + 1
+		weights := make([]float64, n)
+		comps := make([]*Spectrum, n)
+		for i := range comps {
+			weights[i] = src.Uniform(-2, 2)
+			c := New(axis)
+			for j := range c.Intensities {
+				c.Intensities[j] = src.Normal(0, 1)
+			}
+			comps[i] = c
+		}
+		sum, err := Superpose(weights, comps)
+		if err != nil {
+			return false
+		}
+		for j := 0; j < axis.N; j++ {
+			want := 0.0
+			for i := range comps {
+				want += weights[i] * comps[i].Intensities[j]
+			}
+			if math.Abs(sum.Intensities[j]-want) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSuperposeErrors(t *testing.T) {
+	axis := MustAxis(0, 1, 4)
+	if _, err := Superpose([]float64{1}, []*Spectrum{New(axis), New(axis)}); err == nil {
+		t.Fatal("weight/component mismatch must error")
+	}
+	if _, err := Superpose(nil, nil); err == nil {
+		t.Fatal("empty superposition must error")
+	}
+}

@@ -1,0 +1,231 @@
+// Package store is an embedded document store standing in for the MongoDB
+// instance of the paper's toolflow: it keeps measured samples, simulated
+// datasets and trained networks as JSON documents with metadata that
+// "make[s] it possible to trace the basis on which the respective data was
+// generated" — which measurements parameterized which simulator, and which
+// data trained which network.
+//
+// Documents live in named collections, carry free-form string metadata and
+// explicit parent links forming a provenance graph. The whole store can be
+// persisted to and restored from a single JSON stream.
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Document is one stored object.
+type Document struct {
+	ID         string            `json:"id"`
+	Collection string            `json:"collection"`
+	Seq        int               `json:"seq"` // monotonically increasing insertion counter
+	Meta       map[string]string `json:"meta,omitempty"`
+	// Parents are the IDs of the documents this one was derived from
+	// (measurements -> simulator -> dataset -> network).
+	Parents []string        `json:"parents,omitempty"`
+	Data    json.RawMessage `json:"data,omitempty"`
+}
+
+// Store is an in-memory document store safe for concurrent use.
+type Store struct {
+	mu   sync.RWMutex
+	docs map[string]*Document // by ID
+	seq  int
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{docs: make(map[string]*Document)}
+}
+
+// Put inserts a document with the given collection, metadata, parent links
+// and JSON-marshalable payload, returning its generated ID.
+func (s *Store) Put(collection string, meta map[string]string, parents []string, v any) (string, error) {
+	if collection == "" {
+		return "", fmt.Errorf("store: empty collection name")
+	}
+	data, err := json.Marshal(v)
+	if err != nil {
+		return "", fmt.Errorf("store: marshaling payload: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, p := range parents {
+		if _, ok := s.docs[p]; !ok {
+			return "", fmt.Errorf("store: unknown parent document %q", p)
+		}
+	}
+	s.seq++
+	id := fmt.Sprintf("%s/%06d", collection, s.seq)
+	m := make(map[string]string, len(meta))
+	for k, v := range meta {
+		m[k] = v
+	}
+	s.docs[id] = &Document{
+		ID:         id,
+		Collection: collection,
+		Seq:        s.seq,
+		Meta:       m,
+		Parents:    append([]string(nil), parents...),
+		Data:       data,
+	}
+	return id, nil
+}
+
+// Get unmarshals the payload of the document with the given ID into out
+// (out may be nil to only check existence) and returns the document.
+func (s *Store) Get(id string, out any) (*Document, error) {
+	s.mu.RLock()
+	doc, ok := s.docs[id]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("store: no document %q", id)
+	}
+	if out != nil {
+		if err := json.Unmarshal(doc.Data, out); err != nil {
+			return nil, fmt.Errorf("store: unmarshaling %q: %w", id, err)
+		}
+	}
+	return doc, nil
+}
+
+// Delete removes a document. Deleting a document that other documents list
+// as a parent is refused, preserving provenance integrity.
+func (s *Store) Delete(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.docs[id]; !ok {
+		return fmt.Errorf("store: no document %q", id)
+	}
+	for _, d := range s.docs {
+		for _, p := range d.Parents {
+			if p == id {
+				return fmt.Errorf("store: %q is a parent of %q; delete the child first", id, d.ID)
+			}
+		}
+	}
+	delete(s.docs, id)
+	return nil
+}
+
+// Find returns the documents of a collection whose metadata contains every
+// key/value pair of filter (pass nil to match all), ordered by insertion.
+func (s *Store) Find(collection string, filter map[string]string) []*Document {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []*Document
+	for _, d := range s.docs {
+		if d.Collection != collection {
+			continue
+		}
+		match := true
+		for k, v := range filter {
+			if d.Meta[k] != v {
+				match = false
+				break
+			}
+		}
+		if match {
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// Collections returns the sorted list of non-empty collection names.
+func (s *Store) Collections() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	set := map[string]bool{}
+	for _, d := range s.docs {
+		set[d.Collection] = true
+	}
+	out := make([]string, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the total document count.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.docs)
+}
+
+// Lineage returns the full ancestor closure of a document (the provenance
+// chain back to raw measurements), ordered by insertion sequence.
+func (s *Store) Lineage(id string) ([]*Document, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	start, ok := s.docs[id]
+	if !ok {
+		return nil, fmt.Errorf("store: no document %q", id)
+	}
+	seen := map[string]bool{}
+	var out []*Document
+	var walk func(d *Document)
+	walk = func(d *Document) {
+		for _, pid := range d.Parents {
+			if seen[pid] {
+				continue
+			}
+			seen[pid] = true
+			if p, ok := s.docs[pid]; ok {
+				out = append(out, p)
+				walk(p)
+			}
+		}
+	}
+	walk(start)
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out, nil
+}
+
+// persisted is the on-disk layout.
+type persisted struct {
+	Format string      `json:"format"`
+	Seq    int         `json:"seq"`
+	Docs   []*Document `json:"docs"`
+}
+
+const storeFormat = "specml/store/v1"
+
+// Save writes the whole store as JSON.
+func (s *Store) Save(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	p := persisted{Format: storeFormat, Seq: s.seq}
+	for _, d := range s.docs {
+		p.Docs = append(p.Docs, d)
+	}
+	sort.Slice(p.Docs, func(i, j int) bool { return p.Docs[i].Seq < p.Docs[j].Seq })
+	return json.NewEncoder(w).Encode(&p)
+}
+
+// Load restores a store saved with Save.
+func Load(r io.Reader) (*Store, error) {
+	var p persisted
+	if err := json.NewDecoder(r).Decode(&p); err != nil {
+		return nil, fmt.Errorf("store: decoding: %w", err)
+	}
+	if p.Format != storeFormat {
+		return nil, fmt.Errorf("store: unsupported format %q", p.Format)
+	}
+	s := New()
+	s.seq = p.Seq
+	for _, d := range p.Docs {
+		if d.ID == "" {
+			return nil, fmt.Errorf("store: document without ID in stream")
+		}
+		s.docs[d.ID] = d
+	}
+	return s, nil
+}

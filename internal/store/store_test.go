@@ -1,0 +1,223 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := New()
+	type payload struct {
+		A int
+		B string
+	}
+	id, err := s.Put("measurements", map[string]string{"mix": "7"}, nil, payload{A: 3, B: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got payload
+	doc, err := s.Get(id, &got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.A != 3 || got.B != "x" {
+		t.Fatalf("payload round trip: %+v", got)
+	}
+	if doc.Collection != "measurements" || doc.Meta["mix"] != "7" {
+		t.Fatalf("doc metadata wrong: %+v", doc)
+	}
+}
+
+func TestPutValidation(t *testing.T) {
+	s := New()
+	if _, err := s.Put("", nil, nil, 1); err == nil {
+		t.Fatal("empty collection must error")
+	}
+	if _, err := s.Put("c", nil, []string{"nope"}, 1); err == nil {
+		t.Fatal("unknown parent must error")
+	}
+	if _, err := s.Put("c", nil, nil, func() {}); err == nil {
+		t.Fatal("unmarshalable payload must error")
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	s := New()
+	if _, err := s.Get("nope", nil); err == nil {
+		t.Fatal("unknown id must error")
+	}
+}
+
+func TestFindWithFilter(t *testing.T) {
+	s := New()
+	for i := 0; i < 5; i++ {
+		kind := "a"
+		if i%2 == 1 {
+			kind = "b"
+		}
+		if _, err := s.Put("col", map[string]string{"kind": kind, "i": fmt.Sprint(i)}, nil, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	all := s.Find("col", nil)
+	if len(all) != 5 {
+		t.Fatalf("Find all = %d docs", len(all))
+	}
+	// insertion order preserved
+	for i := 1; i < len(all); i++ {
+		if all[i].Seq <= all[i-1].Seq {
+			t.Fatal("Find not ordered by insertion")
+		}
+	}
+	bs := s.Find("col", map[string]string{"kind": "b"})
+	if len(bs) != 2 {
+		t.Fatalf("filtered Find = %d docs, want 2", len(bs))
+	}
+	if len(s.Find("other", nil)) != 0 {
+		t.Fatal("unknown collection must be empty")
+	}
+}
+
+func TestProvenanceLineage(t *testing.T) {
+	s := New()
+	meas, _ := s.Put("measurements", nil, nil, "raw")
+	sim, _ := s.Put("simulators", nil, []string{meas}, "sim")
+	data, _ := s.Put("datasets", nil, []string{sim}, "data")
+	net, err := s.Put("networks", nil, []string{data, sim}, "net")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lin, err := s.Lineage(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lin) != 3 {
+		t.Fatalf("lineage has %d docs, want 3", len(lin))
+	}
+	// ordered by seq: measurements, simulator, dataset
+	if lin[0].ID != meas || lin[1].ID != sim || lin[2].ID != data {
+		t.Fatalf("lineage order wrong: %v %v %v", lin[0].ID, lin[1].ID, lin[2].ID)
+	}
+	if _, err := s.Lineage("nope"); err == nil {
+		t.Fatal("unknown id must error")
+	}
+}
+
+func TestDeleteRespectsProvenance(t *testing.T) {
+	s := New()
+	parent, _ := s.Put("a", nil, nil, 1)
+	child, _ := s.Put("b", nil, []string{parent}, 2)
+	if err := s.Delete(parent); err == nil {
+		t.Fatal("deleting a referenced parent must error")
+	}
+	if err := s.Delete(child); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(parent); err != nil {
+		t.Fatal("parent must be deletable after child removal")
+	}
+	if err := s.Delete(parent); err == nil {
+		t.Fatal("double delete must error")
+	}
+}
+
+func TestCollectionsAndLen(t *testing.T) {
+	s := New()
+	s.Put("b", nil, nil, 1)
+	s.Put("a", nil, nil, 1)
+	s.Put("a", nil, nil, 2)
+	cols := s.Collections()
+	if len(cols) != 2 || cols[0] != "a" || cols[1] != "b" {
+		t.Fatalf("Collections = %v", cols)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	s := New()
+	m, _ := s.Put("measurements", map[string]string{"k": "v"}, nil, 42)
+	s.Put("simulators", nil, []string{m}, "sim")
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 2 {
+		t.Fatalf("restored Len = %d", s2.Len())
+	}
+	var v int
+	if _, err := s2.Get(m, &v); err != nil || v != 42 {
+		t.Fatalf("restored payload = %d, %v", v, err)
+	}
+	// new inserts continue the sequence without colliding
+	id, err := s2.Put("measurements", nil, nil, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Get(id, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("garbage"))); err == nil {
+		t.Fatal("garbage must not load")
+	}
+	if _, err := Load(bytes.NewReader([]byte(`{"format":"x"}`))); err == nil {
+		t.Fatal("wrong format must not load")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := New()
+	root, _ := s.Put("a", nil, nil, 0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				id, err := s.Put("a", map[string]string{"g": fmt.Sprint(g)}, []string{root}, i)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := s.Get(id, nil); err != nil {
+					t.Error(err)
+					return
+				}
+				s.Find("a", map[string]string{"g": fmt.Sprint(g)})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Len() != 401 {
+		t.Fatalf("Len = %d, want 401", s.Len())
+	}
+}
+
+// Property: IDs are unique and retrievable.
+func TestUniqueIDsProperty(t *testing.T) {
+	s := New()
+	seen := map[string]bool{}
+	f := func(n uint8) bool {
+		id, err := s.Put("c", nil, nil, int(n))
+		if err != nil || seen[id] {
+			return false
+		}
+		seen[id] = true
+		_, err = s.Get(id, nil)
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

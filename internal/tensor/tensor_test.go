@@ -1,0 +1,265 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"specml/internal/rng"
+)
+
+func TestNewShapeAndZeroFill(t *testing.T) {
+	x := New(2, 3, 4)
+	if x.Len() != 24 || x.Rank() != 3 || x.Dims(1) != 3 {
+		t.Fatalf("bad shape metadata: %+v", x)
+	}
+	for _, v := range x.Data {
+		if v != 0 {
+			t.Fatal("New must zero-fill")
+		}
+	}
+}
+
+func TestAtSetRoundTrip(t *testing.T) {
+	x := New(3, 4)
+	x.Set(7.5, 2, 1)
+	if got := x.At(2, 1); got != 7.5 {
+		t.Fatalf("At = %v, want 7.5", got)
+	}
+	if x.Data[2*4+1] != 7.5 {
+		t.Fatal("row-major layout violated")
+	}
+}
+
+func TestAtPanicsOutOfBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(2, 2).At(2, 0)
+}
+
+func TestFromMat(t *testing.T) {
+	m := FromMat([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if m.Dims(0) != 3 || m.Dims(1) != 2 || m.At(1, 1) != 4 {
+		t.Fatalf("FromMat wrong: %+v", m)
+	}
+}
+
+func TestFromMatRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for ragged input")
+		}
+	}()
+	FromMat([][]float64{{1, 2}, {3}})
+}
+
+func TestReshapeSharesData(t *testing.T) {
+	x := New(2, 6)
+	y := x.Reshape(3, 4)
+	y.Set(9, 0, 1)
+	if x.Data[1] != 9 {
+		t.Fatal("Reshape must share backing data")
+	}
+}
+
+func TestReshapeBadSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(2, 3).Reshape(7)
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	x := FromVec([]float64{1, 2, 3})
+	y := x.Clone()
+	y.Data[0] = 99
+	if x.Data[0] != 1 {
+		t.Fatal("Clone must copy data")
+	}
+}
+
+func TestScaleApplySumMean(t *testing.T) {
+	x := FromVec([]float64{1, 2, 3, 4})
+	x.Scale(2)
+	if x.Sum() != 20 {
+		t.Fatalf("Sum = %v, want 20", x.Sum())
+	}
+	if x.Mean() != 5 {
+		t.Fatalf("Mean = %v, want 5", x.Mean())
+	}
+	x.Apply(func(v float64) float64 { return -v })
+	if x.MaxAbs() != 8 {
+		t.Fatalf("MaxAbs = %v, want 8", x.MaxAbs())
+	}
+}
+
+func TestAddScaled(t *testing.T) {
+	x := FromVec([]float64{1, 1})
+	y := FromVec([]float64{2, 3})
+	x.AddScaled(0.5, y)
+	if x.Data[0] != 2 || x.Data[1] != 2.5 {
+		t.Fatalf("AddScaled wrong: %v", x.Data)
+	}
+}
+
+func TestArgMax(t *testing.T) {
+	x := FromVec([]float64{0.1, 0.7, 0.2})
+	if x.ArgMax() != 1 {
+		t.Fatalf("ArgMax = %d, want 1", x.ArgMax())
+	}
+}
+
+func TestEqualApprox(t *testing.T) {
+	a := FromVec([]float64{1, 2})
+	b := FromVec([]float64{1.0001, 2})
+	if !a.EqualApprox(b, 1e-3) {
+		t.Fatal("should be approx equal")
+	}
+	if a.EqualApprox(b, 1e-6) {
+		t.Fatal("should not be equal at 1e-6")
+	}
+	c := New(2, 1)
+	if a.EqualApprox(c, 1) {
+		t.Fatal("different shapes must not compare equal")
+	}
+}
+
+func TestDot(t *testing.T) {
+	if got := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); got != 32 {
+		t.Fatalf("Dot = %v, want 32", got)
+	}
+}
+
+func TestMatVec(t *testing.T) {
+	// W = [[1,2],[3,4],[5,6]], x = [1,1] -> [3,7,11]
+	w := []float64{1, 2, 3, 4, 5, 6}
+	out := make([]float64, 3)
+	MatVec(out, w, []float64{1, 1}, 3, 2)
+	want := []float64{3, 7, 11}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("MatVec = %v, want %v", out, want)
+		}
+	}
+}
+
+func TestMatTVec(t *testing.T) {
+	// Wᵀ*y with W = [[1,2],[3,4],[5,6]], y = [1,0,1] -> [6,8]
+	w := []float64{1, 2, 3, 4, 5, 6}
+	out := make([]float64, 2)
+	MatTVec(out, w, []float64{1, 0, 1}, 3, 2)
+	if out[0] != 6 || out[1] != 8 {
+		t.Fatalf("MatTVec = %v, want [6 8]", out)
+	}
+}
+
+func TestOuterAccum(t *testing.T) {
+	grad := make([]float64, 6)
+	OuterAccum(grad, []float64{1, 2, 3}, []float64{4, 5}, 3, 2)
+	want := []float64{4, 5, 8, 10, 12, 15}
+	for i := range want {
+		if grad[i] != want[i] {
+			t.Fatalf("OuterAccum = %v, want %v", grad, want)
+		}
+	}
+}
+
+func TestMatMulSmall(t *testing.T) {
+	a := FromMat([][]float64{{1, 2}, {3, 4}})
+	b := FromMat([][]float64{{5, 6}, {7, 8}})
+	c := MatMul(a, b)
+	want := FromMat([][]float64{{19, 22}, {43, 50}})
+	if !c.EqualApprox(want, 1e-12) {
+		t.Fatalf("MatMul = %v, want %v", c.Data, want.Data)
+	}
+}
+
+func TestMatMulShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MatMul(New(2, 3), New(2, 3))
+}
+
+// Property: MatVec agrees with MatMul on random matrices.
+func TestMatVecMatchesMatMulProperty(t *testing.T) {
+	src := rng.New(99)
+	f := func(rRaw, cRaw uint8) bool {
+		rows := int(rRaw%6) + 1
+		cols := int(cRaw%6) + 1
+		w := New(rows, cols)
+		x := New(cols, 1)
+		for i := range w.Data {
+			w.Data[i] = src.Normal(0, 1)
+		}
+		for i := range x.Data {
+			x.Data[i] = src.Normal(0, 1)
+		}
+		out := make([]float64, rows)
+		MatVec(out, w.Data, x.Data, rows, cols)
+		ref := MatMul(w, x)
+		for i := range out {
+			if math.Abs(out[i]-ref.Data[i]) > 1e-10 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: (Wᵀy)·x == y·(Wx) — adjoint identity used implicitly by backprop.
+func TestAdjointIdentityProperty(t *testing.T) {
+	src := rng.New(123)
+	f := func(rRaw, cRaw uint8) bool {
+		rows := int(rRaw%8) + 1
+		cols := int(cRaw%8) + 1
+		w := make([]float64, rows*cols)
+		x := make([]float64, cols)
+		y := make([]float64, rows)
+		for i := range w {
+			w[i] = src.Normal(0, 1)
+		}
+		for i := range x {
+			x[i] = src.Normal(0, 1)
+		}
+		for i := range y {
+			y[i] = src.Normal(0, 1)
+		}
+		wx := make([]float64, rows)
+		MatVec(wx, w, x, rows, cols)
+		wty := make([]float64, cols)
+		MatTVec(wty, w, y, rows, cols)
+		return math.Abs(Dot(wty, x)-Dot(y, wx)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMatVec256(b *testing.B) {
+	const rows, cols = 256, 256
+	w := make([]float64, rows*cols)
+	x := make([]float64, cols)
+	out := make([]float64, rows)
+	src := rng.New(1)
+	for i := range w {
+		w[i] = src.Normal(0, 1)
+	}
+	for i := range x {
+		x[i] = src.Normal(0, 1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatVec(out, w, x, rows, cols)
+	}
+}

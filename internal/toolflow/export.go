@@ -1,0 +1,56 @@
+package toolflow
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteResultsCSV exports training/evaluation results for spreadsheet
+// analysis: one row per trained network with its validation MAE, training
+// time and per-output errors. names labels the outputs (may be nil).
+func WriteResultsCSV(results []*Result, names []string, w io.Writer) error {
+	if len(results) == 0 {
+		return fmt.Errorf("toolflow: no results to export")
+	}
+	cw := csv.NewWriter(w)
+	width := len(results[0].ValPerOut)
+	header := []string{"network", "loss", "epochs", "params", "valMAE", "trainSeconds", "bestEpoch"}
+	for j := 0; j < width; j++ {
+		if j < len(names) && names[j] != "" {
+			header = append(header, "mae_"+names[j])
+		} else {
+			header = append(header, fmt.Sprintf("mae_out%d", j))
+		}
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range results {
+		if len(r.ValPerOut) != width {
+			return fmt.Errorf("toolflow: result %q has %d outputs, want %d", r.Spec.Name, len(r.ValPerOut), width)
+		}
+		best := -1
+		if r.History != nil {
+			best = r.History.BestEpoch
+		}
+		row := []string{
+			r.Spec.Name,
+			r.Spec.Loss,
+			strconv.Itoa(r.Spec.Epochs),
+			strconv.Itoa(r.Model.NumParams()),
+			strconv.FormatFloat(r.ValMAE, 'g', 8, 64),
+			strconv.FormatFloat(r.TrainTime.Seconds(), 'g', 6, 64),
+			strconv.Itoa(best),
+		}
+		for _, v := range r.ValPerOut {
+			row = append(row, strconv.FormatFloat(v, 'g', 8, 64))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,247 @@
+package toolflow
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"specml/internal/dataset"
+	"specml/internal/nn"
+	"specml/internal/rng"
+	"specml/internal/store"
+)
+
+// tinyData builds a linear toy problem: y = softmax-ish normalized
+// fractions from 2 features.
+func tinyData(n int, seed uint64) *dataset.Dataset {
+	src := rng.New(seed)
+	d := dataset.New(n)
+	for i := 0; i < n; i++ {
+		a, b := src.Float64(), src.Float64()
+		sum := a + b
+		d.Append([]float64{a, b}, []float64{a / sum, b / sum})
+	}
+	return d
+}
+
+func tinySpec(epochs int) TopologySpec {
+	return TopologySpec{
+		Name: "tiny",
+		Layers: []nn.LayerSpec{
+			{Type: "dense", Out: 8},
+			{Type: "activation", Activation: "tanh"},
+			{Type: "dense", Out: 2},
+			{Type: "softmax"},
+		},
+		Loss: "mae", Optimizer: "adam", LR: 0.01,
+		Epochs: epochs, BatchSize: 16, Seed: 1,
+		InputShape: []int{2},
+	}
+}
+
+func TestSpecBuildValidation(t *testing.T) {
+	s := tinySpec(1)
+	s.InputShape = nil
+	if _, err := s.Build(); err == nil {
+		t.Fatal("missing input shape must error")
+	}
+	s2 := tinySpec(1)
+	s2.Layers[0].Type = "bogus"
+	if _, err := s2.Build(); err == nil {
+		t.Fatal("bogus layer must error")
+	}
+	s3 := tinySpec(1)
+	if m, err := s3.Build(); err != nil || m.NumParams() == 0 {
+		t.Fatalf("build failed: %v", err)
+	}
+}
+
+func TestRunnerTrainAndSelect(t *testing.T) {
+	train := tinyData(120, 1)
+	val := tinyData(40, 2)
+	r := &Runner{}
+	good := tinySpec(40)
+	bad := tinySpec(1)
+	bad.Name = "undertrained"
+	results, err := r.TrainAll([]TopologySpec{bad, good}, train, val)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("%d results", len(results))
+	}
+	best, err := SelectBest(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Spec.Name != "tiny" {
+		t.Fatalf("best = %q (MAE %v vs %v)", best.Spec.Name, results[0].ValMAE, results[1].ValMAE)
+	}
+	if best.ValMAE > 0.05 {
+		t.Fatalf("trained network too weak: %v", best.ValMAE)
+	}
+	if len(best.ValPerOut) != 2 {
+		t.Fatalf("per-output record missing: %v", best.ValPerOut)
+	}
+	if _, err := SelectBest(nil); err == nil {
+		t.Fatal("empty selection must error")
+	}
+}
+
+func TestRunnerRecordsProvenance(t *testing.T) {
+	st := store.New()
+	measID, _ := st.Put("measurements", nil, nil, "raw")
+	simID, _ := st.Put("simulators", nil, []string{measID}, "sim")
+	dataID, _ := st.Put("datasets", nil, []string{simID}, "data")
+	r := &Runner{Store: st, DatasetID: dataID, SimulatorID: simID}
+	res, err := r.Train(tinySpec(3), tinyData(50, 3), tinyData(20, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StoreID == "" {
+		t.Fatal("no store document recorded")
+	}
+	lin, err := st.Lineage(res.StoreID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// the lineage must reach back to the raw measurements
+	found := false
+	for _, d := range lin {
+		if d.ID == measID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("network lineage does not reach measurements: %v", lin)
+	}
+}
+
+func TestRunnerValidatesData(t *testing.T) {
+	r := &Runner{}
+	bad := tinyData(10, 5)
+	bad.X[0] = []float64{1}
+	if _, err := r.Train(tinySpec(1), bad, tinyData(5, 6)); err == nil {
+		t.Fatal("ragged training data must error")
+	}
+	if _, err := r.Train(tinySpec(1), tinyData(10, 5), bad); err == nil {
+		t.Fatal("ragged validation data must error")
+	}
+}
+
+func TestExport(t *testing.T) {
+	r := &Runner{}
+	res, err := r.Train(tinySpec(2), tinyData(30, 7), tinyData(10, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Export(res, &buf); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := nn.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.4, 0.6}
+	a := res.Model.Predict(x)
+	b := m2.Predict(x)
+	if a[0] != b[0] || a[1] != b[1] {
+		t.Fatal("exported model differs")
+	}
+	if err := Export(nil, &buf); err == nil {
+		t.Fatal("nil export must error")
+	}
+}
+
+func TestVerboseOutput(t *testing.T) {
+	var buf bytes.Buffer
+	r := &Runner{Verbose: &buf}
+	if _, err := r.Train(tinySpec(2), tinyData(30, 9), tinyData(10, 10)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "training tiny") || !strings.Contains(out, "epoch") {
+		t.Fatalf("verbose output missing: %q", out)
+	}
+}
+
+func TestMSTable1LayersShapeAndVariants(t *testing.T) {
+	// canonical variant matches the Table-1 parameter budget
+	spec, err := MSTable1Spec(199, 8, "selu", "softmax", "softmax", 1, 32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 525 + 12525 + 9400 + 5640 + (8*30 + 8)
+	if got := m.NumParams(); got != want {
+		t.Fatalf("params = %d, want %d", got, want)
+	}
+	// linear heads simply omit the softmax layers
+	specLin, err := MSTable1Spec(199, 8, "relu", "linear", "linear", 1, 32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mLin, err := specLin.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mLin.NumParams() != want {
+		t.Fatal("activation choice must not change the parameter count")
+	}
+	if len(mLin.Layers()) >= len(m.Layers()) {
+		t.Fatal("linear variant should have fewer layers (no softmax)")
+	}
+	// invalid names
+	if _, err := MSTable1Layers(199, 8, "gelu", "softmax", "softmax"); err == nil {
+		t.Fatal("invalid hidden activation must error")
+	}
+	if _, err := MSTable1Layers(199, 8, "relu", "sigmoid", "softmax"); err == nil {
+		t.Fatal("invalid conv6 head must error")
+	}
+	if _, err := MSTable1Layers(199, 8, "relu", "softmax", "gelu"); err == nil {
+		t.Fatal("invalid output head must error")
+	}
+}
+
+func TestActivationStudySpecsCount(t *testing.T) {
+	specs, err := ActivationStudySpecs(199, 8, 1, 32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 8 {
+		t.Fatalf("%d variants, want 8 (paper)", len(specs))
+	}
+	names := map[string]bool{}
+	for _, s := range specs {
+		if names[s.Name] {
+			t.Fatalf("duplicate variant %q", s.Name)
+		}
+		names[s.Name] = true
+	}
+	if !names["table1-selu-sftm-sftm"] || !names["table1-relu-lin-lin"] {
+		t.Fatalf("expected canonical names, got %v", names)
+	}
+}
+
+func TestNMRSpecsMatchPaperParameterCounts(t *testing.T) {
+	cnn := NMRCNNSpec(1700, 4, 1, 32, 1)
+	m, err := cnn.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumParams() != 10532 {
+		t.Fatalf("NMR CNN params = %d, want 10532", m.NumParams())
+	}
+	lstm := NMRLSTMSpec(5, 1700, 4, 1, 32, 1)
+	m2, err := lstm.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.NumParams() != 221956 {
+		t.Fatalf("NMR LSTM params = %d, want 221956", m2.NumParams())
+	}
+}

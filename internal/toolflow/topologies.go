@@ -1,0 +1,191 @@
+package toolflow
+
+import (
+	"fmt"
+
+	"specml/internal/nn"
+)
+
+// MSTable1Layers returns the layer stack of the paper's Table 1 with
+// configurable activations: hidden is the activation of the first three
+// convolutional layers ("relu" or "selu"), conv6 the activation of the
+// final convolutional layer and output the activation of the dense output
+// layer ("softmax" or "linear" each). inputLen is the spectrum length and
+// outputs the number of substances.
+func MSTable1Layers(inputLen, outputs int, hidden, conv6, output string) ([]nn.LayerSpec, error) {
+	hiddenAct := func() (nn.LayerSpec, error) {
+		switch hidden {
+		case "relu", "selu":
+			return nn.LayerSpec{Type: "activation", Activation: hidden}, nil
+		default:
+			return nn.LayerSpec{}, fmt.Errorf("toolflow: hidden activation must be relu or selu, got %q", hidden)
+		}
+	}
+	headAct := func(name string) (nn.LayerSpec, bool, error) {
+		switch name {
+		case "softmax":
+			return nn.LayerSpec{Type: "softmax"}, true, nil
+		case "linear", "":
+			return nn.LayerSpec{}, false, nil
+		default:
+			return nn.LayerSpec{}, false, fmt.Errorf("toolflow: head activation must be softmax or linear, got %q", name)
+		}
+	}
+	init := ""
+	if hidden == "selu" {
+		init = "lecun"
+	}
+	var layers []nn.LayerSpec
+	layers = append(layers, nn.LayerSpec{Type: "reshape", TargetShape: []int{inputLen, 1}})
+	convs := []nn.LayerSpec{
+		{Type: "conv1d", Filters: 25, Kernel: 20, Stride: 1, Init: init},
+		{Type: "conv1d", Filters: 25, Kernel: 20, Stride: 3, Init: init},
+		{Type: "conv1d", Filters: 25, Kernel: 15, Stride: 2, Init: init},
+	}
+	for _, c := range convs {
+		layers = append(layers, c)
+		act, err := hiddenAct()
+		if err != nil {
+			return nil, err
+		}
+		layers = append(layers, act)
+	}
+	// layer 6: final convolution with its own head activation
+	layers = append(layers, nn.LayerSpec{Type: "conv1d", Filters: 15, Kernel: 15, Stride: 4, Init: init})
+	if act, isSoftmax, err := headAct(conv6); err != nil {
+		return nil, err
+	} else if isSoftmax {
+		layers = append(layers, act)
+	}
+	layers = append(layers, nn.LayerSpec{Type: "flatten"})
+	layers = append(layers, nn.LayerSpec{Type: "dense", Out: outputs, Init: init})
+	if act, isSoftmax, err := headAct(output); err != nil {
+		return nil, err
+	} else if isSoftmax {
+		layers = append(layers, act)
+	}
+	return layers, nil
+}
+
+// MSTable1Spec returns the complete training spec of a Table-1 variant.
+// The canonical network of the paper uses SELU hidden activations and
+// softmax on both the final convolutional layer and the output layer.
+func MSTable1Spec(inputLen, outputs int, hidden, conv6, output string,
+	epochs, batch int, seed uint64) (TopologySpec, error) {
+	layers, err := MSTable1Layers(inputLen, outputs, hidden, conv6, output)
+	if err != nil {
+		return TopologySpec{}, err
+	}
+	name := fmt.Sprintf("table1-%s-%s-%s", hidden, headName(conv6), headName(output))
+	return TopologySpec{
+		Name:       name,
+		Layers:     layers,
+		Loss:       "mae",
+		Optimizer:  "adam",
+		LR:         0.001,
+		Epochs:     epochs,
+		BatchSize:  batch,
+		Seed:       seed,
+		KeepBest:   true,
+		InputShape: []int{inputLen},
+	}, nil
+}
+
+func headName(a string) string {
+	if a == "softmax" {
+		return "sftm"
+	}
+	return "lin"
+}
+
+// ActivationStudySpecs returns the paper's 8 activation-study variants
+// (Fig. 5): {relu, selu} x {linear, softmax} for layer 6 x {linear,
+// softmax} for layer 8.
+func ActivationStudySpecs(inputLen, outputs, epochs, batch int, seed uint64) ([]TopologySpec, error) {
+	var specs []TopologySpec
+	for _, hidden := range []string{"relu", "selu"} {
+		for _, conv6 := range []string{"linear", "softmax"} {
+			for _, out := range []string{"linear", "softmax"} {
+				s, err := MSTable1Spec(inputLen, outputs, hidden, conv6, out, epochs, batch, seed)
+				if err != nil {
+					return nil, err
+				}
+				specs = append(specs, s)
+			}
+		}
+	}
+	return specs, nil
+}
+
+// NMRCNNSpec returns the paper's NMR convolutional model: a single locally
+// connected 1-D layer (four filters, kernel and stride 9) feeding a dense
+// layer with four concentration outputs — 10 532 trainable parameters on
+// 1700-point spectra.
+func NMRCNNSpec(inputLen, outputs, epochs, batch int, seed uint64) TopologySpec {
+	return TopologySpec{
+		Name: "nmr-cnn",
+		Layers: []nn.LayerSpec{
+			{Type: "reshape", TargetShape: []int{inputLen, 1}},
+			{Type: "locallyconnected1d", Filters: 4, Kernel: 9, Stride: 9},
+			{Type: "flatten"},
+			{Type: "dense", Out: outputs},
+		},
+		Loss:       "mse",
+		Optimizer:  "adam",
+		LR:         0.001,
+		Epochs:     epochs,
+		BatchSize:  batch,
+		Seed:       seed,
+		KeepBest:   true,
+		InputShape: []int{inputLen},
+	}
+}
+
+// NMRHybridSpec returns the architecture the paper proposes as future
+// work: "combining a locally connected convolutional layer as feature
+// selector and input for an LSTM layer". The locally connected layer (the
+// NMR CNN's feature extractor) runs per timestep with shared weights; its
+// compressed features feed an LSTM(32) and a dense head.
+func NMRHybridSpec(steps, inputLen, outputs, epochs, batch int, seed uint64) TopologySpec {
+	return TopologySpec{
+		Name: "nmr-hybrid-cnn-lstm",
+		Layers: []nn.LayerSpec{
+			{
+				Type:        "timedistributed",
+				TargetShape: []int{inputLen, 1},
+				Inner:       &nn.LayerSpec{Type: "locallyconnected1d", Filters: 4, Kernel: 9, Stride: 9},
+			},
+			{Type: "lstm", Units: 32},
+			{Type: "dense", Out: outputs},
+		},
+		Loss:       "mse",
+		Optimizer:  "adam",
+		LR:         0.001,
+		Epochs:     epochs,
+		BatchSize:  batch,
+		Seed:       seed,
+		KeepBest:   true,
+		InputShape: []int{steps, inputLen},
+	}
+}
+
+// NMRLSTMSpec returns the paper's time-series model: an LSTM with 32 units
+// over windows of `steps` spectra plus a dense output layer — 221 956
+// trainable parameters for 1700-point spectra.
+func NMRLSTMSpec(steps, inputLen, outputs, epochs, batch int, seed uint64) TopologySpec {
+	return TopologySpec{
+		Name: "nmr-lstm",
+		Layers: []nn.LayerSpec{
+			{Type: "lstm", Units: 32},
+			{Type: "dense", Out: outputs},
+		},
+		Loss:       "mse",
+		Optimizer:  "adam",
+		LR:         0.001,
+		Epochs:     epochs,
+		BatchSize:  batch,
+		Seed:       seed,
+		KeepBest:   true,
+		InputShape: []int{steps, inputLen},
+	}
+}
