@@ -12,6 +12,7 @@ package specml
 import (
 	"io"
 	"os"
+	"strconv"
 	"testing"
 
 	"specml/internal/experiments"
@@ -29,7 +30,19 @@ func benchConfig() experiments.Config {
 			scale = parsed
 		}
 	}
-	return experiments.Config{Scale: scale, Seed: 1}
+	return experiments.Config{Scale: scale, Seed: 1, Workers: benchWorkers()}
+}
+
+// benchWorkers reads SPECML_BENCH_WORKERS (default 0 = all cores). All
+// results are bit-identical for any value, so the knob only moves the
+// clock, never the reported metrics.
+func benchWorkers() int {
+	if s := os.Getenv("SPECML_BENCH_WORKERS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil {
+			return n
+		}
+	}
+	return 0
 }
 
 // BenchmarkFig4SpectrumSimulation measures Tool 3: rendering one non-ideal
@@ -62,6 +75,81 @@ func BenchmarkFig4SpectrumSimulation(b *testing.B) {
 		}
 	}
 }
+
+// fig4CorpusBench generates one Fig.4-style simulated training corpus with
+// the given worker count and reports throughput in spectra per second.
+func fig4CorpusBench(b *testing.B, workers int) {
+	comps, err := msim.Compounds(msim.DefaultTask...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim, err := msim.NewLineSimulator(comps)
+	if err != nil {
+		b.Fatal(err)
+	}
+	model := msim.DefaultTrueModel()
+	axis := msim.DefaultAxis()
+	n := 250
+	if s := os.Getenv("SPECML_BENCH_SCALE"); s == "laptop" {
+		n = 1500
+	} else if s == "paper" {
+		n = 100000
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := msim.GenerateTraining(sim, model, axis, n, 1.0, 1, workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "spectra/s")
+}
+
+// BenchmarkFig4CorpusGenerationSequential is the single-worker baseline of
+// the corpus-generation speedup study (BENCH_parallel.json).
+func BenchmarkFig4CorpusGenerationSequential(b *testing.B) { fig4CorpusBench(b, 1) }
+
+// BenchmarkFig4CorpusGenerationParallel generates the same bit-identical
+// corpus on all cores.
+func BenchmarkFig4CorpusGenerationParallel(b *testing.B) { fig4CorpusBench(b, benchWorkers()) }
+
+// table2TrainBench trains the Table-1 CNN on a fixed simulated corpus with
+// the given worker count — the training half of the speedup study.
+func table2TrainBench(b *testing.B, workers int) {
+	comps, err := msim.Compounds(msim.DefaultTask...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim, err := msim.NewLineSimulator(comps)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := msim.GenerateTraining(sim, msim.DefaultTrueModel(), msim.DefaultAxis(), 250, 1.0, 1, workers)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec, err := toolflow.MSTable1Spec(msim.DefaultAxis().N, sim.NumCompounds(),
+		"selu", "softmax", "softmax", 2, 32, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec.LR = 0.005
+	spec.Workers = workers
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runner := &toolflow.Runner{}
+		if _, err := runner.Train(spec, d, d); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(d.Len()*2)*float64(b.N)/b.Elapsed().Seconds(), "samples/s")
+}
+
+// BenchmarkTable2TrainingSequential is the single-worker training baseline.
+func BenchmarkTable2TrainingSequential(b *testing.B) { table2TrainBench(b, 1) }
+
+// BenchmarkTable2TrainingParallel trains the same bit-identical network on
+// all cores.
+func BenchmarkTable2TrainingParallel(b *testing.B) { table2TrainBench(b, benchWorkers()) }
 
 // BenchmarkTable1Inference measures one forward pass of the Table-1 CNN on
 // the host (the per-sample cost underlying Table 2).

@@ -30,6 +30,7 @@ func main() {
 		all     = flag.Bool("all", false, "run every MS experiment")
 		scale   = flag.String("scale", "laptop", "workload scale: quick | laptop | paper")
 		seed    = flag.Uint64("seed", 1, "experiment seed")
+		workers = flag.Int("workers", 0, "generation/training worker count (0 = all cores); results are identical for any value")
 		verbose = flag.Bool("v", false, "per-epoch training logs")
 		export  = flag.String("export", "", "with -fig7: write the trained network JSON to this file")
 	)
@@ -39,7 +40,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	cfg := experiments.Config{Scale: sc, Seed: *seed}
+	cfg := experiments.Config{Scale: sc, Seed: *seed, Workers: *workers}
 	if *verbose {
 		cfg.Verbose = os.Stderr
 	}

@@ -24,6 +24,7 @@ func main() {
 		quant    = flag.Bool("quant", false, "run the post-training quantization study instead of the main comparison")
 		scale    = flag.String("scale", "laptop", "workload scale: quick | laptop | paper")
 		seed     = flag.Uint64("seed", 1, "experiment seed")
+		workers  = flag.Int("workers", 0, "generation/training worker count (0 = all cores); results are identical for any value")
 		verbose  = flag.Bool("v", false, "per-epoch training logs")
 	)
 	flag.Parse()
@@ -32,7 +33,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	cfg := experiments.Config{Scale: sc, Seed: *seed}
+	cfg := experiments.Config{Scale: sc, Seed: *seed, Workers: *workers}
 	if *verbose {
 		cfg.Verbose = os.Stderr
 	}

@@ -30,13 +30,14 @@ func main() {
 		lineage   = flag.String("lineage", "", "with -store: print the lineage of a document ID")
 		demoStore = flag.String("demo-store", "", "run a mini pipeline and save its provenance store to this path")
 		seed      = flag.Uint64("seed", 1, "simulation seed")
+		workers   = flag.Int("workers", 0, "generation/training worker count (0 = all cores); results are identical for any value")
 	)
 	flag.Parse()
 
 	ran := false
 	if *fig4 {
 		ran = true
-		if _, _, err := experiments.Fig4(experiments.Config{Seed: *seed}, os.Stdout); err != nil {
+		if _, _, err := experiments.Fig4(experiments.Config{Seed: *seed, Workers: *workers}, os.Stdout); err != nil {
 			fatal(err)
 		}
 	}
@@ -59,7 +60,7 @@ func main() {
 	}
 	if *demoStore != "" {
 		ran = true
-		if err := buildDemoStore(*demoStore, *seed); err != nil {
+		if err := buildDemoStore(*demoStore, *seed, *workers); err != nil {
 			fatal(err)
 		}
 	}
@@ -151,12 +152,13 @@ func inspectStore(path, lineageID string) error {
 // buildDemoStore runs characterization + training-data generation + a
 // short training through a provenance-recording pipeline and saves the
 // resulting document store.
-func buildDemoStore(path string, seed uint64) error {
+func buildDemoStore(path string, seed uint64, workers int) error {
 	st := store.New()
 	pipe, err := core.NewMSPipeline(core.MSConfig{
 		TrainSamples: 200,
 		Epochs:       1,
 		Seed:         seed,
+		Workers:      workers,
 		Store:        st,
 	})
 	if err != nil {

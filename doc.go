@@ -6,6 +6,21 @@
 // embedded-platform cost model and a benchmark harness regenerating every
 // table and figure of the paper's evaluation.
 //
+// # Parallelism
+//
+// Dataset generation, Model.Fit and batched inference run on a shared
+// worker pool (internal/parallel) controlled by a single Workers knob
+// (0 = all cores) threaded through experiments.Config, the core pipeline
+// configs, toolflow.TopologySpec and the cmd/* -workers flags. Results
+// are bit-identical for any worker count: generation derives one
+// rng.Split child stream per sample index, training reduces per-sample
+// gradients in sample order from weight-aliased per-worker replicas, and
+// per-row inference outputs are index-keyed. Workers is therefore a pure
+// throughput knob — equal seeds give equal corpora and equal networks,
+// sequential or parallel. SPECML_BENCH_SCALE and SPECML_BENCH_WORKERS
+// compose in the benchmark harness: the former picks the corpus size,
+// the latter the worker count.
+//
 // See README.md for a tour, DESIGN.md for the system inventory and
 // EXPERIMENTS.md for paper-vs-measured results. The root package contains
 // no code; the library lives under internal/ and is exercised through the

@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"math"
+
+	"specml/internal/nn"
 )
 
 // Limit is an alarm band for one monitored substance.
@@ -110,3 +112,31 @@ func (m *Monitor) Smoothed() []float64 {
 
 // StepCount returns the number of processed predictions.
 func (m *Monitor) StepCount() int { return m.step }
+
+// MonitorSeries runs batched inference over a whole stream of measured
+// input vectors on `workers` goroutines (0 = all cores) and then feeds the
+// predictions through the monitor in stream order, returning every
+// prediction and every alarm raised. The predictions — and therefore the
+// alarms — are bit-identical for any worker count; only the inference
+// phase is parallel, the stateful smoothing stays strictly sequential.
+func MonitorSeries(m *Monitor, model *nn.Model, inputs [][]float64, workers int) ([][]float64, []Alarm, error) {
+	if m == nil {
+		return nil, nil, fmt.Errorf("core: MonitorSeries needs a monitor")
+	}
+	if model == nil {
+		return nil, nil, fmt.Errorf("core: MonitorSeries needs a trained model")
+	}
+	preds, err := model.PredictBatch(inputs, workers)
+	if err != nil {
+		return nil, nil, err
+	}
+	var alarms []Alarm
+	for _, p := range preds {
+		a, err := m.Step(p)
+		if err != nil {
+			return nil, nil, err
+		}
+		alarms = append(alarms, a...)
+	}
+	return preds, alarms, nil
+}

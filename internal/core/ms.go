@@ -49,6 +49,10 @@ type MSConfig struct {
 	LR        float64
 	// Seed makes the pipeline fully deterministic.
 	Seed uint64
+	// Workers is the worker count for corpus generation, training and batch
+	// evaluation (0 = all cores). Every result is bit-identical for any
+	// value, so Workers is a pure throughput knob.
+	Workers int
 	// Hidden, Conv6 and Output select the Table-1 activation variant
 	// (defaults: selu/softmax/softmax, the paper's best).
 	Hidden, Conv6, Output string
@@ -182,7 +186,7 @@ func (p *MSPipeline) GenerateTraining() (*dataset.Dataset, error) {
 		return nil, fmt.Errorf("core: characterize the instrument before generating training data")
 	}
 	d, err := msim.GenerateTraining(p.sim, p.instrument, p.cfg.Axis,
-		p.cfg.TrainSamples, p.cfg.Alpha, p.cfg.Seed+1)
+		p.cfg.TrainSamples, p.cfg.Alpha, p.cfg.Seed+1, p.cfg.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -221,6 +225,7 @@ func (p *MSPipeline) Train(verbose io.Writer) (*toolflow.Result, error) {
 		return nil, err
 	}
 	spec.LR = p.cfg.LR
+	spec.Workers = p.cfg.Workers
 	runner := &toolflow.Runner{
 		Store:       p.cfg.Store,
 		DatasetID:   p.dataID,
@@ -359,9 +364,9 @@ func (p *MSPipeline) EvaluateOn(d *dataset.Dataset) (*dataset.Metrics, error) {
 	if p.result == nil {
 		return nil, fmt.Errorf("core: train the pipeline before evaluating")
 	}
-	preds := make([][]float64, d.Len())
-	for i := range d.X {
-		preds[i] = p.result.Model.Predict(d.X[i])
+	preds, err := p.result.Model.PredictBatch(d.X, p.cfg.Workers)
+	if err != nil {
+		return nil, err
 	}
 	return dataset.Evaluate(preds, d.Y)
 }

@@ -30,6 +30,10 @@ type NMRConfig struct {
 	BatchSize int
 	// Seed drives everything.
 	Seed uint64
+	// Workers is the worker count for synthetic-corpus generation and
+	// data-parallel training (0 = all cores); results are bit-identical
+	// for any value.
+	Workers int
 	// MaxPureFitPeaks bounds the IHM pure-component fits.
 	MaxPureFitPeaks int
 }
@@ -116,6 +120,7 @@ func (p *NMRPipeline) FitComponents() error {
 		WidthJitter:    p.LowField.WidthJitter,
 		NoiseSigma:     p.LowField.NoiseSigma,
 		IntensityScale: p.LowField.IntensityScale,
+		Workers:        p.cfg.Workers,
 	}
 	return nil
 }
@@ -140,6 +145,7 @@ func (p *NMRPipeline) TrainCNN(val *dataset.Dataset, verbose io.Writer) (*toolfl
 	d.Shuffle(rng.New(p.cfg.Seed + 21))
 	spec := toolflow.NMRCNNSpec(p.LowField.Axis.N, nmrsim.NumComponents,
 		p.cfg.Epochs, p.cfg.BatchSize, p.cfg.Seed)
+	spec.Workers = p.cfg.Workers
 	runner := &toolflow.Runner{Verbose: verbose}
 	res, err := runner.Train(spec, d, val)
 	if err != nil {
@@ -162,6 +168,7 @@ func (p *NMRPipeline) TrainLSTM(val *dataset.Dataset, verbose io.Writer) (*toolf
 	d.Shuffle(rng.New(p.cfg.Seed + 31))
 	spec := toolflow.NMRLSTMSpec(p.cfg.Steps, p.LowField.Axis.N, nmrsim.NumComponents,
 		p.cfg.Epochs, p.cfg.BatchSize, p.cfg.Seed)
+	spec.Workers = p.cfg.Workers
 	runner := &toolflow.Runner{Verbose: verbose}
 	res, err := runner.Train(spec, d, val)
 	if err != nil {

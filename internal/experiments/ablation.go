@@ -38,7 +38,7 @@ func AblationAugmentation(cfg Config, w io.Writer) (*AblationResult, error) {
 		cnnTrain, epochs = 600, 8
 	}
 
-	p := core.NewNMRPipeline(core.NMRConfig{Seed: cfg.Seed})
+	p := core.NewNMRPipeline(core.NMRConfig{Seed: cfg.Seed, Workers: cfg.Workers})
 	if err := p.FitComponents(); err != nil {
 		return nil, err
 	}
@@ -64,6 +64,7 @@ func AblationAugmentation(cfg Config, w io.Writer) (*AblationResult, error) {
 		d.Shuffle(rng.New(seed + 1))
 		spec := toolflow.NMRCNNSpec(nmrsim.Axis().N, nmrsim.NumComponents, epochs, 32, cfg.Seed)
 		spec.Name = name
+		spec.Workers = cfg.Workers
 		runner := &toolflow.Runner{Verbose: cfg.Verbose}
 		res, err := runner.Train(spec, d, eval)
 		if err != nil {

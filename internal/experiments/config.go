@@ -51,6 +51,9 @@ func ParseScale(s string) (Scale, error) {
 type Config struct {
 	Scale Scale
 	Seed  uint64
+	// Workers is the worker count for data generation, training and batch
+	// inference (0 = all cores). Results are bit-identical for any value.
+	Workers int
 	// Verbose, when non-nil, receives per-epoch training logs.
 	Verbose io.Writer
 }

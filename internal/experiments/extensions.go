@@ -77,6 +77,7 @@ func QuantizationStudy(cfg Config, w io.Writer) ([]QuantizationRow, error) {
 		Epochs:       epochs,
 		BatchSize:    32,
 		Seed:         cfg.Seed,
+		Workers:      cfg.Workers,
 	})
 	if err := p.FitComponents(); err != nil {
 		return nil, err
@@ -152,7 +153,7 @@ func HybridNMR(cfg Config, w io.Writer) (*HybridResult, error) {
 	_, lstmWindows, epochs, _ := cfg.nmrSizes()
 	const steps = 5
 
-	p := core.NewNMRPipeline(core.NMRConfig{Seed: cfg.Seed})
+	p := core.NewNMRPipeline(core.NMRConfig{Seed: cfg.Seed, Workers: cfg.Workers})
 	if err := p.FitComponents(); err != nil {
 		return nil, err
 	}
@@ -183,6 +184,7 @@ func HybridNMR(cfg Config, w io.Writer) (*HybridResult, error) {
 	out := &HybridResult{}
 
 	lstmSpec := toolflow.NMRLSTMSpec(steps, axisLen, nmrsim.NumComponents, epochs, 32, cfg.Seed)
+	lstmSpec.Workers = cfg.Workers
 	lstmRes, err := runner.Train(lstmSpec, corpus, val)
 	if err != nil {
 		return nil, err
@@ -191,6 +193,7 @@ func HybridNMR(cfg Config, w io.Writer) (*HybridResult, error) {
 	out.LSTMMSE = lstmRes.Model.EvaluateMSE(val.X, val.Y)
 
 	hybridSpec := toolflow.NMRHybridSpec(steps, axisLen, nmrsim.NumComponents, epochs, 32, cfg.Seed)
+	hybridSpec.Workers = cfg.Workers
 	hybridRes, err := runner.Train(hybridSpec, corpus, val)
 	if err != nil {
 		return nil, err

@@ -56,10 +56,11 @@ func (w *msWorld) evalData(perMixture int) (*dataset.Dataset, error) {
 	return msim.MeasureEvaluation(w.vi, w.mixer, w.sim, w.axis, blends, perMixture)
 }
 
-// trainVariant trains one Table-1 variant on a fresh simulated corpus.
+// trainVariant trains one Table-1 variant on a fresh simulated corpus,
+// generating and training on `workers` goroutines (0 = all cores).
 func (w *msWorld) trainVariant(spec toolflow.TopologySpec, model *msim.InstrumentModel,
-	trainSamples int, seed uint64, verbose io.Writer) (*toolflow.Result, *dataset.Dataset, error) {
-	d, err := msim.GenerateTraining(w.sim, model, w.axis, trainSamples, 1.0, seed)
+	trainSamples int, seed uint64, workers int, verbose io.Writer) (*toolflow.Result, *dataset.Dataset, error) {
+	d, err := msim.GenerateTraining(w.sim, model, w.axis, trainSamples, 1.0, seed, workers)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -68,6 +69,7 @@ func (w *msWorld) trainVariant(spec toolflow.TopologySpec, model *msim.Instrumen
 	if err != nil {
 		return nil, nil, err
 	}
+	spec.Workers = workers
 	runner := &toolflow.Runner{Verbose: verbose}
 	res, err := runner.Train(spec, train, val)
 	if err != nil {
@@ -191,7 +193,7 @@ func Fig5(cfg Config, w io.Writer) ([]VariantResult, error) {
 				if err != nil {
 					return nil, err
 				}
-				res, _, err := world.trainVariant(spec, model, trainSamples, cfg.Seed+11, cfg.Verbose)
+				res, _, err := world.trainVariant(spec, model, trainSamples, cfg.Seed+11, cfg.Workers, cfg.Verbose)
 				if err != nil {
 					return nil, err
 				}
@@ -260,7 +262,7 @@ func Fig6(cfg Config, w io.Writer) (map[int]VariantResult, error) {
 			return nil, err
 		}
 		spec.Name = fmt.Sprintf("table1-n%d", n)
-		res, _, err := world.trainVariant(spec, model, trainSamples, cfg.Seed+uint64(n), cfg.Verbose)
+		res, _, err := world.trainVariant(spec, model, trainSamples, cfg.Seed+uint64(n), cfg.Workers, cfg.Verbose)
 		if err != nil {
 			return nil, err
 		}
@@ -305,7 +307,7 @@ func Fig7(cfg Config, w io.Writer) (*Fig7Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, val, err := world.trainVariant(spec, model, trainSamples, cfg.Seed+17, cfg.Verbose)
+	res, val, err := world.trainVariant(spec, model, trainSamples, cfg.Seed+17, cfg.Workers, cfg.Verbose)
 	if err != nil {
 		return nil, err
 	}

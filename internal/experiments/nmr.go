@@ -53,6 +53,7 @@ func NMR(cfg Config, w io.Writer) (*NMRResult, error) {
 		Epochs:       epochs,
 		BatchSize:    32,
 		Seed:         cfg.Seed,
+		Workers:      cfg.Workers,
 	})
 	if err := p.FitComponents(); err != nil {
 		return nil, err

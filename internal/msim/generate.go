@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"specml/internal/dataset"
+	"specml/internal/parallel"
 	"specml/internal/rng"
 	"specml/internal/spectrum"
 )
@@ -114,25 +115,50 @@ func CollectReferences(vi *VirtualInstrument, sim *LineSimulator, axis spectrum.
 // the data-augmentation core of the paper — "a sufficient number of
 // simulated and labelled measurement series can be generated in minutes".
 // alpha controls composition sparsity (see rng.Dirichlet).
+//
+// Generation runs on `workers` goroutines (0 = all cores). Every sample i
+// draws from its own rng.Split-derived child stream keyed by i, so the
+// corpus is bit-identical for any worker count: equal (seed, n, alpha)
+// always yield equal datasets.
 func GenerateTraining(sim *LineSimulator, model *InstrumentModel, axis spectrum.Axis,
-	n int, alpha float64, seed uint64) (*dataset.Dataset, error) {
+	n int, alpha float64, seed uint64, workers int) (*dataset.Dataset, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("msim: need a positive sample count, got %d", n)
 	}
-	src := rng.New(seed)
-	d := dataset.New(n)
-	d.Names = sim.Names()
-	for i := 0; i < n; i++ {
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	// Child-stream seeds are drawn sequentially from the root (the Split
+	// construction), so sample i's stream never depends on scheduling.
+	root := rng.New(seed)
+	seeds := make([]uint64, n)
+	for i := range seeds {
+		seeds[i] = root.Uint64()
+	}
+	xs := make([][]float64, n)
+	ys := make([][]float64, n)
+	err := parallel.For(workers, n, func(_, i int) error {
+		src := rng.New(seeds[i])
 		frac := sim.RandomFractions(src, alpha)
 		ideal, err := sim.Mixture(frac)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		s, err := model.Measure(ideal, axis, src)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		d.Append(Preprocess(s), frac)
+		xs[i] = Preprocess(s)
+		ys[i] = frac
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	d := dataset.New(n)
+	d.Names = sim.Names()
+	for i := range xs {
+		d.Append(xs[i], ys[i])
 	}
 	return d, nil
 }

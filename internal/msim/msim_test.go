@@ -311,7 +311,7 @@ func TestStandardMixtures(t *testing.T) {
 func TestGenerateTraining(t *testing.T) {
 	sim := taskSim(t)
 	model := DefaultTrueModel()
-	d, err := GenerateTraining(sim, model, DefaultAxis(), 20, 1, 5)
+	d, err := GenerateTraining(sim, model, DefaultAxis(), 20, 1, 5, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -333,14 +333,44 @@ func TestGenerateTraining(t *testing.T) {
 			t.Fatalf("label %d not on simplex: %v", i, sum)
 		}
 	}
-	if _, err := GenerateTraining(sim, model, DefaultAxis(), 0, 1, 5); err == nil {
+	if _, err := GenerateTraining(sim, model, DefaultAxis(), 0, 1, 5, 1); err == nil {
 		t.Fatal("zero samples must error")
 	}
 	// determinism
-	d2, _ := GenerateTraining(sim, model, DefaultAxis(), 20, 1, 5)
+	d2, _ := GenerateTraining(sim, model, DefaultAxis(), 20, 1, 5, 1)
 	for i := range d.X[0] {
 		if d.X[0][i] != d2.X[0][i] {
 			t.Fatal("generation not deterministic for equal seeds")
+		}
+	}
+}
+
+// TestGenerateTrainingWorkerInvariance is the generation half of the
+// determinism guarantee: the corpus must be bit-identical for any worker
+// count, because every sample draws from its own index-keyed child stream.
+func TestGenerateTrainingWorkerInvariance(t *testing.T) {
+	sim := taskSim(t)
+	model := DefaultTrueModel()
+	ref, err := GenerateTraining(sim, model, DefaultAxis(), 30, 1, 42, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8, 0} {
+		d, err := GenerateTraining(sim, model, DefaultAxis(), 30, 1, 42, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ref.X {
+			for j := range ref.X[i] {
+				if d.X[i][j] != ref.X[i][j] {
+					t.Fatalf("workers=%d: X[%d][%d] = %x, want %x (bitwise)", workers, i, j, d.X[i][j], ref.X[i][j])
+				}
+			}
+			for j := range ref.Y[i] {
+				if d.Y[i][j] != ref.Y[i][j] {
+					t.Fatalf("workers=%d: Y[%d][%d] differs bitwise", workers, i, j)
+				}
+			}
 		}
 	}
 }

@@ -5,6 +5,7 @@ import (
 
 	"specml/internal/dataset"
 	"specml/internal/ihm"
+	"specml/internal/parallel"
 	"specml/internal/rng"
 	"specml/internal/spectrum"
 )
@@ -29,6 +30,10 @@ type Augmenter struct {
 	NoiseSigma float64
 	// IntensityScale matches the instrument's receiver gain.
 	IntensityScale float64
+	// Workers is the generation worker count for Generate (0 = all
+	// cores). The corpus is bit-identical for any value because every
+	// sample draws from its own index-keyed child stream.
+	Workers int
 }
 
 // Validate checks the augmenter configuration.
@@ -82,7 +87,9 @@ func (a *Augmenter) Sample(src *rng.Source) ([]float64, []float64, error) {
 	return s.Intensities, conc, nil
 }
 
-// Generate produces n synthetic labelled spectra.
+// Generate produces n synthetic labelled spectra on a.Workers goroutines
+// (0 = all cores). Sample i is rendered from an rng.Split-derived child
+// stream keyed by i, so the dataset is bit-identical for any worker count.
 func (a *Augmenter) Generate(n int, seed uint64) (*dataset.Dataset, error) {
 	if err := a.Validate(); err != nil {
 		return nil, err
@@ -90,15 +97,28 @@ func (a *Augmenter) Generate(n int, seed uint64) (*dataset.Dataset, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("nmrsim: need a positive sample count, got %d", n)
 	}
-	src := rng.New(seed)
+	root := rng.New(seed)
+	seeds := make([]uint64, n)
+	for i := range seeds {
+		seeds[i] = root.Uint64()
+	}
+	xs := make([][]float64, n)
+	ys := make([][]float64, n)
+	err := parallel.For(a.Workers, n, func(_, i int) error {
+		x, y, err := a.Sample(rng.New(seeds[i]))
+		if err != nil {
+			return err
+		}
+		xs[i], ys[i] = x, y
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	d := dataset.New(n)
 	d.Names = componentNames(a.Components)
-	for i := 0; i < n; i++ {
-		x, y, err := a.Sample(src)
-		if err != nil {
-			return nil, err
-		}
-		d.Append(x, y)
+	for i := range xs {
+		d.Append(xs[i], ys[i])
 	}
 	return d, nil
 }
@@ -108,6 +128,10 @@ func (a *Augmenter) Generate(n int, seed uint64) (*dataset.Dataset, error) {
 // emulate plateaus with jumps between them", then windows of `steps`
 // consecutive spectra become one sample whose label is the concentration
 // at the window end.
+//
+// Unlike Generate, the window stream is an order-dependent rolling buffer
+// (each window overlaps its predecessor), so this path stays sequential;
+// Workers does not apply here.
 func (a *Augmenter) GenerateTimeSeries(nWindows, steps, maxRepeat int, seed uint64) (*dataset.Dataset, error) {
 	if err := a.Validate(); err != nil {
 		return nil, err

@@ -278,6 +278,38 @@ func TestAugmenterGenerate(t *testing.T) {
 	}
 }
 
+// TestAugmenterWorkerInvariance checks that the synthetic corpus is
+// bit-identical for any worker count — every sample draws from its own
+// index-keyed child stream, so scheduling never leaks into the data.
+func TestAugmenterWorkerInvariance(t *testing.T) {
+	seq := defaultAugmenter()
+	seq.Workers = 1
+	ref, err := seq.Generate(30, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8, 0} {
+		a := defaultAugmenter()
+		a.Workers = workers
+		d, err := a.Generate(30, 17)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ref.X {
+			for j := range ref.X[i] {
+				if d.X[i][j] != ref.X[i][j] {
+					t.Fatalf("workers=%d: X[%d][%d] differs bitwise", workers, i, j)
+				}
+			}
+			for j := range ref.Y[i] {
+				if d.Y[i][j] != ref.Y[i][j] {
+					t.Fatalf("workers=%d: Y[%d][%d] differs bitwise", workers, i, j)
+				}
+			}
+		}
+	}
+}
+
 func TestAugmenterTimeSeries(t *testing.T) {
 	a := defaultAugmenter()
 	const steps = 5

@@ -369,6 +369,12 @@ func (l *Dropout) Build(src *rng.Source, inputShape []int) ([]int, error) {
 // SetTraining toggles training mode.
 func (l *Dropout) SetTraining(training bool) { l.training = training }
 
+// Reseed replaces the mask stream with a fresh deterministic source. The
+// data-parallel trainer reseeds every dropout layer per sample (seeds drawn
+// in sample order from the fit's seed), which makes the masks — and hence
+// the whole fit — independent of which worker processes which sample.
+func (l *Dropout) Reseed(src *rng.Source) { l.src = src }
+
 // Forward implements Layer.
 func (l *Dropout) Forward(x []float64) []float64 {
 	if !l.training || l.Rate == 0 {

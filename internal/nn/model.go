@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"specml/internal/parallel"
 	"specml/internal/rng"
 )
 
@@ -165,6 +166,99 @@ func (m *Model) Clone() (*Model, error) {
 		copy(dst[i].Data, src[i].Data)
 	}
 	return c, nil
+}
+
+// sharedReplica returns a model with the same architecture whose parameter
+// Data slices alias the receiver's — weights are shared read-only and stay
+// in sync with the receiver at zero copy cost — while gradient buffers and
+// all layer caches (activations, dropout masks, LSTM state) are private.
+// Replicas back the data-parallel paths of Fit and PredictBatch: one
+// replica per worker, each serving one goroutine at a time.
+func (m *Model) sharedReplica() (*Model, error) {
+	c, err := m.Clone()
+	if err != nil {
+		return nil, err
+	}
+	src, dst := m.Params(), c.Params()
+	for i := range src {
+		dst[i].Data = src[i].Data
+	}
+	return c, nil
+}
+
+// replicaPool builds n shared replicas of the model.
+func (m *Model) replicaPool(n int) ([]*Model, error) {
+	pool := make([]*Model, n)
+	for i := range pool {
+		r, err := m.sharedReplica()
+		if err != nil {
+			return nil, err
+		}
+		pool[i] = r
+	}
+	return pool, nil
+}
+
+// hasDropout reports whether any layer needs per-sample mask reseeding
+// during data-parallel training.
+func (m *Model) hasDropout() bool {
+	for _, l := range m.layers {
+		if _, ok := l.(*Dropout); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// reseedDropout gives every dropout layer a fresh stream derived from
+// seed (one Split per layer, in layer order).
+func (m *Model) reseedDropout(seed uint64) {
+	src := rng.New(seed)
+	for _, l := range m.layers {
+		if d, ok := l.(*Dropout); ok {
+			d.Reseed(src.Split())
+		}
+	}
+}
+
+// PredictBatch runs inference over all rows of x on `workers` goroutines
+// (0 = all cores), returning one freshly allocated prediction per row.
+// Each worker forwards through its own shared replica, so the receiver's
+// caches are never touched and results are identical to calling Predict
+// row by row.
+func (m *Model) PredictBatch(x [][]float64, workers int) ([][]float64, error) {
+	if !m.built {
+		return nil, fmt.Errorf("nn: PredictBatch before Build")
+	}
+	out := make([][]float64, len(x))
+	if len(x) == 0 {
+		return out, nil
+	}
+	w := parallel.Resolve(workers)
+	if w > len(x) {
+		w = len(x)
+	}
+	if w == 1 {
+		for i := range x {
+			out[i] = m.Predict(x[i])
+		}
+		return out, nil
+	}
+	replicas, err := m.replicaPool(w)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range replicas {
+		r.SetTraining(false)
+	}
+	err = parallel.For(w, len(x), func(worker, i int) error {
+		out[i] = replicas[worker].Predict(x[i])
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // CopyParamsFrom copies parameter values from other, which must have an

@@ -1,0 +1,157 @@
+package nn
+
+import (
+	"testing"
+
+	"specml/internal/rng"
+)
+
+// dropNet builds a small model containing dropout — the layer whose
+// per-sample randomness is the hard part of worker-count determinism.
+func dropNet(t *testing.T) *Model {
+	t.Helper()
+	m := NewModel().
+		Add(NewDense(16)).
+		Add(NewActivation(ReLU)).
+		Add(NewDropout(0.3)).
+		Add(NewDense(3)).
+		Add(NewSoftmax())
+	if err := m.Build(rng.New(7), 12); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func parallelFitData(n, in, out int, seed uint64) (x, y [][]float64) {
+	src := rng.New(seed)
+	x = make([][]float64, n)
+	y = make([][]float64, n)
+	for i := range x {
+		x[i] = make([]float64, in)
+		for j := range x[i] {
+			x[i][j] = src.Normal(0, 1)
+		}
+		y[i] = make([]float64, out)
+		src.Dirichlet(1, y[i])
+	}
+	return x, y
+}
+
+// fitWithWorkers trains a fresh dropNet with the given worker count and
+// returns every fitted parameter value.
+func fitWithWorkers(t *testing.T, workers int, x, y [][]float64) ([]float64, *History) {
+	t.Helper()
+	m := dropNet(t)
+	hist, err := m.Fit(x, y, FitConfig{
+		Epochs:    4,
+		BatchSize: 8,
+		Seed:      11,
+		Workers:   workers,
+		ValX:      x[:10],
+		ValY:      y[:10],
+		KeepBest:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flat []float64
+	for _, p := range m.Params() {
+		flat = append(flat, p.Data...)
+	}
+	return flat, hist
+}
+
+// TestFitBitIdenticalAcrossWorkerCounts is the training half of the
+// determinism guarantee: equal seeds and data must produce bitwise-equal
+// models regardless of the Workers setting, even with dropout active.
+func TestFitBitIdenticalAcrossWorkerCounts(t *testing.T) {
+	x, y := parallelFitData(40, 12, 3, 3)
+	ref, refHist := fitWithWorkers(t, 1, x, y)
+	for _, workers := range []int{2, 3, 8, 0} {
+		got, hist := fitWithWorkers(t, workers, x, y)
+		if len(got) != len(ref) {
+			t.Fatalf("workers=%d: %d params vs %d", workers, len(got), len(ref))
+		}
+		for i := range got {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d: param %d = %x, want %x (bitwise)", workers, i, got[i], ref[i])
+			}
+		}
+		for e := range refHist.TrainLoss {
+			if hist.TrainLoss[e] != refHist.TrainLoss[e] {
+				t.Fatalf("workers=%d: epoch %d train loss %x, want %x", workers, e, hist.TrainLoss[e], refHist.TrainLoss[e])
+			}
+		}
+		for e := range refHist.ValLoss {
+			if hist.ValLoss[e] != refHist.ValLoss[e] {
+				t.Fatalf("workers=%d: epoch %d val loss %x, want %x", workers, e, hist.ValLoss[e], refHist.ValLoss[e])
+			}
+		}
+	}
+}
+
+// TestPredictBatchMatchesPredict checks batched inference returns exactly
+// what sequential Predict does, for several worker counts.
+func TestPredictBatchMatchesPredict(t *testing.T) {
+	m := dropNet(t)
+	x, _ := parallelFitData(25, 12, 3, 9)
+	want := make([][]float64, len(x))
+	for i := range x {
+		want[i] = m.Predict(x[i])
+	}
+	for _, workers := range []int{1, 2, 7, 0} {
+		got, err := m.PredictBatch(x, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range got {
+			for j := range got[i] {
+				if got[i][j] != want[i][j] {
+					t.Fatalf("workers=%d: sample %d output %d = %x, want %x", workers, i, j, got[i][j], want[i][j])
+				}
+			}
+		}
+	}
+}
+
+// TestFitParallelMatchesLSTM runs the same check on an LSTM topology,
+// whose layer caches are the richest (per-step states and gates).
+func TestFitParallelMatchesLSTM(t *testing.T) {
+	build := func() *Model {
+		m := NewModel().Add(NewLSTM(6)).Add(NewDense(2))
+		if err := m.Build(rng.New(5), 4, 3); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	src := rng.New(21)
+	x := make([][]float64, 24)
+	y := make([][]float64, 24)
+	for i := range x {
+		x[i] = make([]float64, 12)
+		for j := range x[i] {
+			x[i][j] = src.Normal(0, 1)
+		}
+		y[i] = []float64{src.Float64(), src.Float64()}
+	}
+	fit := func(workers int) []float64 {
+		m := build()
+		if _, err := m.Fit(x, y, FitConfig{Epochs: 3, BatchSize: 5, Seed: 2, Workers: workers, ClipNorm: 1}); err != nil {
+			t.Fatal(err)
+		}
+		var flat []float64
+		for _, p := range m.Params() {
+			flat = append(flat, p.Data...)
+		}
+		return flat
+	}
+	ref := fit(1)
+	for _, workers := range []int{4, 0} {
+		got := fit(workers)
+		for i := range got {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d: param %d differs bitwise", workers, i)
+			}
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"io"
 	"math"
 
+	"specml/internal/parallel"
 	"specml/internal/rng"
 )
 
@@ -34,6 +35,12 @@ type FitConfig struct {
 	// LRSchedule, when non-nil, sets the optimizer learning rate before
 	// each epoch (0-based). The optimizer must implement LRSettable.
 	LRSchedule func(epoch int) float64
+	// Workers is the data-parallel worker count (0 = all cores). Each
+	// worker owns a replica sharing the weights read-only; per-sample
+	// gradients are reduced in sample order before every optimizer step,
+	// so the fit is bit-identical for any worker count: equal seeds and
+	// data produce equal models regardless of Workers or GOMAXPROCS.
+	Workers int
 }
 
 // History records per-epoch training metrics.
@@ -89,11 +96,43 @@ func (m *Model) Fit(x, y [][]float64, cfg FitConfig) (*History, error) {
 	}
 
 	src := rng.New(cfg.Seed)
+	// Dropout masks must not depend on worker scheduling, so each sample
+	// gets a fresh per-sample stream seeded in sample order from a root
+	// split off the fit source. The split is taken only when the model has
+	// dropout, keeping the shuffle stream of dropout-free models unchanged.
+	hasDrop := m.hasDropout()
+	var dropRoot *rng.Source
+	if hasDrop {
+		dropRoot = src.Split()
+	}
+
+	// One replica per worker: weights alias the master (the optimizer step
+	// updates them in place for everyone), gradients and caches private.
+	workers := parallel.Resolve(cfg.Workers)
+	if workers > cfg.BatchSize {
+		workers = cfg.BatchSize
+	}
+	if workers > len(x) {
+		workers = len(x)
+	}
+	replicas, err := m.replicaPool(workers)
+	if err != nil {
+		return nil, err
+	}
+	masterParams := m.Params()
+	replicaParams := make([][]*Param, workers)
+	gradBufs := make([][]float64, workers)
+	for i, r := range replicas {
+		replicaParams[i] = r.Params()
+		gradBufs[i] = make([]float64, outLen)
+	}
+	waveLoss := make([]float64, workers)
+	dropSeeds := make([]uint64, workers)
+
 	idx := make([]int, len(x))
 	for i := range idx {
 		idx[i] = i
 	}
-	grad := make([]float64, outLen)
 	hist := &History{BestEpoch: -1}
 	bestVal := math.Inf(1)
 	var bestModel *Model
@@ -110,6 +149,9 @@ func (m *Model) Fit(x, y [][]float64, cfg FitConfig) (*History, error) {
 			cfg.Optimizer.(LRSettable).SetLR(cfg.LRSchedule(epoch))
 		}
 		m.SetTraining(true)
+		for _, r := range replicas {
+			r.SetTraining(true)
+		}
 		src.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
 		epochLoss := 0.0
 		for start := 0; start < len(idx); start += cfg.BatchSize {
@@ -118,30 +160,70 @@ func (m *Model) Fit(x, y [][]float64, cfg FitConfig) (*History, error) {
 				end = len(idx)
 			}
 			m.ZeroGrad()
-			for _, k := range idx[start:end] {
-				out := m.Forward(x[k])
-				epochLoss += cfg.Loss.Loss(out, y[k])
-				cfg.Loss.Grad(out, y[k], grad)
-				m.Backward(grad)
+			// Each batch is processed in waves of `workers` samples. Wave
+			// item j always runs on replica j, and the per-sample gradients
+			// are reduced into the master in sample order below, so the sum
+			// — and therefore the fitted model — is bit-identical for any
+			// worker count (a zeroed replica gradient plus one sample's
+			// contribution equals the contribution exactly, and additions
+			// happen in the same order as a sequential pass).
+			for wstart := start; wstart < end; wstart += workers {
+				wn := workers
+				if end-wstart < wn {
+					wn = end - wstart
+				}
+				if hasDrop {
+					for j := 0; j < wn; j++ {
+						dropSeeds[j] = dropRoot.Uint64()
+					}
+				}
+				if err := parallel.For(wn, wn, func(_, j int) error {
+					r := replicas[j]
+					k := idx[wstart+j]
+					r.ZeroGrad()
+					if hasDrop {
+						r.reseedDropout(dropSeeds[j])
+					}
+					out := r.Forward(x[k])
+					waveLoss[j] = cfg.Loss.Loss(out, y[k])
+					cfg.Loss.Grad(out, y[k], gradBufs[j])
+					r.Backward(gradBufs[j])
+					return nil
+				}); err != nil {
+					return nil, err
+				}
+				// deterministic sample-order reduction
+				for j := 0; j < wn; j++ {
+					epochLoss += waveLoss[j]
+					rp := replicaParams[j]
+					for pi, p := range masterParams {
+						for gi, g := range rp[pi].Grad {
+							p.Grad[gi] += g
+						}
+					}
+				}
 			}
 			// average gradients over the batch
 			inv := 1 / float64(end-start)
-			for _, p := range m.Params() {
+			for _, p := range masterParams {
 				for i := range p.Grad {
 					p.Grad[i] *= inv
 				}
 			}
 			if cfg.ClipNorm > 0 {
-				clipGradNorm(m.Params(), cfg.ClipNorm)
+				clipGradNorm(masterParams, cfg.ClipNorm)
 			}
-			cfg.Optimizer.Step(m.Params())
+			cfg.Optimizer.Step(masterParams)
 		}
 		m.SetTraining(false)
 		epochLoss /= float64(len(idx))
 		hist.TrainLoss = append(hist.TrainLoss, epochLoss)
 
 		if len(cfg.ValX) > 0 {
-			valLoss := m.EvaluateLoss(cfg.ValX, cfg.ValY, cfg.Loss)
+			valLoss, verr := evaluateLossReplicas(replicas, cfg.ValX, cfg.ValY, cfg.Loss)
+			if verr != nil {
+				return nil, verr
+			}
 			hist.ValLoss = append(hist.ValLoss, valLoss)
 			if cfg.Verbose != nil {
 				fmt.Fprintf(cfg.Verbose, "epoch %3d  train=%.6f  val=%.6f\n", epoch+1, epochLoss, valLoss)
@@ -174,6 +256,33 @@ func (m *Model) Fit(x, y [][]float64, cfg FitConfig) (*History, error) {
 		}
 	}
 	return hist, nil
+}
+
+// evaluateLossReplicas computes the mean loss over a dataset on one
+// goroutine per replica. Per-sample losses land in an index-keyed slice
+// and are summed in index order, so the result matches a sequential
+// EvaluateLoss bit for bit regardless of the replica count.
+func evaluateLossReplicas(replicas []*Model, x, y [][]float64, loss Loss) (float64, error) {
+	if len(x) == 0 {
+		return 0, nil
+	}
+	for _, r := range replicas {
+		r.SetTraining(false)
+	}
+	losses := make([]float64, len(x))
+	err := parallel.For(len(replicas), len(x), func(w, i int) error {
+		out := replicas[w].Forward(x[i])
+		losses[i] = loss.Loss(out, y[i])
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	total := 0.0
+	for _, l := range losses {
+		total += l
+	}
+	return total / float64(len(x)), nil
 }
 
 // clipGradNorm rescales all gradients so the global L2 norm does not

@@ -1,0 +1,151 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestResolve(t *testing.T) {
+	if got := Resolve(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Resolve(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Resolve(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Resolve(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Resolve(7); got != 7 {
+		t.Fatalf("Resolve(7) = %d", got)
+	}
+}
+
+func TestForCoversEveryIndexExactlyOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 3, 8, 100} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			t.Parallel()
+			const n = 257
+			hits := make([]int32, n)
+			if err := For(workers, n, func(_, i int) error {
+				atomic.AddInt32(&hits[i], 1)
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("index %d executed %d times", i, h)
+				}
+			}
+		})
+	}
+}
+
+func TestForEmptyAndNegativeRange(t *testing.T) {
+	calls := 0
+	if err := For(4, 0, func(_, _ int) error { calls++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := For(4, -5, func(_, _ int) error { calls++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 0 {
+		t.Fatalf("fn called %d times on empty ranges", calls)
+	}
+}
+
+func TestForWorkerIDsAreDistinctAndInRange(t *testing.T) {
+	const workers = 4
+	const n = 1000
+	var seen [workers]int32
+	if err := For(workers, n, func(w, _ int) error {
+		if w < 0 || w >= workers {
+			return fmt.Errorf("worker id %d out of range", w)
+		}
+		atomic.AddInt32(&seen[w], 1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	total := int32(0)
+	for _, s := range seen {
+		total += s
+	}
+	if total != n {
+		t.Fatalf("workers executed %d indices in total, want %d", total, n)
+	}
+}
+
+func TestForPropagatesFirstError(t *testing.T) {
+	sentinel := errors.New("boom")
+	var calls atomic.Int32
+	err := For(4, 10_000, func(_, i int) error {
+		calls.Add(1)
+		if i == 17 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want %v", err, sentinel)
+	}
+	// the error must stop dispatch early, not run the whole range
+	if c := calls.Load(); c == 10_000 {
+		t.Fatalf("error did not stop dispatch (all %d indices ran)", c)
+	}
+}
+
+// TestForPanicSurfacesAsError is the injected-panic stress test required by
+// the issue: a worker panic must come back as an error — never a hang and
+// never a crashed test binary.
+func TestForPanicSurfacesAsError(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			t.Parallel()
+			err := For(workers, 500, func(_, i int) error {
+				if i%97 == 13 {
+					panic(fmt.Sprintf("injected panic at %d", i))
+				}
+				return nil
+			})
+			if err == nil {
+				t.Fatal("panic inside fn must surface as an error")
+			}
+			if !strings.Contains(err.Error(), "injected panic") {
+				t.Fatalf("error does not carry the panic value: %v", err)
+			}
+		})
+	}
+}
+
+// TestForStress hammers many concurrent pools to shake out races between
+// dispatch, error propagation and shutdown (run under -race in CI).
+func TestForStress(t *testing.T) {
+	for round := 0; round < 8; round++ {
+		round := round
+		t.Run(fmt.Sprintf("round=%d", round), func(t *testing.T) {
+			t.Parallel()
+			out := make([]int, 512)
+			if err := For(0, len(out), func(_, i int) error {
+				out[i] = i * i
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			for i, v := range out {
+				if v != i*i {
+					t.Fatalf("out[%d] = %d", i, v)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkForOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = For(4, 64, func(_, _ int) error { return nil })
+	}
+}

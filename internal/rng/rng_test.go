@@ -45,6 +45,55 @@ func TestSplitIndependence(t *testing.T) {
 	}
 }
 
+// TestSplitDeterministic pins down the property the parallel generators
+// and the data-parallel trainer rely on: splitting is itself part of the
+// deterministic stream, so equal parent seeds yield equal child streams.
+func TestSplitDeterministic(t *testing.T) {
+	a := New(99).Split()
+	b := New(99).Split()
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("child streams of equal parents diverge at draw %d", i)
+		}
+	}
+	// and a second split from the same parent differs from the first
+	p := New(99)
+	c, d := p.Split(), p.Split()
+	diff := false
+	for i := 0; i < 100; i++ {
+		if c.Uint64() != d.Uint64() {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("consecutive splits produced identical streams")
+	}
+}
+
+// TestSplitSiblingPrefixesDisjoint draws a prefix from many sibling child
+// streams (one per parallel worker item in the generation scheme) and
+// checks that no value appears in two different siblings' prefixes —
+// overlapping streams would correlate supposedly independent samples.
+func TestSplitSiblingPrefixesDisjoint(t *testing.T) {
+	root := New(2026)
+	const siblings, prefix = 64, 256
+	seen := make(map[uint64]int, siblings*prefix)
+	for s := 0; s < siblings; s++ {
+		child := root.Split()
+		for i := 0; i < prefix; i++ {
+			v := child.Uint64()
+			if prev, ok := seen[v]; ok && prev != s {
+				t.Fatalf("value %#x appears in sibling %d and sibling %d", v, prev, s)
+			}
+			seen[v] = s
+		}
+	}
+	if len(seen) != siblings*prefix {
+		t.Fatalf("expected %d distinct draws, got %d", siblings*prefix, len(seen))
+	}
+}
+
 func TestZeroSeedWorks(t *testing.T) {
 	s := New(0)
 	v := s.Uint64()

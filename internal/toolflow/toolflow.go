@@ -33,6 +33,9 @@ type TopologySpec struct {
 	Patience   int            `json:"patience"`
 	KeepBest   bool           `json:"keepBest"`
 	InputShape []int          `json:"inputShape"`
+	// Workers is the data-parallel training worker count (0 = all cores);
+	// the trained network is bit-identical for any value.
+	Workers int `json:"workers,omitempty"`
 }
 
 // Build constructs and initializes the network.
@@ -110,6 +113,7 @@ func (r *Runner) Train(spec TopologySpec, train, val *dataset.Dataset) (*Result,
 		Patience:  spec.Patience,
 		KeepBest:  spec.KeepBest,
 		Verbose:   r.Verbose,
+		Workers:   spec.Workers,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("toolflow: training %q: %w", spec.Name, err)
