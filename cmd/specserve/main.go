@@ -1,0 +1,153 @@
+// Command specserve runs the batched concurrent inference server: it loads
+// nn.Save-serialized networks from a model directory and serves
+// /v1/predict, /v1/monitor sessions with alarm limits, /v1/models hot
+// reload and /v1/stats over HTTP/JSON, with all forward passes coalesced
+// by a per-model micro-batching dispatcher.
+//
+//	specserve -train-demo models/         # train a quick MS model to serve
+//	specserve -models models/             # serve every models/*.json
+//	specserve -models models/ -addr :9090 -max-batch 64 -batch-window 2ms
+//
+// Example session:
+//
+//	curl -s localhost:8080/v1/models
+//	curl -s -X POST localhost:8080/v1/predict -d '{"model":"ms-demo","intensities":[...]}'
+//	curl -s -X POST localhost:8080/v1/monitor -d '{"model":"ms-demo","smoothing":0.5}'
+//	curl -s -X POST localhost:8080/v1/monitor/mon-000001/step -d '{"intensities":[...]}'
+//
+// SIGINT/SIGTERM triggers a graceful shutdown that drains in-flight
+// batches before exiting.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"specml/internal/core"
+	"specml/internal/msim"
+	"specml/internal/serve"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		models    = flag.String("models", "", "directory of *.json model files (nn.Save format)")
+		maxBatch  = flag.Int("max-batch", 32, "max requests coalesced into one forward pass")
+		window    = flag.Duration("batch-window", 5*time.Millisecond, "how long a batch waits for co-travellers")
+		workers   = flag.Int("workers", 0, "forward-pass worker count (0 = all cores); results are identical for any value")
+		timeout   = flag.Duration("timeout", 10*time.Second, "per-request dispatcher timeout")
+		trainDemo = flag.String("train-demo", "", "train a small MS pipeline and write <dir>/ms-demo.json, then exit")
+		demoSize  = flag.Int("demo-samples", 400, "with -train-demo: training-corpus size")
+		seed      = flag.Uint64("seed", 1, "with -train-demo: training seed")
+	)
+	flag.Parse()
+
+	if *trainDemo != "" {
+		if err := trainDemoModel(*trainDemo, *demoSize, *seed, *workers); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *models == "" {
+		fmt.Fprintln(os.Stderr, "specserve: -models is required (try -train-demo models/ first)")
+		flag.Usage()
+		os.Exit(2)
+	}
+	srv, err := serve.New(serve.Config{
+		MaxBatch:       *maxBatch,
+		BatchWindow:    *window,
+		Workers:        *workers,
+		RequestTimeout: *timeout,
+		ModelDir:       *models,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	for _, m := range srv.Registry().List() {
+		fmt.Printf("specserve: loaded model %q (in %d, out %d, %d params)\n",
+			m.Name, m.InputLen, m.OutputLen, m.Params)
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Printf("specserve: listening on %s (max-batch %d, window %s, workers %d)\n",
+		*addr, *maxBatch, *window, *workers)
+
+	select {
+	case sig := <-stop:
+		fmt.Printf("specserve: %s, draining...\n", sig)
+	case err := <-errc:
+		fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "specserve: http shutdown:", err)
+	}
+	if err := srv.Close(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "specserve: drain:", err)
+	}
+	fmt.Println("specserve: bye")
+}
+
+// trainDemoModel runs the laptop-scale MS pipeline end to end and exports
+// the trained Table-1 CNN, so a served model exists within seconds of a
+// fresh checkout.
+func trainDemoModel(dir string, samples int, seed uint64, workers int) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	pipe, err := core.NewMSPipeline(core.MSConfig{
+		TrainSamples: samples,
+		Epochs:       2,
+		Seed:         seed,
+		Workers:      workers,
+	})
+	if err != nil {
+		return err
+	}
+	proto := msim.NewVirtualInstrument(nil, seed+5)
+	refs, err := msim.CollectReferences(proto, pipe.LineSimulator(), msim.DefaultAxis(),
+		msim.StandardMixtures(8), 5)
+	if err != nil {
+		return err
+	}
+	if err := pipe.Characterize(refs); err != nil {
+		return err
+	}
+	fmt.Printf("specserve: training demo model (%d samples)...\n", samples)
+	res, err := pipe.Train(os.Stdout)
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, "ms-demo.json")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = res.Model.Save(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("specserve: wrote %s (val MAE %.4f); serve it with: specserve -models %s\n",
+		path, res.ValMAE, dir)
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "specserve:", err)
+	os.Exit(1)
+}

@@ -21,6 +21,21 @@
 // compose in the benchmark harness: the former picks the corpus size,
 // the latter the worker count.
 //
+// # Serving
+//
+// internal/serve and cmd/specserve expose trained models as an HTTP/JSON
+// inference service: /v1/predict (one spectrum to substance fractions),
+// /v1/monitor (stateful core.Monitor sessions with alarm bands),
+// /v1/models (registry with hot reload from a model directory) and
+// /v1/stats (batch-size histogram, p50/p99 latency). Every forward pass
+// is routed through a per-model micro-batching dispatcher that coalesces
+// requests arriving within a configurable window (default 5ms, max batch
+// 32) into one PredictBatch call; since PredictBatch is bit-identical to
+// sequential Predict, batching never changes a response. Shutdown drains
+// in-flight batches. Golden-file tests pin the on-disk model formats and
+// fuzz harnesses keep the request decoder and spectrum preprocessing
+// panic-free on hostile input.
+//
 // See README.md for a tour, DESIGN.md for the system inventory and
 // EXPERIMENTS.md for paper-vs-measured results. The root package contains
 // no code; the library lives under internal/ and is exercised through the

@@ -71,9 +71,18 @@ func NewMonitor(names []string, limits []Limit, smoothing float64) (*Monitor, er
 }
 
 // Step feeds one prediction vector and returns any alarms raised.
+// Non-finite predictions are rejected before touching the smoothed state:
+// a single NaN would otherwise poison the exponential average forever
+// (NaN propagates through every later blend), silently disabling the
+// alarm comparisons downstream.
 func (m *Monitor) Step(pred []float64) ([]Alarm, error) {
 	if len(pred) != len(m.Names) {
 		return nil, fmt.Errorf("core: prediction width %d, monitor has %d substances", len(pred), len(m.Names))
+	}
+	for i, v := range pred {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("core: non-finite prediction for %s: %g", m.Names[i], v)
+		}
 	}
 	if m.smooth == nil {
 		m.smooth = append([]float64(nil), pred...)

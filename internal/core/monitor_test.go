@@ -1,0 +1,69 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// TestMonitorRejectsNonFinite pins the contract that Step refuses NaN/Inf
+// predictions with an explicit error instead of propagating them into the
+// smoothed state (where a single NaN would poison every later estimate).
+func TestMonitorRejectsNonFinite(t *testing.T) {
+	m, err := NewMonitor([]string{"a", "b"}, []Limit{{Name: "a", Min: 0, Max: 1}}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Step([]float64{0.4, 0.6}); err != nil {
+		t.Fatal(err)
+	}
+	before := m.Smoothed()
+	cases := [][]float64{
+		{math.NaN(), 0.5},
+		{0.5, math.NaN()},
+		{math.Inf(1), 0.5},
+		{0.5, math.Inf(-1)},
+	}
+	for _, pred := range cases {
+		if _, err := m.Step(pred); err == nil {
+			t.Fatalf("Step(%v) must fail", pred)
+		}
+	}
+	// the rejected steps must not have advanced or mutated the monitor
+	if m.StepCount() != 1 {
+		t.Fatalf("step count %d after rejected steps, want 1", m.StepCount())
+	}
+	after := m.Smoothed()
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("smoothed state changed by rejected step: %v vs %v", before, after)
+		}
+	}
+	// the monitor keeps working after a rejection
+	if _, err := m.Step([]float64{0.2, 0.8}); err != nil {
+		t.Fatal(err)
+	}
+	if m.StepCount() != 2 {
+		t.Fatalf("step count %d, want 2", m.StepCount())
+	}
+}
+
+// TestMonitorRejectsNonFiniteFirstStep covers the first-step path, where
+// the prediction would otherwise seed the smoothing buffer directly.
+func TestMonitorRejectsNonFiniteFirstStep(t *testing.T) {
+	m, err := NewMonitor([]string{"a"}, nil, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Step([]float64{math.Inf(1)}); err == nil {
+		t.Fatal("first Step with Inf must fail")
+	}
+	if m.Smoothed() != nil {
+		t.Fatal("rejected first step must not seed the smoothing buffer")
+	}
+	if _, err := m.Step([]float64{0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Smoothed(); len(got) != 1 || got[0] != 0.5 {
+		t.Fatalf("smoothed = %v, want [0.5]", got)
+	}
+}

@@ -1,0 +1,82 @@
+package ihm
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"specml/internal/spectrum"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
+
+// goldenComponents is a fixed two-component hard-model set exercising
+// every peak field the serializer writes.
+func goldenComponents() []*ComponentModel {
+	return []*ComponentModel{
+		{Name: "ethanol", Peaks: []spectrum.Peak{
+			{Center: 1.19, Area: 0.6, Width: 0.035, Eta: 0.4},
+			{Center: 3.65, Area: 0.4, Width: 0.045, Eta: 0.6},
+		}},
+		{Name: "acetate", Peaks: []spectrum.Peak{
+			{Center: 2.08, Area: 1.0, Width: 0.04, Eta: 0.5},
+		}},
+	}
+}
+
+// TestComponentsSaveGolden pins the exact bytes of the component-model
+// format: saved pure-component fits are reused across sessions, so format
+// drift would silently invalidate stored hard models.
+func TestComponentsSaveGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SaveComponents(goldenComponents(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "components_v1.golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (regenerate with: go test ./internal/ihm -run Golden -update-golden)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("component format drifted from golden bytes.\ngot:  %s\nwant: %s", buf.Bytes(), want)
+	}
+}
+
+// TestComponentsGoldenRoundTrip asserts Load+Save is byte-stable on the
+// committed artifact and evaluation is unchanged.
+func TestComponentsGoldenRoundTrip(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "components_v1.golden.json"))
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update-golden)", err)
+	}
+	comps, err := LoadComponents(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveComponents(comps, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), data) {
+		t.Fatal("LoadComponents+SaveComponents is not byte-stable on the golden set")
+	}
+	ref := goldenComponents()
+	for i, c := range comps {
+		for _, x := range []float64{1.0, 1.19, 2.08, 3.65, 4.0} {
+			if c.Value(x, 0.01, 1.05) != ref[i].Value(x, 0.01, 1.05) {
+				t.Fatalf("component %q evaluates differently after round trip", c.Name)
+			}
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package msim
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
+
+// TestInstrumentSaveGolden pins the exact bytes of the instrument-model
+// format: characterization results are stored and diffed between sessions,
+// so the layout must never drift silently.
+func TestInstrumentSaveGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := DefaultTrueModel().Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "instrument_v1.golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (regenerate with: go test ./internal/msim -run Golden -update-golden)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("instrument format drifted from golden bytes.\ngot:  %s\nwant: %s", buf.Bytes(), want)
+	}
+}
+
+// TestInstrumentGoldenRoundTrip asserts Load+Save is byte-stable on the
+// committed artifact and the loaded model measures identically.
+func TestInstrumentGoldenRoundTrip(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "instrument_v1.golden.json"))
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update-golden)", err)
+	}
+	m, err := LoadInstrumentModel(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), data) {
+		t.Fatal("LoadInstrumentModel+Save is not byte-stable on the golden model")
+	}
+	// the loaded model must measure exactly like the reference
+	ref := DefaultTrueModel()
+	comps, err := Compounds(DefaultTask...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := NewLineSimulator(comps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := make([]float64, sim.NumCompounds())
+	frac[0] = 1
+	ls, err := sim.Mixture(frac)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ref.Measure(ls, DefaultAxis(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Measure(ls, DefaultAxis(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Intensities {
+		if a.Intensities[i] != b.Intensities[i] {
+			t.Fatal("golden instrument model measures differently after round trip")
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package nn
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"specml/internal/rng"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
+
+// goldenModel is the deterministic reference network committed under
+// testdata: a dense/conv mix covering every spec field the serializer
+// round-trips.
+func goldenModel(t *testing.T) *Model {
+	t.Helper()
+	m := NewModel()
+	m.Add(&Conv1D{Filters: 2, Kernel: 3, Stride: 2})
+	act, err := ActivationByName("selu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Add(&ActivationLayer{Act: act})
+	m.Add(&Flatten{})
+	m.Add(&Dense{Out: 4})
+	m.Add(&SoftmaxLayer{})
+	if err := m.Build(rng.New(20260805), 12, 1); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// checkGolden compares got against the named golden file, rewriting it
+// under -update-golden.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (regenerate with: go test -run Golden -update-golden ./%s)", err, "internal/nn")
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s drifted from the golden bytes: the on-disk model format changed.\n"+
+			"If the change is intentional, bump the format version and regenerate with -update-golden.\n"+
+			"got:  %s\nwant: %s", name, got, want)
+	}
+}
+
+// TestModelSaveGolden pins the exact bytes nn.Save emits: deployed models
+// (and the serve model directory protocol) depend on this layout, so any
+// drift must be a deliberate, versioned format change.
+func TestModelSaveGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenModel(t).Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "model_v1.golden.json", buf.Bytes())
+}
+
+// TestModelGoldenRoundTrip loads the committed artifact and re-saves it:
+// the bytes must survive unchanged (Load is lossless, Save is stable), and
+// the loaded model must predict bit-identically to the freshly built one.
+func TestModelGoldenRoundTrip(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "model_v1.golden.json"))
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update-golden)", err)
+	}
+	loaded, err := Load(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := loaded.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), data) {
+		t.Fatal("Load+Save is not byte-stable on the golden model")
+	}
+	ref := goldenModel(t)
+	x := make([]float64, ref.InputLen())
+	for i := range x {
+		x[i] = float64(i%5) * 0.2
+	}
+	want, got := ref.Predict(x), loaded.Predict(x)
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("golden model predicts differently after round trip: %v vs %v", got, want)
+		}
+	}
+}

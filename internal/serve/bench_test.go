@@ -1,0 +1,126 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"specml/internal/nn"
+	"specml/internal/rng"
+)
+
+// benchModel mirrors a served MS network's shape: the 199-sample default
+// m/z axis in, 8 substance fractions out.
+func benchModel(b *testing.B) *nn.Model {
+	b.Helper()
+	m := nn.NewModel()
+	m.Add(&nn.Dense{Out: 32})
+	act, err := nn.ActivationByName("selu")
+	if err != nil {
+		b.Fatal(err)
+	}
+	m.Add(&nn.ActivationLayer{Act: act})
+	m.Add(&nn.Dense{Out: 8})
+	m.Add(&nn.SoftmaxLayer{})
+	if err := m.Build(rng.New(7), 199); err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// BenchmarkServePredict measures the full request path — JSON decode,
+// preprocessing, micro-batcher, JSON encode — under concurrent load (32
+// client goroutines regardless of core count), which is what lets the
+// dispatcher actually coalesce. The window=0 variant flushes eagerly: a
+// batch only grows while requests are already queued, trading batch size
+// for first-request latency.
+func BenchmarkServePredict(b *testing.B) {
+	b.Run("window=2ms", func(b *testing.B) { benchServePredict(b, 2*time.Millisecond) })
+	b.Run("window=0", func(b *testing.B) { benchServePredict(b, 0) })
+}
+
+func benchServePredict(b *testing.B, window time.Duration) {
+	srv, err := New(Config{MaxBatch: 32, BatchWindow: window})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := srv.Registry().Register("bench", benchModel(b)); err != nil {
+		b.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = srv.Close(ctx)
+	}()
+	body, err := json.Marshal(map[string]any{"model": "bench", "intensities": ramp(199, 1)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var failed atomic.Int64
+	b.SetParallelism(max(1, 32/runtime.GOMAXPROCS(0)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			req := httptest.NewRequest(http.MethodPost, "/v1/predict", strings.NewReader(string(body)))
+			rec := httptest.NewRecorder()
+			srv.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				failed.Add(1)
+			}
+		}
+	})
+	b.StopTimer()
+	if n := failed.Load(); n > 0 {
+		b.Fatalf("%d requests failed", n)
+	}
+	snap := srv.Stats().SnapshotNow()
+	if snap.Batches > 0 {
+		b.ReportMetric(float64(snap.BatchedInputs)/float64(snap.Batches), "samples/batch")
+	}
+}
+
+// BenchmarkBatcherPredict isolates the dispatcher + forward pass without
+// HTTP/JSON overhead: the marginal cost of one batched inference.
+func BenchmarkBatcherPredict(b *testing.B) {
+	m := benchModel(b)
+	batcher := NewBatcher(32, 0, nil, func(xs [][]float64) ([][]float64, error) {
+		return m.PredictBatch(xs, 0)
+	})
+	defer batcher.Close()
+	x, err := preprocessInput(ramp(199, 1), nil, "", m.InputLen())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetParallelism(max(1, 32/runtime.GOMAXPROCS(0)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := batcher.Predict(context.Background(), x); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkDirectPredict is the no-server baseline: one sequential
+// Predict call per op, the number the batched path is amortizing against.
+func BenchmarkDirectPredict(b *testing.B) {
+	m := benchModel(b)
+	x, err := preprocessInput(ramp(199, 1), nil, "", m.InputLen())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Predict(x)
+	}
+}

@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+
+	"specml/internal/spectrum"
+)
+
+// maxInputLen bounds accepted spectra; hostile requests cannot make the
+// server allocate unbounded interpolation buffers.
+const maxInputLen = 1 << 20
+
+// axisSpec is the optional sampling axis of a request spectrum. N is
+// implied by the intensity count.
+type axisSpec struct {
+	Start float64 `json:"start"`
+	Step  float64 `json:"step"`
+}
+
+// preprocessInput turns raw request intensities into a network input of
+// exactly wantLen values: validate finiteness, resample onto the model's
+// input width (linear interpolation over the request's axis, or a unit
+// index axis when none is given), clip negative noise and normalize. It
+// mirrors the offline training preprocessing (msim.Preprocess), so served
+// predictions see the same input distribution the network was trained on.
+func preprocessInput(x []float64, axis *axisSpec, normalize string, wantLen int) ([]float64, error) {
+	switch {
+	case len(x) < 2:
+		return nil, fmt.Errorf("serve: need at least 2 intensity samples, got %d", len(x))
+	case len(x) > maxInputLen:
+		return nil, fmt.Errorf("serve: %d intensity samples exceed the limit of %d", len(x), maxInputLen)
+	case wantLen < 1:
+		return nil, fmt.Errorf("serve: model input width %d invalid", wantLen)
+	}
+	for i, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("serve: non-finite intensity[%d]", i)
+		}
+	}
+	start, step := 0.0, 1.0
+	if axis != nil {
+		start, step = axis.Start, axis.Step
+		if math.IsNaN(start) || math.IsInf(start, 0) || math.IsNaN(step) || math.IsInf(step, 0) {
+			return nil, fmt.Errorf("serve: non-finite axis parameters")
+		}
+	}
+	src, err := spectrum.NewAxis(start, step, len(x))
+	if err != nil {
+		return nil, fmt.Errorf("serve: invalid request axis: %w", err)
+	}
+	s := &spectrum.Spectrum{Axis: src, Intensities: append([]float64(nil), x...)}
+	if len(x) != wantLen {
+		span := src.End() - src.Start
+		tstep := 1.0
+		if wantLen > 1 {
+			tstep = span / float64(wantLen-1)
+		}
+		if tstep <= 0 || math.IsInf(tstep, 0) || math.IsNaN(tstep) {
+			return nil, fmt.Errorf("serve: cannot resample axis span %g onto %d samples", span, wantLen)
+		}
+		dst, err := spectrum.NewAxis(src.Start, tstep, wantLen)
+		if err != nil {
+			return nil, fmt.Errorf("serve: resample axis: %w", err)
+		}
+		s = s.Resample(dst)
+	}
+	for i, v := range s.Intensities {
+		if v < 0 {
+			s.Intensities[i] = 0
+		}
+	}
+	switch normalize {
+	case "", "sum":
+		s.NormalizeSum()
+	case "max":
+		s.NormalizeMax()
+	case "area":
+		s.NormalizeArea()
+	case "none":
+	default:
+		return nil, fmt.Errorf("serve: unknown normalize mode %q (want sum, max, area or none)", normalize)
+	}
+	return s.Intensities, nil
+}

@@ -1,0 +1,231 @@
+package serve
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"specml/internal/nn"
+)
+
+// ModelInfo is the public description of one registered model.
+type ModelInfo struct {
+	Name      string    `json:"name"`
+	InputLen  int       `json:"inputLen"`
+	OutputLen int       `json:"outputLen"`
+	Params    int       `json:"params"`
+	Source    string    `json:"source,omitempty"` // file path, empty for programmatic models
+	LoadedAt  time.Time `json:"loadedAt"`
+}
+
+// modelEntry couples one named model with its dedicated micro-batcher.
+// The model pointer is swapped under the registry lock on hot reload; the
+// batcher survives reloads, so queued requests transparently run against
+// the newest weights at flush time.
+type modelEntry struct {
+	name     string
+	source   string
+	mu       sync.RWMutex
+	model    *nn.Model
+	loadedAt time.Time
+	batcher  *Batcher
+}
+
+// current returns the entry's model at this instant.
+func (e *modelEntry) current() *nn.Model {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.model
+}
+
+// swap installs a freshly loaded model.
+func (e *modelEntry) swap(m *nn.Model) {
+	e.mu.Lock()
+	e.model = m
+	e.loadedAt = time.Now()
+	e.mu.Unlock()
+}
+
+// Registry holds the named models a server can route requests to. Models
+// come from a directory of nn.Save JSON files (one model per *.json file,
+// named after its base name) or are registered programmatically; ReloadDir
+// re-reads the directory without restarting, picking up new files and new
+// weights for existing names.
+type Registry struct {
+	workers  int
+	maxBatch int
+	window   time.Duration
+	stats    *Stats
+
+	mu      sync.RWMutex
+	dir     string
+	entries map[string]*modelEntry
+}
+
+// newRegistry wires batching parameters shared by every model's batcher.
+func newRegistry(maxBatch int, window time.Duration, workers int, stats *Stats) *Registry {
+	return &Registry{
+		workers:  workers,
+		maxBatch: maxBatch,
+		window:   window,
+		stats:    stats,
+		entries:  make(map[string]*modelEntry),
+	}
+}
+
+// newEntry creates an entry plus its batcher; the batcher snapshots the
+// entry's current model per flush so reloads take effect immediately.
+func (r *Registry) newEntry(name, source string, m *nn.Model) *modelEntry {
+	e := &modelEntry{name: name, source: source, model: m, loadedAt: time.Now()}
+	e.batcher = NewBatcher(r.maxBatch, r.window, r.stats, func(xs [][]float64) ([][]float64, error) {
+		return e.current().PredictBatch(xs, r.workers)
+	})
+	return e
+}
+
+// Register adds (or replaces the weights of) a programmatic model. The
+// model must be built.
+func (r *Registry) Register(name string, m *nn.Model) error {
+	if name == "" {
+		return fmt.Errorf("serve: model name must not be empty")
+	}
+	if m == nil || m.InputLen() == 0 {
+		return fmt.Errorf("serve: model %q is nil or unbuilt", name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[name]; ok {
+		e.swap(m)
+		return nil
+	}
+	r.entries[name] = r.newEntry(name, "", m)
+	return nil
+}
+
+// LoadDir loads every *.json model file of dir and remembers dir for
+// ReloadDir. It returns the loaded model names.
+func (r *Registry) LoadDir(dir string) ([]string, error) {
+	r.mu.Lock()
+	r.dir = dir
+	r.mu.Unlock()
+	return r.ReloadDir()
+}
+
+// ReloadDir re-scans the registered directory: new files become new
+// models, existing names get their weights swapped, and file-backed models
+// whose file disappeared are dropped (their batcher drains first).
+// Programmatic models are untouched. A file that fails to load aborts the
+// reload with no partial swaps.
+func (r *Registry) ReloadDir() ([]string, error) {
+	r.mu.RLock()
+	dir := r.dir
+	r.mu.RUnlock()
+	if dir == "" {
+		return nil, fmt.Errorf("serve: no model directory configured")
+	}
+	paths, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	type loaded struct {
+		name, source string
+		model        *nn.Model
+	}
+	var fresh []loaded
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			return nil, err
+		}
+		m, err := nn.Load(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("serve: loading %s: %w", p, err)
+		}
+		name := strings.TrimSuffix(filepath.Base(p), ".json")
+		fresh = append(fresh, loaded{name: name, source: p, model: m})
+	}
+	var names []string
+	var stale []*modelEntry
+	r.mu.Lock()
+	seen := make(map[string]bool)
+	for _, l := range fresh {
+		seen[l.name] = true
+		names = append(names, l.name)
+		if e, ok := r.entries[l.name]; ok {
+			e.swap(l.model)
+			continue
+		}
+		r.entries[l.name] = r.newEntry(l.name, l.source, l.model)
+	}
+	for name, e := range r.entries {
+		if e.source != "" && !seen[name] {
+			stale = append(stale, e)
+			delete(r.entries, name)
+		}
+	}
+	r.mu.Unlock()
+	for _, e := range stale {
+		e.batcher.Close()
+	}
+	return names, nil
+}
+
+// get resolves a model by name; an empty name resolves iff exactly one
+// model is registered (the single-model convenience of small deployments).
+func (r *Registry) get(name string) (*modelEntry, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if name == "" {
+		if len(r.entries) == 1 {
+			for _, e := range r.entries {
+				return e, nil
+			}
+		}
+		return nil, fmt.Errorf("serve: %d models registered, request must name one", len(r.entries))
+	}
+	e, ok := r.entries[name]
+	if !ok {
+		return nil, fmt.Errorf("serve: unknown model %q", name)
+	}
+	return e, nil
+}
+
+// List returns the registered models sorted by name.
+func (r *Registry) List() []ModelInfo {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	infos := make([]ModelInfo, 0, len(r.entries))
+	for _, e := range r.entries {
+		e.mu.RLock()
+		infos = append(infos, ModelInfo{
+			Name:      e.name,
+			InputLen:  e.model.InputLen(),
+			OutputLen: e.model.OutputLen(),
+			Params:    e.model.NumParams(),
+			Source:    e.source,
+			LoadedAt:  e.loadedAt,
+		})
+		e.mu.RUnlock()
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	return infos
+}
+
+// close drains and stops every batcher.
+func (r *Registry) close() {
+	r.mu.Lock()
+	entries := make([]*modelEntry, 0, len(r.entries))
+	for _, e := range r.entries {
+		entries = append(entries, e)
+	}
+	r.mu.Unlock()
+	for _, e := range entries {
+		e.batcher.Close()
+	}
+}

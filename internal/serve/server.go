@@ -1,0 +1,408 @@
+// Package serve is the online inference layer of the library: an HTTP/JSON
+// server that turns trained, nn.Save-serialized networks into the paper's
+// closed-loop process-control service. Incoming spectra are preprocessed
+// (resampled onto the model's input axis and normalized like the training
+// corpus), routed through a per-model micro-batching dispatcher that
+// coalesces concurrent requests into single PredictBatch forward passes,
+// and optionally fed into stateful core.Monitor sessions that raise alarm
+// events on concentration-limit violations.
+//
+// Endpoints:
+//
+//	POST   /v1/predict            one spectrum -> substance fractions
+//	GET    /v1/models             list registered models
+//	POST   /v1/models/reload      hot-reload models from the model directory
+//	POST   /v1/monitor            open a monitoring session
+//	GET    /v1/monitor            list live session IDs
+//	GET    /v1/monitor/{id}       session status
+//	POST   /v1/monitor/{id}/step  feed one spectrum, get alarms
+//	DELETE /v1/monitor/{id}       close a session
+//	GET    /v1/stats              request/batch/latency metrics
+//	GET    /healthz               liveness probe
+//
+// Batching is invisible to clients: PredictBatch is bit-identical to
+// sequential Predict for any worker count, so a response never depends on
+// which requests shared a batch with it.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"specml/internal/core"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// MaxBatch caps how many requests one forward pass may coalesce
+	// (default 32).
+	MaxBatch int
+	// BatchWindow is how long the dispatcher waits for co-travellers after
+	// the first request of a batch (default 5ms; 0 = flush eagerly).
+	BatchWindow time.Duration
+	// Workers is the PredictBatch worker count (0 = all cores). Results are
+	// bit-identical for any value.
+	Workers int
+	// RequestTimeout bounds a request's wait on the dispatcher
+	// (default 10s).
+	RequestTimeout time.Duration
+	// ModelDir, when set, is loaded at startup and re-scanned by
+	// POST /v1/models/reload.
+	ModelDir string
+	// MaxBodyBytes caps request bodies (default 32 MiB).
+	MaxBodyBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 32
+	}
+	if c.BatchWindow < 0 {
+		c.BatchWindow = 0
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 10 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 32 << 20
+	}
+	return c
+}
+
+// Server routes inference traffic to registered models. Create with New,
+// attach models via Registry or Config.ModelDir, serve Handler, and Close
+// to drain.
+type Server struct {
+	cfg      Config
+	stats    *Stats
+	reg      *Registry
+	sessions *sessionStore
+	mux      *http.ServeMux
+	closed   atomic.Bool
+}
+
+// New builds a server and, when Config.ModelDir is set, loads its models.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		stats:    NewStats(),
+		sessions: newSessionStore(),
+		mux:      http.NewServeMux(),
+	}
+	s.reg = newRegistry(cfg.MaxBatch, cfg.BatchWindow, cfg.Workers, s.stats)
+	if cfg.ModelDir != "" {
+		if _, err := s.reg.LoadDir(cfg.ModelDir); err != nil {
+			return nil, err
+		}
+	}
+	s.routes()
+	return s, nil
+}
+
+// Registry exposes the model registry (programmatic registration, tests).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Stats exposes the metrics collector.
+func (s *Server) Stats() *Stats { return s.stats }
+
+// Handler returns the root HTTP handler.
+func (s *Server) Handler() http.Handler { return s }
+
+// ServeHTTP rejects traffic during shutdown and dispatches to the mux.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.closed.Load() {
+		writeError(w, http.StatusServiceUnavailable, errors.New("serve: server shutting down"))
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	s.mux.ServeHTTP(w, r)
+}
+
+// Close drains every model's in-flight batches and stops accepting new
+// requests. It returns early with ctx's error if draining outlives ctx.
+func (s *Server) Close(ctx context.Context) error {
+	s.closed.Store(true)
+	done := make(chan struct{})
+	go func() {
+		s.reg.close()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	s.mux.HandleFunc("GET /v1/stats", s.instrument("stats", s.handleStats))
+	s.mux.HandleFunc("POST /v1/predict", s.instrument("predict", s.handlePredict))
+	s.mux.HandleFunc("GET /v1/models", s.instrument("models", s.handleModels))
+	s.mux.HandleFunc("POST /v1/models/reload", s.instrument("reload", s.handleReload))
+	s.mux.HandleFunc("POST /v1/monitor", s.instrument("monitor.create", s.handleMonitorCreate))
+	s.mux.HandleFunc("GET /v1/monitor", s.instrument("monitor.list", s.handleMonitorList))
+	s.mux.HandleFunc("GET /v1/monitor/{id}", s.instrument("monitor.status", s.handleMonitorStatus))
+	s.mux.HandleFunc("POST /v1/monitor/{id}/step", s.instrument("monitor.step", s.handleMonitorStep))
+	s.mux.HandleFunc("DELETE /v1/monitor/{id}", s.instrument("monitor.close", s.handleMonitorClose))
+}
+
+// instrument records request count and latency per endpoint label.
+func (s *Server) instrument(label string, h func(http.ResponseWriter, *http.Request) int) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		status := h(w, r)
+		s.stats.RecordRequest(label, time.Since(start), status >= 400)
+	}
+}
+
+// predictRequest is the JSON body of /v1/predict and /v1/monitor/{id}/step.
+type predictRequest struct {
+	// Model names the registry entry; may be empty when exactly one model
+	// is registered. Ignored on monitor steps (the session pins the model).
+	Model string `json:"model,omitempty"`
+	// Axis optionally describes the sampling axis of Intensities; without
+	// it a unit index axis is assumed.
+	Axis *axisSpec `json:"axis,omitempty"`
+	// Intensities is the measured spectrum.
+	Intensities []float64 `json:"intensities"`
+	// Normalize selects the preprocessing normalization: "sum" (default,
+	// matches training), "max", "area" or "none".
+	Normalize string `json:"normalize,omitempty"`
+}
+
+// decodeJSON strictly decodes one JSON body; unknown fields and trailing
+// garbage are client errors.
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("serve: decoding request: %w", err)
+	}
+	if dec.More() {
+		return fmt.Errorf("serve: trailing data after JSON body")
+	}
+	return nil
+}
+
+// batchedPredict preprocesses one request spectrum for entry's model and
+// runs it through the entry's micro-batcher under the request timeout.
+func (s *Server) batchedPredict(ctx context.Context, e *modelEntry, req *predictRequest) ([]float64, int, error) {
+	x, err := preprocessInput(req.Intensities, req.Axis, req.Normalize, e.current().InputLen())
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	ctx, cancel := context.WithTimeout(ctx, s.cfg.RequestTimeout)
+	defer cancel()
+	y, err := e.batcher.Predict(ctx, x)
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return nil, http.StatusGatewayTimeout, err
+	case errors.Is(err, ErrBatcherClosed):
+		return nil, http.StatusServiceUnavailable, err
+	case err != nil:
+		return nil, http.StatusInternalServerError, err
+	}
+	for i, v := range y {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, http.StatusInternalServerError,
+				fmt.Errorf("serve: model %q produced non-finite output[%d]", e.name, i)
+		}
+	}
+	return y, http.StatusOK, nil
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) int {
+	var req predictRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return writeError(w, http.StatusBadRequest, err)
+	}
+	e, err := s.reg.get(req.Model)
+	if err != nil {
+		return writeError(w, http.StatusNotFound, err)
+	}
+	y, status, err := s.batchedPredict(r.Context(), e, &req)
+	if err != nil {
+		return writeError(w, status, err)
+	}
+	return writeJSON(w, http.StatusOK, map[string]any{
+		"model":     e.name,
+		"fractions": y,
+	})
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) int {
+	return writeJSON(w, http.StatusOK, map[string]any{"models": s.reg.List()})
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) int {
+	names, err := s.reg.ReloadDir()
+	if err != nil {
+		return writeError(w, http.StatusConflict, err)
+	}
+	return writeJSON(w, http.StatusOK, map[string]any{"reloaded": names})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) int {
+	return writeJSON(w, http.StatusOK, s.stats.SnapshotNow())
+}
+
+// monitorCreateRequest opens a monitoring session.
+type monitorCreateRequest struct {
+	Model string `json:"model,omitempty"`
+	// Names labels the model outputs; defaults to out0..outN-1.
+	Names []string `json:"names,omitempty"`
+	// Limits are per-substance alarm bands.
+	Limits []limitSpec `json:"limits,omitempty"`
+	// Smoothing is the monitor's EMA factor in [0,1).
+	Smoothing float64 `json:"smoothing,omitempty"`
+}
+
+type limitSpec struct {
+	Name string  `json:"name"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+}
+
+// alarmJSON flattens core.Alarm for the wire.
+type alarmJSON struct {
+	Step  int     `json:"step"`
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+}
+
+func alarmsJSON(alarms []core.Alarm) []alarmJSON {
+	out := make([]alarmJSON, len(alarms))
+	for i, a := range alarms {
+		out[i] = alarmJSON{Step: a.Step, Name: a.Name, Value: a.Value, Min: a.Limit.Min, Max: a.Limit.Max}
+	}
+	return out
+}
+
+func (s *Server) handleMonitorCreate(w http.ResponseWriter, r *http.Request) int {
+	var req monitorCreateRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return writeError(w, http.StatusBadRequest, err)
+	}
+	if math.IsNaN(req.Smoothing) || math.IsInf(req.Smoothing, 0) {
+		return writeError(w, http.StatusBadRequest, errors.New("serve: non-finite smoothing"))
+	}
+	e, err := s.reg.get(req.Model)
+	if err != nil {
+		return writeError(w, http.StatusNotFound, err)
+	}
+	width := e.current().OutputLen()
+	names := req.Names
+	if len(names) == 0 {
+		names = make([]string, width)
+		for i := range names {
+			names[i] = fmt.Sprintf("out%d", i)
+		}
+	}
+	if len(names) != width {
+		return writeError(w, http.StatusBadRequest,
+			fmt.Errorf("serve: %d names for model %q with %d outputs", len(names), e.name, width))
+	}
+	limits := make([]core.Limit, len(req.Limits))
+	for i, l := range req.Limits {
+		limits[i] = core.Limit{Name: l.Name, Min: l.Min, Max: l.Max}
+	}
+	sess, err := s.sessions.create(e.name, names, limits, req.Smoothing)
+	if err != nil {
+		return writeError(w, http.StatusBadRequest, err)
+	}
+	return writeJSON(w, http.StatusOK, map[string]any{
+		"session": sess.id,
+		"model":   sess.model,
+		"names":   sess.names,
+	})
+}
+
+func (s *Server) handleMonitorList(w http.ResponseWriter, r *http.Request) int {
+	return writeJSON(w, http.StatusOK, map[string]any{"sessions": s.sessions.list()})
+}
+
+func (s *Server) handleMonitorStatus(w http.ResponseWriter, r *http.Request) int {
+	sess, ok := s.sessions.get(r.PathValue("id"))
+	if !ok {
+		return writeError(w, http.StatusNotFound, fmt.Errorf("serve: unknown session %q", r.PathValue("id")))
+	}
+	steps, alarms, smoothed := sess.status()
+	return writeJSON(w, http.StatusOK, map[string]any{
+		"session":  sess.id,
+		"model":    sess.model,
+		"names":    sess.names,
+		"steps":    steps,
+		"alarms":   alarms,
+		"smoothed": smoothed,
+	})
+}
+
+func (s *Server) handleMonitorStep(w http.ResponseWriter, r *http.Request) int {
+	sess, ok := s.sessions.get(r.PathValue("id"))
+	if !ok {
+		return writeError(w, http.StatusNotFound, fmt.Errorf("serve: unknown session %q", r.PathValue("id")))
+	}
+	var req predictRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return writeError(w, http.StatusBadRequest, err)
+	}
+	if req.Model != "" && req.Model != sess.model {
+		return writeError(w, http.StatusBadRequest,
+			fmt.Errorf("serve: session %s is pinned to model %q", sess.id, sess.model))
+	}
+	e, err := s.reg.get(sess.model)
+	if err != nil {
+		// The session's model was unloaded; the session is now orphaned.
+		return writeError(w, http.StatusConflict, err)
+	}
+	y, status, err := s.batchedPredict(r.Context(), e, &req)
+	if err != nil {
+		return writeError(w, status, err)
+	}
+	alarms, smoothed, step, err := sess.step(y)
+	if err != nil {
+		return writeError(w, http.StatusInternalServerError, err)
+	}
+	return writeJSON(w, http.StatusOK, map[string]any{
+		"session":    sess.id,
+		"step":       step,
+		"prediction": y,
+		"smoothed":   smoothed,
+		"alarms":     alarmsJSON(alarms),
+	})
+}
+
+func (s *Server) handleMonitorClose(w http.ResponseWriter, r *http.Request) int {
+	id := r.PathValue("id")
+	if !s.sessions.remove(id) {
+		return writeError(w, http.StatusNotFound, fmt.Errorf("serve: unknown session %q", id))
+	}
+	return writeJSON(w, http.StatusOK, map[string]any{"closed": id})
+}
+
+// writeJSON writes a JSON response and returns the status for the
+// instrumentation wrapper.
+func writeJSON(w http.ResponseWriter, status int, v any) int {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+	return status
+}
+
+// writeError writes the uniform error envelope.
+func writeError(w http.ResponseWriter, status int, err error) int {
+	return writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,112 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"specml/internal/core"
+)
+
+// monitorSession is one stateful process-monitoring stream: a core.Monitor
+// fed by predictions of one registered model. Steps are serialized per
+// session so the exponential smoothing sees a well-defined order even when
+// a client pipelines requests.
+type monitorSession struct {
+	id      string
+	model   string
+	names   []string
+	created time.Time
+
+	mu      sync.Mutex
+	monitor *core.Monitor
+	alarms  int
+}
+
+// step feeds one prediction through the monitor. Non-finite predictions
+// are rejected before they can reach the smoothed state — a poisoned model
+// must trip an explicit error, not silently corrupt the stream.
+func (s *monitorSession) step(pred []float64) ([]core.Alarm, []float64, int, error) {
+	for i, v := range pred {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, nil, 0, fmt.Errorf("serve: session %s: non-finite prediction[%d] = %g", s.id, i, v)
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	alarms, err := s.monitor.Step(pred)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	s.alarms += len(alarms)
+	return alarms, s.monitor.Smoothed(), s.monitor.StepCount(), nil
+}
+
+// status returns a consistent snapshot of the session counters.
+func (s *monitorSession) status() (steps, alarms int, smoothed []float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.monitor.StepCount(), s.alarms, s.monitor.Smoothed()
+}
+
+// sessionStore tracks live monitor sessions by ID.
+type sessionStore struct {
+	mu       sync.Mutex
+	nextID   int
+	sessions map[string]*monitorSession
+}
+
+func newSessionStore() *sessionStore {
+	return &sessionStore{sessions: make(map[string]*monitorSession)}
+}
+
+// create validates the monitor parameters and opens a session.
+func (st *sessionStore) create(model string, names []string, limits []core.Limit, smoothing float64) (*monitorSession, error) {
+	m, err := core.NewMonitor(names, limits, smoothing)
+	if err != nil {
+		return nil, err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.nextID++
+	s := &monitorSession{
+		id:      fmt.Sprintf("mon-%06d", st.nextID),
+		model:   model,
+		names:   names,
+		created: time.Now(),
+		monitor: m,
+	}
+	st.sessions[s.id] = s
+	return s, nil
+}
+
+// get looks a session up by ID.
+func (st *sessionStore) get(id string) (*monitorSession, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s, ok := st.sessions[id]
+	return s, ok
+}
+
+// remove closes a session; it reports whether the ID existed.
+func (st *sessionStore) remove(id string) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, ok := st.sessions[id]; !ok {
+		return false
+	}
+	delete(st.sessions, id)
+	return true
+}
+
+// list returns the live session IDs.
+func (st *sessionStore) list() []string {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	ids := make([]string, 0, len(st.sessions))
+	for id := range st.sessions {
+		ids = append(ids, id)
+	}
+	return ids
+}

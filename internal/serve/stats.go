@@ -1,0 +1,139 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyWindow is the sliding sample window the latency quantiles are
+// computed over.
+const latencyWindow = 2048
+
+// batchBuckets are the upper bounds of the batch-size histogram buckets;
+// sizes above the last bound land in the overflow bucket.
+var batchBuckets = []int{1, 2, 4, 8, 16, 32, 64}
+
+// Stats aggregates serving metrics: per-endpoint request counts, the
+// batch-size histogram of the dispatcher and request-latency quantiles
+// over a sliding window.
+type Stats struct {
+	mu        sync.Mutex
+	started   time.Time
+	requests  map[string]int64
+	errors    map[string]int64
+	batches   int64
+	batched   int64
+	histogram []int64 // len(batchBuckets)+1, last is overflow
+
+	lat    []time.Duration // ring buffer
+	latIdx int
+	latN   int
+}
+
+// NewStats returns an empty collector.
+func NewStats() *Stats {
+	return &Stats{
+		started:   time.Now(),
+		requests:  make(map[string]int64),
+		errors:    make(map[string]int64),
+		histogram: make([]int64, len(batchBuckets)+1),
+		lat:       make([]time.Duration, latencyWindow),
+	}
+}
+
+// RecordRequest counts one handled request for an endpoint label and its
+// latency; error marks non-2xx outcomes.
+func (s *Stats) RecordRequest(endpoint string, d time.Duration, isErr bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.requests[endpoint]++
+	if isErr {
+		s.errors[endpoint]++
+	}
+	s.lat[s.latIdx] = d
+	s.latIdx = (s.latIdx + 1) % len(s.lat)
+	if s.latN < len(s.lat) {
+		s.latN++
+	}
+}
+
+// RecordBatch counts one flushed inference batch of the given size.
+func (s *Stats) RecordBatch(size int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.batches++
+	s.batched += int64(size)
+	for i, bound := range batchBuckets {
+		if size <= bound {
+			s.histogram[i]++
+			return
+		}
+	}
+	s.histogram[len(batchBuckets)]++
+}
+
+// BatchBucket is one batch-size histogram bucket in a snapshot.
+type BatchBucket struct {
+	Le    int   `json:"le"` // upper bound; 0 means +Inf (overflow)
+	Count int64 `json:"count"`
+}
+
+// Snapshot is a consistent copy of all metrics, JSON-ready for /v1/stats.
+type Snapshot struct {
+	UptimeSeconds float64          `json:"uptimeSeconds"`
+	Requests      map[string]int64 `json:"requests"`
+	Errors        map[string]int64 `json:"errors"`
+	Batches       int64            `json:"batches"`
+	BatchedInputs int64            `json:"batchedInputs"`
+	MeanBatchSize float64          `json:"meanBatchSize"`
+	BatchSizeHist []BatchBucket    `json:"batchSizeHist"`
+	LatencyP50Ms  float64          `json:"latencyP50Ms"`
+	LatencyP99Ms  float64          `json:"latencyP99Ms"`
+	LatencySample int              `json:"latencySample"`
+}
+
+// SnapshotNow computes the current snapshot.
+func (s *Stats) SnapshotNow() Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap := Snapshot{
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Requests:      make(map[string]int64, len(s.requests)),
+		Errors:        make(map[string]int64, len(s.errors)),
+		Batches:       s.batches,
+		BatchedInputs: s.batched,
+		LatencySample: s.latN,
+	}
+	for k, v := range s.requests {
+		snap.Requests[k] = v
+	}
+	for k, v := range s.errors {
+		snap.Errors[k] = v
+	}
+	if s.batches > 0 {
+		snap.MeanBatchSize = float64(s.batched) / float64(s.batches)
+	}
+	for i, bound := range batchBuckets {
+		snap.BatchSizeHist = append(snap.BatchSizeHist, BatchBucket{Le: bound, Count: s.histogram[i]})
+	}
+	snap.BatchSizeHist = append(snap.BatchSizeHist, BatchBucket{Le: 0, Count: s.histogram[len(batchBuckets)]})
+	if s.latN > 0 {
+		sample := make([]time.Duration, s.latN)
+		copy(sample, s.lat[:s.latN])
+		sort.Slice(sample, func(i, j int) bool { return sample[i] < sample[j] })
+		snap.LatencyP50Ms = quantile(sample, 0.50)
+		snap.LatencyP99Ms = quantile(sample, 0.99)
+	}
+	return snap
+}
+
+// quantile returns the q-quantile of a sorted duration sample in
+// milliseconds (nearest-rank).
+func quantile(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return float64(sorted[i]) / float64(time.Millisecond)
+}

@@ -1,0 +1,106 @@
+package spectrum
+
+import (
+	"math"
+	"testing"
+)
+
+// fuzzIntensities decodes raw fuzz bytes into float64 intensities,
+// deliberately admitting NaN, +/-Inf and denormals: the preprocessing
+// entry points must tolerate arbitrary bit patterns without panicking.
+func fuzzIntensities(data []byte) []float64 {
+	n := len(data) / 8
+	if n == 0 {
+		return nil
+	}
+	x := make([]float64, n)
+	for i := range x {
+		bits := uint64(0)
+		for j := 0; j < 8; j++ {
+			bits = bits<<8 | uint64(data[i*8+j])
+		}
+		x[i] = math.Float64frombits(bits)
+	}
+	return x
+}
+
+// FuzzResample drives Resample with hostile intensities and axis
+// geometries. Contract: never panic, and always return exactly the target
+// axis length.
+func FuzzResample(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, 0.0, 1.0, 10, 5.0, 0.25)
+	f.Add([]byte{0xff, 0xf0, 0, 0, 0, 0, 0, 0}, 1.0, 0.5, 3, -4.0, 2.0)     // +Inf sample
+	f.Add([]byte{0x7f, 0xf8, 0, 0, 0, 0, 0, 1}, -10.0, 1e-9, 100, 0.0, 1e9) // NaN sample
+	f.Fuzz(func(t *testing.T, data []byte, srcStart, srcStep float64, dstN int, dstStart, dstStep float64) {
+		x := fuzzIntensities(data)
+		srcAxis, err := NewAxis(srcStart, srcStep, len(x))
+		if err != nil {
+			t.Skip()
+		}
+		if dstN < 1 || dstN > 4096 {
+			dstN = 1 + (abs(dstN) % 4096)
+		}
+		dstAxis, err := NewAxis(dstStart, dstStep, dstN)
+		if err != nil {
+			t.Skip()
+		}
+		s := &Spectrum{Axis: srcAxis, Intensities: x}
+		out := s.Resample(dstAxis)
+		if out.Axis.N != dstN || len(out.Intensities) != dstN {
+			t.Fatalf("resample returned %d samples, want %d", len(out.Intensities), dstN)
+		}
+	})
+}
+
+// FuzzNormalize drives every normalization mode over arbitrary bit
+// patterns. Contract: never panic, preserve length, and keep the
+// degenerate guard — an all-zero spectrum stays untouched.
+func FuzzNormalize(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}, uint8(0))
+	f.Add([]byte{0x7f, 0xf0, 0, 0, 0, 0, 0, 0}, uint8(1)) // +Inf
+	f.Add([]byte{0x7f, 0xf8, 0, 0, 0, 0, 0, 1}, uint8(2)) // NaN
+	f.Add([]byte{}, uint8(0))
+	f.Fuzz(func(t *testing.T, data []byte, mode uint8) {
+		x := fuzzIntensities(data)
+		axis, err := NewAxis(0, 1, max(len(x), 1))
+		if err != nil {
+			t.Skip()
+		}
+		if len(x) == 0 {
+			x = make([]float64, 1)
+		}
+		s := &Spectrum{Axis: axis, Intensities: x}
+		n := len(s.Intensities)
+		switch mode % 3 {
+		case 0:
+			s.NormalizeMax()
+		case 1:
+			s.NormalizeArea()
+		case 2:
+			s.NormalizeSum()
+		}
+		if len(s.Intensities) != n {
+			t.Fatalf("normalization changed the sample count: %d -> %d", n, len(s.Intensities))
+		}
+		// the guard for degenerate spectra: all-zero stays all-zero
+		zero := New(axis)
+		zero.NormalizeMax()
+		zero.NormalizeArea()
+		zero.NormalizeSum()
+		for i, v := range zero.Intensities {
+			if v != 0 {
+				t.Fatalf("all-zero spectrum mutated at %d: %g", i, v)
+			}
+		}
+	})
+}
+
+func abs(v int) int {
+	if v < 0 {
+		if v == math.MinInt {
+			return math.MaxInt
+		}
+		return -v
+	}
+	return v
+}
