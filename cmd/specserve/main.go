@@ -43,6 +43,8 @@ func main() {
 		window    = flag.Duration("batch-window", 5*time.Millisecond, "how long a batch waits for co-travellers")
 		workers   = flag.Int("workers", 0, "forward-pass worker count (0 = all cores); results are identical for any value")
 		timeout   = flag.Duration("timeout", 10*time.Second, "per-request dispatcher timeout")
+		maxSess   = flag.Int("max-sessions", 256, "max live monitor sessions (-1 = unlimited)")
+		sessIdle  = flag.Duration("session-idle-timeout", 30*time.Minute, "expire monitor sessions idle this long (-1s = never)")
 		trainDemo = flag.String("train-demo", "", "train a small MS pipeline and write <dir>/ms-demo.json, then exit")
 		demoSize  = flag.Int("demo-samples", 400, "with -train-demo: training-corpus size")
 		seed      = flag.Uint64("seed", 1, "with -train-demo: training seed")
@@ -61,11 +63,13 @@ func main() {
 		os.Exit(2)
 	}
 	srv, err := serve.New(serve.Config{
-		MaxBatch:       *maxBatch,
-		BatchWindow:    *window,
-		Workers:        *workers,
-		RequestTimeout: *timeout,
-		ModelDir:       *models,
+		MaxBatch:           *maxBatch,
+		BatchWindow:        *window,
+		Workers:            *workers,
+		RequestTimeout:     *timeout,
+		ModelDir:           *models,
+		MaxSessions:        *maxSess,
+		SessionIdleTimeout: *sessIdle,
 	})
 	if err != nil {
 		fatal(err)

@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"time"
 )
@@ -171,7 +172,7 @@ func (b *Batcher) flush(batch []*request) {
 	for i, r := range batch {
 		xs[i] = r.x
 	}
-	ys, err := b.run(xs)
+	ys, err := b.runSafe(xs)
 	if err == nil && len(ys) != len(batch) {
 		err = errors.New("serve: batch run returned wrong result count")
 	}
@@ -185,4 +186,16 @@ func (b *Batcher) flush(batch []*request) {
 		}
 		r.resp <- response{y: ys[i]}
 	}
+}
+
+// runSafe invokes the run function, converting a panic into a batch error:
+// the dispatcher goroutine is shared by every request of a model, so a
+// single poisoned forward pass must fail its batch, not kill the process.
+func (b *Batcher) runSafe(xs [][]float64) (ys [][]float64, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			ys, err = nil, fmt.Errorf("serve: batch forward pass panicked: %v", p)
+		}
+	}()
+	return b.run(xs)
 }

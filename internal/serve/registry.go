@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -11,6 +12,17 @@ import (
 
 	"specml/internal/nn"
 )
+
+// ErrModelReloaded reports that a hot reload swapped in a model whose input
+// width no longer matches a request that was preprocessed for the previous
+// weights. The affected batch fails cleanly; clients retry against the new
+// width advertised by /v1/models.
+var ErrModelReloaded = errors.New("serve: model input width changed by reload")
+
+// errAmbiguousModel marks a request that omitted the model name while the
+// registry holds several models: a malformed request, not a missing
+// resource.
+var errAmbiguousModel = errors.New("serve: request must name a model")
 
 // ModelInfo is the public description of one registered model.
 type ModelInfo struct {
@@ -82,7 +94,20 @@ func newRegistry(maxBatch int, window time.Duration, workers int, stats *Stats) 
 func (r *Registry) newEntry(name, source string, m *nn.Model) *modelEntry {
 	e := &modelEntry{name: name, source: source, model: m, loadedAt: time.Now()}
 	e.batcher = NewBatcher(r.maxBatch, r.window, r.stats, func(xs [][]float64) ([][]float64, error) {
-		return e.current().PredictBatch(xs, r.workers)
+		// One snapshot per flush: every row is validated against the exact
+		// model that will run the batch. Requests are preprocessed to the
+		// width current at enqueue time, so a hot reload that changes the
+		// input width between enqueue and flush must surface as an error
+		// here — never as a Forward panic inside PredictBatch.
+		m := e.current()
+		want := m.InputLen()
+		for _, x := range xs {
+			if len(x) != want {
+				return nil, fmt.Errorf("%w: model %q now expects %d inputs, request was preprocessed to %d",
+					ErrModelReloaded, e.name, want, len(x))
+			}
+		}
+		return m.PredictBatch(xs, r.workers)
 	})
 	return e
 }
@@ -187,7 +212,10 @@ func (r *Registry) get(name string) (*modelEntry, error) {
 				return e, nil
 			}
 		}
-		return nil, fmt.Errorf("serve: %d models registered, request must name one", len(r.entries))
+		if len(r.entries) == 0 {
+			return nil, fmt.Errorf("serve: no models registered")
+		}
+		return nil, fmt.Errorf("%w (%d models registered)", errAmbiguousModel, len(r.entries))
 	}
 	e, ok := r.entries[name]
 	if !ok {

@@ -23,6 +23,11 @@
 // Batching is invisible to clients: PredictBatch is bit-identical to
 // sequential Predict for any worker count, so a response never depends on
 // which requests shared a batch with it.
+//
+// The server is safe to expose to untrusted clients: request bodies are
+// size-capped, monitor sessions are bounded by a cap and an idle TTL, and
+// a hot reload that changes a model's input width fails in-flight requests
+// with 409 instead of crashing a forward pass.
 package serve
 
 import (
@@ -57,6 +62,12 @@ type Config struct {
 	ModelDir string
 	// MaxBodyBytes caps request bodies (default 32 MiB).
 	MaxBodyBytes int64
+	// MaxSessions caps live monitor sessions; creation beyond the cap is
+	// refused with 429 (default 256, negative = unlimited).
+	MaxSessions int
+	// SessionIdleTimeout expires monitor sessions that have not been
+	// stepped or queried for this long (default 30m, negative = never).
+	SessionIdleTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -71,6 +82,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 32 << 20
+	}
+	if c.MaxSessions == 0 {
+		c.MaxSessions = 256
+	}
+	if c.SessionIdleTimeout == 0 {
+		c.SessionIdleTimeout = 30 * time.Minute
 	}
 	return c
 }
@@ -93,7 +110,7 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:      cfg,
 		stats:    NewStats(),
-		sessions: newSessionStore(),
+		sessions: newSessionStore(cfg.MaxSessions, cfg.SessionIdleTimeout),
 		mux:      http.NewServeMux(),
 	}
 	s.reg = newRegistry(cfg.MaxBatch, cfg.BatchWindow, cfg.Workers, s.stats)
@@ -157,12 +174,20 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("DELETE /v1/monitor/{id}", s.instrument("monitor.close", s.handleMonitorClose))
 }
 
-// instrument records request count and latency per endpoint label.
+// statusClientClosedRequest is the nginx-convention status for a request
+// whose client went away before the response was ready. It exists so
+// client-initiated aborts are distinguishable from real failures and stay
+// out of the /v1/stats error counts.
+const statusClientClosedRequest = 499
+
+// instrument records request count and latency per endpoint label. A
+// client-closed request is not counted as an error: the server did nothing
+// wrong when the client hung up.
 func (s *Server) instrument(label string, h func(http.ResponseWriter, *http.Request) int) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		status := h(w, r)
-		s.stats.RecordRequest(label, time.Since(start), status >= 400)
+		s.stats.RecordRequest(label, time.Since(start), status >= 400 && status != statusClientClosedRequest)
 	}
 }
 
@@ -206,10 +231,17 @@ func (s *Server) batchedPredict(ctx context.Context, e *modelEntry, req *predict
 	defer cancel()
 	y, err := e.batcher.Predict(ctx, x)
 	switch {
+	case errors.Is(err, context.Canceled):
+		// The client disconnected mid-request; not a server failure.
+		return nil, statusClientClosedRequest, err
 	case errors.Is(err, context.DeadlineExceeded):
 		return nil, http.StatusGatewayTimeout, err
 	case errors.Is(err, ErrBatcherClosed):
 		return nil, http.StatusServiceUnavailable, err
+	case errors.Is(err, ErrModelReloaded):
+		// A hot reload changed the input width between preprocessing and
+		// flush; the client retries against the new width.
+		return nil, http.StatusConflict, err
 	case err != nil:
 		return nil, http.StatusInternalServerError, err
 	}
@@ -222,6 +254,16 @@ func (s *Server) batchedPredict(ctx context.Context, e *modelEntry, req *predict
 	return y, http.StatusOK, nil
 }
 
+// modelErrStatus maps a Registry.get failure to its HTTP status: omitting
+// the model name with several models registered is a malformed request
+// (400), an unknown name is a missing resource (404).
+func modelErrStatus(err error) int {
+	if errors.Is(err, errAmbiguousModel) {
+		return http.StatusBadRequest
+	}
+	return http.StatusNotFound
+}
+
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) int {
 	var req predictRequest
 	if err := decodeJSON(r, &req); err != nil {
@@ -229,7 +271,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) int {
 	}
 	e, err := s.reg.get(req.Model)
 	if err != nil {
-		return writeError(w, http.StatusNotFound, err)
+		return writeError(w, modelErrStatus(err), err)
 	}
 	y, status, err := s.batchedPredict(r.Context(), e, &req)
 	if err != nil {
@@ -301,7 +343,7 @@ func (s *Server) handleMonitorCreate(w http.ResponseWriter, r *http.Request) int
 	}
 	e, err := s.reg.get(req.Model)
 	if err != nil {
-		return writeError(w, http.StatusNotFound, err)
+		return writeError(w, modelErrStatus(err), err)
 	}
 	width := e.current().OutputLen()
 	names := req.Names
@@ -321,6 +363,9 @@ func (s *Server) handleMonitorCreate(w http.ResponseWriter, r *http.Request) int
 	}
 	sess, err := s.sessions.create(e.name, names, limits, req.Smoothing)
 	if err != nil {
+		if errors.Is(err, errTooManySessions) {
+			return writeError(w, http.StatusTooManyRequests, err)
+		}
 		return writeError(w, http.StatusBadRequest, err)
 	}
 	return writeJSON(w, http.StatusOK, map[string]any{

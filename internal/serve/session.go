@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sync"
@@ -8,6 +9,10 @@ import (
 
 	"specml/internal/core"
 )
+
+// errTooManySessions refuses session creation past the configured cap, so
+// an unauthenticated client cannot grow server memory without bound.
+var errTooManySessions = errors.New("serve: session limit reached")
 
 // monitorSession is one stateful process-monitoring stream: a core.Monitor
 // fed by predictions of one registered model. Steps are serialized per
@@ -18,6 +23,10 @@ type monitorSession struct {
 	model   string
 	names   []string
 	created time.Time
+
+	// lastSeen backs idle expiry; guarded by sessionStore.mu, not the
+	// session's own mutex (it is only read and written by store methods).
+	lastSeen time.Time
 
 	mu      sync.Mutex
 	monitor *core.Monitor
@@ -50,42 +59,76 @@ func (s *monitorSession) status() (steps, alarms int, smoothed []float64) {
 	return s.monitor.StepCount(), s.alarms, s.monitor.Smoothed()
 }
 
-// sessionStore tracks live monitor sessions by ID.
+// sessionStore tracks live monitor sessions by ID, bounded by a session
+// cap and an idle TTL so an unauthenticated client cannot accumulate
+// unbounded per-session state.
 type sessionStore struct {
+	maxSessions int           // negative = unlimited
+	idleTTL     time.Duration // <= 0 = never expire
+
 	mu       sync.Mutex
 	nextID   int
 	sessions map[string]*monitorSession
 }
 
-func newSessionStore() *sessionStore {
-	return &sessionStore{sessions: make(map[string]*monitorSession)}
+func newSessionStore(maxSessions int, idleTTL time.Duration) *sessionStore {
+	return &sessionStore{
+		maxSessions: maxSessions,
+		idleTTL:     idleTTL,
+		sessions:    make(map[string]*monitorSession),
+	}
 }
 
-// create validates the monitor parameters and opens a session.
+// sweepLocked drops sessions idle past the TTL; callers hold st.mu.
+func (st *sessionStore) sweepLocked(now time.Time) {
+	if st.idleTTL <= 0 {
+		return
+	}
+	for id, s := range st.sessions {
+		if now.Sub(s.lastSeen) > st.idleTTL {
+			delete(st.sessions, id)
+		}
+	}
+}
+
+// create validates the monitor parameters and opens a session, refusing
+// once the cap is reached (expired sessions are evicted first).
 func (st *sessionStore) create(model string, names []string, limits []core.Limit, smoothing float64) (*monitorSession, error) {
 	m, err := core.NewMonitor(names, limits, smoothing)
 	if err != nil {
 		return nil, err
 	}
+	now := time.Now()
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	st.sweepLocked(now)
+	if st.maxSessions >= 0 && len(st.sessions) >= st.maxSessions {
+		return nil, fmt.Errorf("%w (%d live)", errTooManySessions, len(st.sessions))
+	}
 	st.nextID++
 	s := &monitorSession{
-		id:      fmt.Sprintf("mon-%06d", st.nextID),
-		model:   model,
-		names:   names,
-		created: time.Now(),
-		monitor: m,
+		id:       fmt.Sprintf("mon-%06d", st.nextID),
+		model:    model,
+		names:    names,
+		created:  now,
+		lastSeen: now,
+		monitor:  m,
 	}
 	st.sessions[s.id] = s
 	return s, nil
 }
 
-// get looks a session up by ID.
+// get looks a session up by ID, expiring stale sessions first and marking
+// the found one as freshly used.
 func (st *sessionStore) get(id string) (*monitorSession, bool) {
+	now := time.Now()
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	st.sweepLocked(now)
 	s, ok := st.sessions[id]
+	if ok {
+		s.lastSeen = now
+	}
 	return s, ok
 }
 
@@ -104,6 +147,7 @@ func (st *sessionStore) remove(id string) bool {
 func (st *sessionStore) list() []string {
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	st.sweepLocked(time.Now())
 	ids := make([]string, 0, len(st.sessions))
 	for id := range st.sessions {
 		ids = append(ids, id)
