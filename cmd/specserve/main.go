@@ -24,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -48,6 +49,7 @@ func main() {
 		trainDemo = flag.String("train-demo", "", "train a small MS pipeline and write <dir>/ms-demo.json, then exit")
 		demoSize  = flag.Int("demo-samples", 400, "with -train-demo: training-corpus size")
 		seed      = flag.Uint64("seed", 1, "with -train-demo: training seed")
+		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (e.g. localhost:6060); off when empty")
 	)
 	flag.Parse()
 
@@ -79,6 +81,23 @@ func main() {
 			m.Name, m.InputLen, m.OutputLen, m.Params)
 	}
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	if *pprofAddr != "" {
+		// Profiling stays off the API listener so it is never exposed by
+		// accident: its own mux on its own (typically loopback) address.
+		pm := http.NewServeMux()
+		pm.HandleFunc("/debug/pprof/", pprof.Index)
+		pm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, pm); err != nil {
+				fmt.Fprintln(os.Stderr, "specserve: pprof listener:", err)
+			}
+		}()
+		fmt.Printf("specserve: pprof on http://%s/debug/pprof/\n", *pprofAddr)
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)

@@ -1,0 +1,583 @@
+package nn
+
+import (
+	"fmt"
+
+	"specml/internal/rng"
+	"specml/internal/tensor"
+	"specml/internal/tensor/pool"
+)
+
+// BatchLayer is the batched fast path of a Layer: ForwardBatch and
+// BackwardBatch process a whole row-major [n x features] block in one call,
+// turning n per-sample loops into blocked GEMM kernels (im2col lowering for
+// the convolutions). Implementations guarantee BIT-IDENTICAL results to
+// looping Forward/Backward over the rows: inside every kernel each output
+// element keeps the exact accumulation order of the per-sample loops, so
+// batching is invisible to the golden-file, worker-invariance and serve
+// bitwise-identity tests.
+//
+// Like the per-sample path, the batched path is stateful: BackwardBatch
+// consumes the caches of the most recent ForwardBatch (with the same n) and
+// returned blocks are owned by the layer until its next call. Layers that
+// cannot batch (LSTM, TimeDistributed) simply don't implement the
+// interface; Model falls back to per-sample execution for them.
+type BatchLayer interface {
+	Layer
+	// ForwardBatch computes outputs for n samples packed row-major in x
+	// ([n x inLen]) and returns a layer-owned [n x outLen] block.
+	ForwardBatch(x []float64, n int) []float64
+	// BackwardBatch consumes dLoss/dOutput for the last ForwardBatch's n
+	// samples and returns the layer-owned [n x inLen] input-gradient block,
+	// accumulating parameter gradients exactly as n sequential Backward
+	// calls would.
+	BackwardBatch(gradOut []float64, n int) []float64
+}
+
+// zero clears a scratch slice (the batched kernels accumulate into their
+// destinations, so reused buffers must start from +0 like fresh ones).
+func zero(s []float64) {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Dense
+
+// ForwardBatch implements BatchLayer: one GEMM for the whole block.
+func (d *Dense) ForwardBatch(x []float64, n int) []float64 {
+	d.bx = x // kept for BackwardBatch; blocks stay alive across one fwd/bwd cycle
+	d.by = pool.Grow(d.by, n*d.Out)
+	zero(d.by)
+	// Per row: accumulator starts at 0, adds w[r][c]*x[c] in ascending c
+	// order, bias added afterwards — exactly MatVec + bias in Forward.
+	tensor.GemmNT(d.by, x, d.w.Data, n, d.Out, d.in)
+	for s := 0; s < n; s++ {
+		row := d.by[s*d.Out : (s+1)*d.Out]
+		for i := range row {
+			row[i] += d.b.Data[i]
+		}
+	}
+	return d.by
+}
+
+// BackwardBatch implements BatchLayer.
+func (d *Dense) BackwardBatch(gradOut []float64, n int) []float64 {
+	// dW += dYᵀ·X with the batch as the contraction axis: every weight
+	// element receives its per-sample contributions in ascending sample
+	// order with OuterAccum's zero-skip, matching n sequential Backwards.
+	tensor.GemmTN(d.w.Grad, gradOut, d.bx, d.Out, d.in, n)
+	for s := 0; s < n; s++ {
+		grow := gradOut[s*d.Out : (s+1)*d.Out]
+		for i, g := range grow {
+			d.b.Grad[i] += g
+		}
+	}
+	d.bgin = pool.Grow(d.bgin, n*d.in)
+	zero(d.bgin)
+	// dX = dY·W: per row, ascending output index with MatTVec's zero-skip.
+	tensor.Gemm(d.bgin, gradOut, d.w.Data, n, d.in, d.Out)
+	return d.bgin
+}
+
+// ---------------------------------------------------------------------------
+// Conv1D
+
+// ForwardBatch implements BatchLayer: im2col lowering plus one blocked GEMM
+// over all samples and output positions.
+func (c *Conv1D) ForwardBatch(x []float64, n int) []float64 {
+	fanIn := c.Kernel * c.inCh
+	inSize := c.inLen * c.inCh
+	rows := n * c.outLen
+	c.bcol = pool.Grow(c.bcol, rows*fanIn)
+	for s := 0; s < n; s++ {
+		tensor.Im2Col(c.bcol[s*c.outLen*fanIn:(s+1)*c.outLen*fanIn],
+			x[s*inSize:(s+1)*inSize], c.inLen, c.inCh, c.Kernel, c.Stride, c.outLen)
+	}
+	c.by = pool.Grow(c.by, rows*c.Filters)
+	// The per-sample loop seeds each accumulator with the bias and then
+	// adds the window products in ascending order; prefilling C with the
+	// bias before the accumulating GEMM reproduces that exactly.
+	for r := 0; r < rows; r++ {
+		copy(c.by[r*c.Filters:(r+1)*c.Filters], c.b.Data)
+	}
+	tensor.GemmNT(c.by, c.bcol, c.w.Data, rows, c.Filters, fanIn)
+	return c.by
+}
+
+// BackwardBatch implements BatchLayer. The weight gradient contracts the
+// cached im2col block against the output gradients in one GEMM; the input
+// gradient keeps the per-position loop structure (GEMM + Col2Im when the
+// windows don't overlap), both preserving the per-sample addition order.
+func (c *Conv1D) BackwardBatch(gradOut []float64, n int) []float64 {
+	fanIn := c.Kernel * c.inCh
+	inSize := c.inLen * c.inCh
+	rows := n * c.outLen
+	// dW += dYᵀ·col: contributions arrive in ascending (sample, position)
+	// order with the gf==0 skip — the order of n sequential Backwards.
+	tensor.GemmTN(c.w.Grad, gradOut, c.bcol, c.Filters, fanIn, rows)
+	for r := 0; r < rows; r++ {
+		grow := gradOut[r*c.Filters : (r+1)*c.Filters]
+		for f, gf := range grow {
+			if gf != 0 {
+				c.b.Grad[f] += gf
+			}
+		}
+	}
+	c.bgin = pool.Grow(c.bgin, n*inSize)
+	zero(c.bgin)
+	if c.Stride >= c.Kernel {
+		// Non-overlapping windows: each input element belongs to exactly one
+		// position, so dcol = dY·W scattered by Col2Im adds the same values
+		// in the same order as the per-position loop.
+		c.bdcol = pool.Grow(c.bdcol, rows*fanIn)
+		zero(c.bdcol)
+		tensor.Gemm(c.bdcol, gradOut, c.w.Data, rows, fanIn, c.Filters)
+		for s := 0; s < n; s++ {
+			tensor.Col2Im(c.bgin[s*inSize:(s+1)*inSize],
+				c.bdcol[s*c.outLen*fanIn:(s+1)*c.outLen*fanIn],
+				c.inLen, c.inCh, c.Kernel, c.Stride, c.outLen)
+		}
+		return c.bgin
+	}
+	// Overlapping windows: an input element collects contributions from
+	// several positions interleaved by filter; only the exact per-sample
+	// loop reproduces that addition sequence.
+	for s := 0; s < n; s++ {
+		gin := c.bgin[s*inSize : (s+1)*inSize]
+		gs := gradOut[s*c.outLen*c.Filters : (s+1)*c.outLen*c.Filters]
+		for p := 0; p < c.outLen; p++ {
+			base := p * c.Stride * c.inCh
+			ginWin := gin[base : base+fanIn]
+			grow := gs[p*c.Filters : (p+1)*c.Filters]
+			for f, gf := range grow {
+				if gf == 0 {
+					continue
+				}
+				wf := c.w.Data[f*fanIn : (f+1)*fanIn]
+				for i, wv := range wf {
+					ginWin[i] += gf * wv
+				}
+			}
+		}
+	}
+	return c.bgin
+}
+
+// ---------------------------------------------------------------------------
+// LocallyConnected1D
+
+// ForwardBatch implements BatchLayer. Weights are per-position, so there is
+// no single GEMM; instead the position loop moves outermost and the batch
+// innermost, streaming the (large) weight tensor once per batch instead of
+// once per sample. Each output element keeps its per-sample dot-product
+// order: accumulator seeded with the bias, window products ascending.
+func (c *LocallyConnected1D) ForwardBatch(x []float64, n int) []float64 {
+	fanIn := c.Kernel * c.inCh
+	inSize := c.inLen * c.inCh
+	c.bx = x
+	c.by = pool.Grow(c.by, n*c.outLen*c.Filters)
+	for p := 0; p < c.outLen; p++ {
+		base := p * c.Stride * c.inCh
+		wp := c.w.Data[p*c.Filters*fanIn : (p+1)*c.Filters*fanIn]
+		bp := c.b.Data[p*c.Filters : (p+1)*c.Filters]
+		for s := 0; s < n; s++ {
+			win := x[s*inSize+base : s*inSize+base+fanIn]
+			out := c.by[(s*c.outLen+p)*c.Filters : (s*c.outLen+p+1)*c.Filters]
+			for f := 0; f < c.Filters; f++ {
+				wf := wp[f*fanIn : (f+1)*fanIn]
+				acc := bp[f]
+				for i, v := range win {
+					acc += wf[i] * v
+				}
+				out[f] = acc
+			}
+		}
+	}
+	return c.by
+}
+
+// BackwardBatch implements BatchLayer: the exact per-sample loop run over
+// the cached input block, samples outermost so every gradient element
+// accumulates in ascending sample order like sequential Backward calls.
+func (c *LocallyConnected1D) BackwardBatch(gradOut []float64, n int) []float64 {
+	fanIn := c.Kernel * c.inCh
+	inSize := c.inLen * c.inCh
+	c.bgin = pool.Grow(c.bgin, n*inSize)
+	zero(c.bgin)
+	for s := 0; s < n; s++ {
+		xs := c.bx[s*inSize : (s+1)*inSize]
+		gin := c.bgin[s*inSize : (s+1)*inSize]
+		gs := gradOut[s*c.outLen*c.Filters : (s+1)*c.outLen*c.Filters]
+		for p := 0; p < c.outLen; p++ {
+			base := p * c.Stride * c.inCh
+			win := xs[base : base+fanIn]
+			ginWin := gin[base : base+fanIn]
+			g := gs[p*c.Filters : (p+1)*c.Filters]
+			wp := c.w.Data[p*c.Filters*fanIn : (p+1)*c.Filters*fanIn]
+			gwp := c.w.Grad[p*c.Filters*fanIn : (p+1)*c.Filters*fanIn]
+			gbp := c.b.Grad[p*c.Filters : (p+1)*c.Filters]
+			for f := 0; f < c.Filters; f++ {
+				gf := g[f]
+				if gf == 0 {
+					continue
+				}
+				gbp[f] += gf
+				wf := wp[f*fanIn : (f+1)*fanIn]
+				gwf := gwp[f*fanIn : (f+1)*fanIn]
+				for i, v := range win {
+					gwf[i] += gf * v
+					ginWin[i] += gf * wf[i]
+				}
+			}
+		}
+	}
+	return c.bgin
+}
+
+// ---------------------------------------------------------------------------
+// ActivationLayer
+
+// ForwardBatch implements BatchLayer: one pointwise pass over the block.
+func (l *ActivationLayer) ForwardBatch(x []float64, n int) []float64 {
+	l.bx = x
+	l.by = pool.Grow(l.by, n*len(l.y))
+	for i, v := range x {
+		l.by[i] = l.Act.Value(v)
+	}
+	return l.by
+}
+
+// BackwardBatch implements BatchLayer.
+func (l *ActivationLayer) BackwardBatch(gradOut []float64, n int) []float64 {
+	l.bgin = pool.Grow(l.bgin, n*len(l.gin))
+	for i, g := range gradOut {
+		l.bgin[i] = g * l.Act.Deriv(l.bx[i], l.by[i])
+	}
+	return l.bgin
+}
+
+// ---------------------------------------------------------------------------
+// SoftmaxLayer
+
+// ForwardBatch implements BatchLayer: the per-group softmax of Forward, run
+// over every row of the block.
+func (l *SoftmaxLayer) ForwardBatch(x []float64, n int) []float64 {
+	nf := len(l.y)
+	l.by = pool.Grow(l.by, n*nf)
+	for s := 0; s < n; s++ {
+		for g := 0; g < l.groups; g++ {
+			lo, hi := s*nf+g*l.width, s*nf+(g+1)*l.width
+			Softmax(l.by[lo:hi], x[lo:hi])
+		}
+	}
+	return l.by
+}
+
+// BackwardBatch implements BatchLayer.
+func (l *SoftmaxLayer) BackwardBatch(gradOut []float64, n int) []float64 {
+	nf := len(l.y)
+	l.bgin = pool.Grow(l.bgin, n*nf)
+	for s := 0; s < n; s++ {
+		for g := 0; g < l.groups; g++ {
+			lo, hi := s*nf+g*l.width, s*nf+(g+1)*l.width
+			y := l.by[lo:hi]
+			grad := gradOut[lo:hi]
+			dot := 0.0
+			for i, gv := range grad {
+				dot += gv * y[i]
+			}
+			gin := l.bgin[lo:hi]
+			for i, gv := range grad {
+				gin[i] = y[i] * (gv - dot)
+			}
+		}
+	}
+	return l.bgin
+}
+
+// ---------------------------------------------------------------------------
+// Dropout
+
+// setBatchSources installs one mask stream per sample of the next training
+// ForwardBatch; Model.reseedDropoutBatch derives them exactly like the
+// per-sample reseedDropout so batched masks equal per-sample masks.
+func (l *Dropout) setBatchSources(srcs []*rng.Source) { l.batchSrcs = srcs }
+
+// ForwardBatch implements BatchLayer. Outside training it is the identity
+// (no copy, like the snapshot-free inference Forward); in training each row
+// draws its mask from its own per-sample stream in element order, exactly
+// as Forward does after a per-sample Reseed.
+func (l *Dropout) ForwardBatch(x []float64, n int) []float64 {
+	if !l.training || l.Rate == 0 {
+		return x
+	}
+	nf := len(l.y)
+	if len(l.batchSrcs) < n {
+		panic("nn: dropout ForwardBatch in training mode without per-sample batch sources")
+	}
+	l.bmask = pool.Grow(l.bmask, n*nf)
+	l.by = pool.Grow(l.by, n*nf)
+	keep := 1 - l.Rate
+	inv := 1 / keep
+	for s := 0; s < n; s++ {
+		src := l.batchSrcs[s]
+		row := x[s*nf : (s+1)*nf]
+		mrow := l.bmask[s*nf : (s+1)*nf]
+		orow := l.by[s*nf : (s+1)*nf]
+		for i, v := range row {
+			if src.Float64() < keep {
+				mrow[i] = inv
+			} else {
+				mrow[i] = 0
+			}
+			orow[i] = v * mrow[i]
+		}
+	}
+	return l.by
+}
+
+// BackwardBatch implements BatchLayer.
+func (l *Dropout) BackwardBatch(gradOut []float64, n int) []float64 {
+	if !l.training || l.Rate == 0 {
+		return gradOut
+	}
+	nf := len(l.y)
+	l.bgin = pool.Grow(l.bgin, n*nf)
+	for i, g := range gradOut {
+		l.bgin[i] = g * l.bmask[i]
+	}
+	return l.bgin
+}
+
+// ---------------------------------------------------------------------------
+// Shape-only layers
+
+// ForwardBatch implements BatchLayer (flat blocks make reshape a no-op).
+func (l *Reshape) ForwardBatch(x []float64, _ int) []float64 { return x }
+
+// BackwardBatch implements BatchLayer.
+func (l *Reshape) BackwardBatch(gradOut []float64, _ int) []float64 { return gradOut }
+
+// ForwardBatch implements BatchLayer.
+func (l *Flatten) ForwardBatch(x []float64, _ int) []float64 { return x }
+
+// BackwardBatch implements BatchLayer.
+func (l *Flatten) BackwardBatch(gradOut []float64, _ int) []float64 { return gradOut }
+
+// ---------------------------------------------------------------------------
+// Pooling
+
+// ForwardBatch implements BatchLayer.
+func (l *MaxPool1D) ForwardBatch(x []float64, n int) []float64 {
+	inSize := l.inLen * l.ch
+	oSize := l.outLen * l.ch
+	l.by = pool.Grow(l.by, n*oSize)
+	l.bargmax = pool.GrowInts(l.bargmax, n*oSize)
+	for s := 0; s < n; s++ {
+		xs := x[s*inSize : (s+1)*inSize]
+		ys := l.by[s*oSize : (s+1)*oSize]
+		am := l.bargmax[s*oSize : (s+1)*oSize]
+		for p := 0; p < l.outLen; p++ {
+			for c := 0; c < l.ch; c++ {
+				bestIdx := (p*l.Stride)*l.ch + c
+				best := xs[bestIdx]
+				for k := 1; k < l.Kernel; k++ {
+					idx := (p*l.Stride+k)*l.ch + c
+					if xs[idx] > best {
+						best, bestIdx = xs[idx], idx
+					}
+				}
+				ys[p*l.ch+c] = best
+				am[p*l.ch+c] = bestIdx // sample-local index, like Forward
+			}
+		}
+	}
+	return l.by
+}
+
+// BackwardBatch implements BatchLayer.
+func (l *MaxPool1D) BackwardBatch(gradOut []float64, n int) []float64 {
+	inSize := l.inLen * l.ch
+	oSize := l.outLen * l.ch
+	l.bgin = pool.Grow(l.bgin, n*inSize)
+	zero(l.bgin)
+	for s := 0; s < n; s++ {
+		gin := l.bgin[s*inSize : (s+1)*inSize]
+		grow := gradOut[s*oSize : (s+1)*oSize]
+		am := l.bargmax[s*oSize : (s+1)*oSize]
+		for i, g := range grow {
+			gin[am[i]] += g
+		}
+	}
+	return l.bgin
+}
+
+// ForwardBatch implements BatchLayer.
+func (l *AvgPool1D) ForwardBatch(x []float64, n int) []float64 {
+	inSize := l.inLen * l.ch
+	oSize := l.outLen * l.ch
+	l.by = pool.Grow(l.by, n*oSize)
+	inv := 1 / float64(l.Kernel)
+	for s := 0; s < n; s++ {
+		xs := x[s*inSize : (s+1)*inSize]
+		ys := l.by[s*oSize : (s+1)*oSize]
+		for p := 0; p < l.outLen; p++ {
+			for c := 0; c < l.ch; c++ {
+				sum := 0.0
+				for k := 0; k < l.Kernel; k++ {
+					sum += xs[(p*l.Stride+k)*l.ch+c]
+				}
+				ys[p*l.ch+c] = sum * inv
+			}
+		}
+	}
+	return l.by
+}
+
+// BackwardBatch implements BatchLayer.
+func (l *AvgPool1D) BackwardBatch(gradOut []float64, n int) []float64 {
+	inSize := l.inLen * l.ch
+	oSize := l.outLen * l.ch
+	l.bgin = pool.Grow(l.bgin, n*inSize)
+	zero(l.bgin)
+	inv := 1 / float64(l.Kernel)
+	for s := 0; s < n; s++ {
+		gin := l.bgin[s*inSize : (s+1)*inSize]
+		grow := gradOut[s*oSize : (s+1)*oSize]
+		for p := 0; p < l.outLen; p++ {
+			for c := 0; c < l.ch; c++ {
+				g := grow[p*l.ch+c] * inv
+				for k := 0; k < l.Kernel; k++ {
+					gin[(p*l.Stride+k)*l.ch+c] += g
+				}
+			}
+		}
+	}
+	return l.bgin
+}
+
+// ---------------------------------------------------------------------------
+// Model drivers
+
+// batchScratch recycles the flattened input blocks assembled by
+// PredictBatch across calls (the serve dispatcher flushes continuously, so
+// steady-state batching must not allocate per flush).
+var batchScratch pool.Pool
+
+// batchable reports whether every layer implements BatchLayer, i.e. whether
+// training can run fully batched. Inference can always use forwardBatch:
+// non-batch layers fall back per sample.
+func (m *Model) batchable() bool {
+	for _, l := range m.layers {
+		if _, ok := l.(BatchLayer); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// forwardBatch runs n row-major samples through the stack, using each
+// layer's batched kernel when it has one and a generic per-sample fallback
+// (LSTM, TimeDistributed) when it does not. The returned [n x outLen] block
+// is owned by the model's layers and overwritten by the next call.
+func (m *Model) forwardBatch(x []float64, n int) []float64 {
+	if m.fallbackOut == nil {
+		m.fallbackOut = make([][]float64, len(m.layers))
+	}
+	for li, l := range m.layers {
+		if bl, ok := l.(BatchLayer); ok {
+			x = bl.ForwardBatch(x, n)
+			continue
+		}
+		in := len(x) / n
+		var out []float64
+		for s := 0; s < n; s++ {
+			o := l.Forward(x[s*in : (s+1)*in])
+			if out == nil {
+				out = pool.Grow(m.fallbackOut[li], n*len(o))
+				m.fallbackOut[li] = out
+			}
+			copy(out[s*len(o):(s+1)*len(o)], o)
+		}
+		x = out
+	}
+	return x
+}
+
+// backwardBatch propagates a [n x outLen] gradient block through a fully
+// batchable stack (callers must have checked batchable), accumulating
+// parameter gradients exactly like n sequential Backward calls.
+func (m *Model) backwardBatch(gradOut []float64, n int) []float64 {
+	g := gradOut
+	for i := len(m.layers) - 1; i >= 0; i-- {
+		g = m.layers[i].(BatchLayer).BackwardBatch(g, n)
+	}
+	return g
+}
+
+// reseedDropoutBatch gives every dropout layer one mask stream per sample,
+// derived exactly like the per-sample reseedDropout (rng.New(seed) then one
+// Split per dropout layer in layer order), so batched masks are
+// bit-identical to the per-sample path's.
+func (m *Model) reseedDropoutBatch(seeds []uint64) {
+	var drops []*Dropout
+	for _, l := range m.layers {
+		if d, ok := l.(*Dropout); ok {
+			drops = append(drops, d)
+			if cap(d.batchSrcs) < len(seeds) {
+				d.batchSrcs = make([]*rng.Source, len(seeds))
+			}
+			d.batchSrcs = d.batchSrcs[:len(seeds)]
+		}
+	}
+	for j, seed := range seeds {
+		src := rng.New(seed)
+		for _, d := range drops {
+			d.batchSrcs[j] = src.Split()
+		}
+	}
+}
+
+// acquireReplicas hands out k shared replicas from the model's cached pool,
+// building missing ones. Replicas alias the master's weights (hot reloads
+// that swap the whole model never see them) and are returned with
+// releaseReplicas, so steady-state batched inference allocates nothing.
+func (m *Model) acquireReplicas(k int) ([]*Model, error) {
+	got := make([]*Model, 0, k)
+	m.repMu.Lock()
+	for len(got) < k && len(m.repFree) > 0 {
+		got = append(got, m.repFree[len(m.repFree)-1])
+		m.repFree = m.repFree[:len(m.repFree)-1]
+	}
+	m.repMu.Unlock()
+	for len(got) < k {
+		r, err := m.sharedReplica()
+		if err != nil {
+			m.releaseReplicas(got)
+			return nil, err
+		}
+		got = append(got, r)
+	}
+	return got, nil
+}
+
+// releaseReplicas returns replicas to the cache.
+func (m *Model) releaseReplicas(rs []*Model) {
+	m.repMu.Lock()
+	m.repFree = append(m.repFree, rs...)
+	m.repMu.Unlock()
+}
+
+// checkBatchInputs panics like Forward on a row of the wrong width, from
+// the caller's goroutine so the serve dispatcher's recover can turn it into
+// a batch error instead of a worker-goroutine crash.
+func (m *Model) checkBatchInputs(x [][]float64) {
+	inLen := m.InputLen()
+	for _, row := range x {
+		if len(row) != inLen {
+			panic(fmt.Sprintf("nn: input length %d, model expects %d", len(row), inLen))
+		}
+	}
+}

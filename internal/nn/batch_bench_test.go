@@ -1,0 +1,150 @@
+package nn
+
+import (
+	"testing"
+
+	"specml/internal/rng"
+)
+
+// The serve demo stack: dense 199 -> 32 -> 8 with a softmax head.
+func benchDenseModel(b *testing.B) *Model {
+	b.Helper()
+	m := NewModel().
+		Add(NewDense(32)).
+		Add(NewActivation(ReLU)).
+		Add(NewDense(8)).
+		Add(NewSoftmax())
+	if err := m.Build(rng.New(1), 199); err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// A Table-1-style MS conv stack at reduced width.
+func benchConvModel(b *testing.B) *Model {
+	b.Helper()
+	m := NewModel().
+		Add(NewReshape(500, 1)).
+		Add(NewConv1D(20, 25, 2)).
+		Add(NewActivation(ReLU)).
+		Add(NewConv1D(15, 25, 3)).
+		Add(NewActivation(ReLU)).
+		Add(NewFlatten()).
+		Add(NewDense(8)).
+		Add(NewSoftmax())
+	if err := m.Build(rng.New(2), 500); err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+func benchBlock(n, width int) []float64 {
+	src := rng.New(50)
+	xb := make([]float64, n*width)
+	for i := range xb {
+		xb[i] = src.Uniform(-1, 1)
+	}
+	return xb
+}
+
+func BenchmarkBatchForwardDense32(b *testing.B) {
+	m := benchDenseModel(b)
+	xb := benchBlock(32, m.InputLen())
+	m.SetTraining(false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.forwardBatch(xb, 32)
+	}
+}
+
+func BenchmarkBatchForwardDense32PerSample(b *testing.B) {
+	m := benchDenseModel(b)
+	inLen := m.InputLen()
+	xb := benchBlock(32, inLen)
+	m.SetTraining(false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for s := 0; s < 32; s++ {
+			m.Forward(xb[s*inLen : (s+1)*inLen])
+		}
+	}
+}
+
+func BenchmarkBatchForwardConv32(b *testing.B) {
+	m := benchConvModel(b)
+	xb := benchBlock(32, m.InputLen())
+	m.SetTraining(false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.forwardBatch(xb, 32)
+	}
+}
+
+func BenchmarkBatchForwardConv32PerSample(b *testing.B) {
+	m := benchConvModel(b)
+	inLen := m.InputLen()
+	xb := benchBlock(32, inLen)
+	m.SetTraining(false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for s := 0; s < 32; s++ {
+			m.Forward(xb[s*inLen : (s+1)*inLen])
+		}
+	}
+}
+
+func BenchmarkBatchForwardBackwardConv32(b *testing.B) {
+	m := benchConvModel(b)
+	xb := benchBlock(32, m.InputLen())
+	gb := benchBlock(32, m.OutputLen())
+	m.SetTraining(true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.ZeroGrad()
+		m.forwardBatch(xb, 32)
+		m.backwardBatch(gb, 32)
+	}
+}
+
+func BenchmarkPredictBatch32(b *testing.B) {
+	m := benchDenseModel(b)
+	inLen := m.InputLen()
+	block := benchBlock(32, inLen)
+	rows := make([][]float64, 32)
+	for i := range rows {
+		rows[i] = block[i*inLen : (i+1)*inLen]
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.PredictBatch(rows, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFitEpochDenseBatched(b *testing.B) {
+	m := benchDenseModel(b)
+	const n = 256
+	inLen, outLen := m.InputLen(), m.OutputLen()
+	block := benchBlock(n, inLen)
+	x := make([][]float64, n)
+	y := make([][]float64, n)
+	for i := range x {
+		x[i] = block[i*inLen : (i+1)*inLen]
+		y[i] = make([]float64, outLen)
+		y[i][i%outLen] = 1
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Fit(x, y, FitConfig{Epochs: 1, BatchSize: 32, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -50,6 +50,9 @@ type Conv1D struct {
 	inLen, inCh, outLen int
 	w, b                *Param // w layout: [filter][k][inCh]
 	x, y, gin           []float64
+	infer               bool
+
+	bcol, bdcol, by, bgin []float64 // batched-path caches (bcol: im2col block)
 }
 
 // NewConv1D returns a Conv1D layer.
@@ -88,9 +91,14 @@ func (c *Conv1D) Build(src *rng.Source, inputShape []int) ([]int, error) {
 	return []int{outLen, c.Filters}, nil
 }
 
+// SetInference toggles inference mode (skips the input snapshot).
+func (c *Conv1D) SetInference(v bool) { c.infer = v }
+
 // Forward implements Layer.
 func (c *Conv1D) Forward(x []float64) []float64 {
-	copy(c.x, x)
+	if !c.infer {
+		copy(c.x, x)
+	}
 	fanIn := c.Kernel * c.inCh
 	for p := 0; p < c.outLen; p++ {
 		base := p * c.Stride * c.inCh
@@ -158,6 +166,8 @@ type LocallyConnected1D struct {
 	inLen, inCh, outLen int
 	w, b                *Param // w layout: [pos][filter][k][inCh]; b: [pos][filter]
 	x, y, gin           []float64
+
+	bx, by, bgin []float64 // batched-path caches (bx aliases the input block)
 }
 
 // NewLocallyConnected1D returns a locally connected 1-D layer.
@@ -272,6 +282,9 @@ type MaxPool1D struct {
 	inLen, ch, outLen int
 	argmax            []int
 	y, gin            []float64
+
+	bargmax  []int
+	by, bgin []float64 // batched-path caches
 }
 
 // NewMaxPool1D returns a max-pooling layer. Stride defaults to Kernel when 0.
@@ -347,6 +360,8 @@ type AvgPool1D struct {
 
 	inLen, ch, outLen int
 	y, gin            []float64
+
+	by, bgin []float64 // batched-path caches
 }
 
 // NewAvgPool1D returns an average-pooling layer. Stride defaults to Kernel

@@ -92,11 +92,14 @@ type Dense struct {
 	Out  int
 	Init string // "glorot" (default) or "lecun"
 
-	in   int
-	w, b *Param
-	x    []float64 // cached input
-	y    []float64
-	gin  []float64
+	in    int
+	w, b  *Param
+	x     []float64 // cached input
+	y     []float64
+	gin   []float64
+	infer bool
+
+	bx, by, bgin []float64 // batched-path caches (bx aliases the input block)
 }
 
 // NewDense returns a dense layer with Out output units.
@@ -127,9 +130,15 @@ func (d *Dense) Build(src *rng.Source, inputShape []int) ([]int, error) {
 	return []int{d.Out}, nil
 }
 
+// SetInference toggles inference mode: the input snapshot Backward needs is
+// skipped, since a pure forward pass never calls Backward.
+func (d *Dense) SetInference(v bool) { d.infer = v }
+
 // Forward implements Layer.
 func (d *Dense) Forward(x []float64) []float64 {
-	copy(d.x, x)
+	if !d.infer {
+		copy(d.x, x)
+	}
 	tensor.MatVec(d.y, d.w.Data, x, d.Out, d.in)
 	for i := range d.y {
 		d.y[i] += d.b.Data[i]
@@ -160,6 +169,9 @@ type ActivationLayer struct {
 	Act Activation
 
 	x, y, gin []float64
+	infer     bool
+
+	bx, by, bgin []float64 // batched-path caches (bx aliases the input block)
 }
 
 // NewActivation wraps a pointwise activation as a layer.
@@ -182,9 +194,14 @@ func (l *ActivationLayer) Build(_ *rng.Source, inputShape []int) ([]int, error) 
 	return out, nil
 }
 
+// SetInference toggles inference mode (skips the input snapshot).
+func (l *ActivationLayer) SetInference(v bool) { l.infer = v }
+
 // Forward implements Layer.
 func (l *ActivationLayer) Forward(x []float64) []float64 {
-	copy(l.x, x)
+	if !l.infer {
+		copy(l.x, x)
+	}
 	for i, v := range x {
 		l.y[i] = l.Act.Value(v)
 	}
@@ -215,6 +232,8 @@ func (l *ActivationLayer) Spec() LayerSpec {
 type SoftmaxLayer struct {
 	groups, width int // groups x width = total size; softmax within each width-sized row
 	y, gin        []float64
+
+	by, bgin []float64 // batched-path caches
 }
 
 // NewSoftmax returns a softmax layer.
@@ -343,6 +362,9 @@ type Dropout struct {
 	training bool
 	mask     []float64
 	y, gin   []float64
+
+	batchSrcs       []*rng.Source // one mask stream per sample of the next batched forward
+	bmask, by, bgin []float64     // batched-path caches
 }
 
 // NewDropout returns a dropout layer with the given drop rate in [0,1).
@@ -378,8 +400,9 @@ func (l *Dropout) Reseed(src *rng.Source) { l.src = src }
 // Forward implements Layer.
 func (l *Dropout) Forward(x []float64) []float64 {
 	if !l.training || l.Rate == 0 {
-		copy(l.y, x)
-		return l.y
+		// Identity outside training: pass the input through without the
+		// defensive copy (values are unchanged either way).
+		return x
 	}
 	keep := 1 - l.Rate
 	inv := 1 / keep
@@ -397,8 +420,7 @@ func (l *Dropout) Forward(x []float64) []float64 {
 // Backward implements Layer.
 func (l *Dropout) Backward(gradOut []float64) []float64 {
 	if !l.training || l.Rate == 0 {
-		copy(l.gin, gradOut)
-		return l.gin
+		return gradOut
 	}
 	for i, g := range gradOut {
 		l.gin[i] = g * l.mask[i]
@@ -416,4 +438,12 @@ func (l *Dropout) Spec() LayerSpec { return LayerSpec{Type: "dropout", Rate: l.R
 // training and inference (currently only Dropout).
 type trainingAware interface {
 	SetTraining(bool)
+}
+
+// inferenceAware is implemented by layers that can skip the input snapshots
+// Backward would need when the caller promises a pure forward pass (Predict,
+// PredictBatch, the evaluate helpers). Outputs are unchanged; only the
+// defensive copies disappear.
+type inferenceAware interface {
+	SetInference(bool)
 }

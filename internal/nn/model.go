@@ -3,6 +3,7 @@ package nn
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"specml/internal/parallel"
 	"specml/internal/rng"
@@ -14,6 +15,20 @@ type Model struct {
 	inputShape  []int
 	outputShape []int
 	built       bool
+
+	// Cached shared replicas for data-parallel PredictBatch, recycled
+	// across calls so steady-state batched inference allocates nothing.
+	repMu   sync.Mutex
+	repFree []*Model
+
+	// Per-layer output blocks for the batched forward's per-sample
+	// fallback (layers without a batched kernel).
+	fallbackOut [][]float64
+
+	// params caches the flattened parameter list once built (the layer
+	// stack is immutable after Build), so per-batch ZeroGrad calls don't
+	// rebuild the slice.
+	params []*Param
 }
 
 // NewModel returns an empty model.
@@ -52,6 +67,9 @@ func (m *Model) Build(src *rng.Source, inputShape ...int) error {
 	m.inputShape = append([]int(nil), inputShape...)
 	m.outputShape = shape
 	m.built = true
+	for _, l := range m.layers {
+		m.params = append(m.params, l.Params()...)
+	}
 	return nil
 }
 
@@ -86,12 +104,15 @@ func (m *Model) Forward(x []float64) []float64 {
 }
 
 // Predict runs Forward with training-mode layers (dropout) disabled and
-// copies the output into a fresh slice.
+// copies the output into a fresh slice. The pass runs in inference mode:
+// layers skip the input snapshots only Backward would read.
 func (m *Model) Predict(x []float64) []float64 {
 	m.SetTraining(false)
+	m.setInference(true)
 	out := m.Forward(x)
 	res := make([]float64, len(out))
 	copy(res, out)
+	m.setInference(false)
 	return res
 }
 
@@ -108,8 +129,12 @@ func (m *Model) Backward(gradOut []float64) []float64 {
 	return g
 }
 
-// Params returns all trainable parameters in layer order.
+// Params returns all trainable parameters in layer order. After Build the
+// cached list is returned; callers must not append to it.
 func (m *Model) Params() []*Param {
+	if m.built {
+		return m.params
+	}
 	var ps []*Param
 	for _, l := range m.layers {
 		ps = append(ps, l.Params()...)
@@ -138,6 +163,17 @@ func (m *Model) SetTraining(training bool) {
 	for _, l := range m.layers {
 		if ta, ok := l.(trainingAware); ok {
 			ta.SetTraining(training)
+		}
+	}
+}
+
+// setInference toggles snapshot-free forward passes on layers that support
+// them. Callers must restore the flag to false before any Forward whose
+// caches a later Backward will consume.
+func (m *Model) setInference(v bool) {
+	for _, l := range m.layers {
+		if ia, ok := l.(inferenceAware); ok {
+			ia.SetInference(v)
 		}
 	}
 }
@@ -221,11 +257,13 @@ func (m *Model) reseedDropout(seed uint64) {
 	}
 }
 
-// PredictBatch runs inference over all rows of x on `workers` goroutines
-// (0 = all cores), returning one freshly allocated prediction per row.
-// Each worker forwards through its own shared replica, so the receiver's
-// caches are never touched and results are identical to calling Predict
-// row by row.
+// PredictBatch runs inference over all rows of x, returning one freshly
+// allocated prediction per row. The rows are packed into one block and
+// forwarded through the batched kernels (im2col + blocked GEMM), which are
+// bit-identical to calling Predict row by row. With workers > 1 (0 = all
+// cores) the block is sharded into contiguous row ranges, each forwarded
+// through a cached shared replica, so the receiver's caches are never
+// touched and steady-state calls allocate only the returned slices.
 func (m *Model) PredictBatch(x [][]float64, workers int) ([][]float64, error) {
 	if !m.built {
 		return nil, fmt.Errorf("nn: PredictBatch before Build")
@@ -234,25 +272,42 @@ func (m *Model) PredictBatch(x [][]float64, workers int) ([][]float64, error) {
 	if len(x) == 0 {
 		return out, nil
 	}
+	m.checkBatchInputs(x)
+	inLen, outLen := m.InputLen(), m.OutputLen()
 	w := parallel.Resolve(workers)
 	if w > len(x) {
 		w = len(x)
 	}
-	if w == 1 {
-		for i := range x {
-			out[i] = m.Predict(x[i])
+	xb := batchScratch.Get(len(x) * inLen)
+	defer batchScratch.Put(xb)
+	for i, row := range x {
+		copy(xb[i*inLen:(i+1)*inLen], row)
+	}
+	runShard := func(mm *Model, lo, hi int) {
+		mm.SetTraining(false)
+		mm.setInference(true)
+		yb := mm.forwardBatch(xb[lo*inLen:hi*inLen], hi-lo)
+		mm.setInference(false)
+		for s := lo; s < hi; s++ {
+			res := make([]float64, outLen)
+			copy(res, yb[(s-lo)*outLen:(s-lo+1)*outLen])
+			out[s] = res
 		}
+	}
+	if w == 1 {
+		runShard(m, 0, len(x))
 		return out, nil
 	}
-	replicas, err := m.replicaPool(w)
+	reps, err := m.acquireReplicas(w)
 	if err != nil {
 		return nil, err
 	}
-	for _, r := range replicas {
-		r.SetTraining(false)
-	}
-	err = parallel.For(w, len(x), func(worker, i int) error {
-		out[i] = replicas[worker].Predict(x[i])
+	defer m.releaseReplicas(reps)
+	err = parallel.For(w, w, func(_, shard int) error {
+		lo, hi := shard*len(x)/w, (shard+1)*len(x)/w
+		if lo < hi {
+			runShard(reps[shard], lo, hi)
+		}
 		return nil
 	})
 	if err != nil {

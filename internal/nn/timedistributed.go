@@ -24,6 +24,7 @@ type TimeDistributed struct {
 	steps, features, innerOut int
 	xs                        []float64 // cached input sequence
 	y, gin                    []float64
+	infer                     bool
 }
 
 // NewTimeDistributed wraps inner.
@@ -61,9 +62,20 @@ func (l *TimeDistributed) Build(src *rng.Source, inputShape []int) ([]int, error
 	return []int{l.steps, l.innerOut}, nil
 }
 
+// SetInference propagates inference mode to the inner layer and skips the
+// sequence snapshot that Backward's re-forward would need.
+func (l *TimeDistributed) SetInference(v bool) {
+	l.infer = v
+	if ia, ok := l.Inner.(inferenceAware); ok {
+		ia.SetInference(v)
+	}
+}
+
 // Forward implements Layer.
 func (l *TimeDistributed) Forward(x []float64) []float64 {
-	copy(l.xs, x)
+	if !l.infer {
+		copy(l.xs, x)
+	}
 	for t := 0; t < l.steps; t++ {
 		out := l.Inner.Forward(x[t*l.features : (t+1)*l.features])
 		copy(l.y[t*l.innerOut:(t+1)*l.innerOut], out)

@@ -115,19 +115,49 @@ func (m *Model) Fit(x, y [][]float64, cfg FitConfig) (*History, error) {
 	if workers > len(x) {
 		workers = len(x)
 	}
-	replicas, err := m.replicaPool(workers)
-	if err != nil {
-		return nil, err
-	}
 	masterParams := m.Params()
-	replicaParams := make([][]*Param, workers)
-	gradBufs := make([][]float64, workers)
-	for i, r := range replicas {
-		replicaParams[i] = r.Params()
-		gradBufs[i] = make([]float64, outLen)
+	// A fully batchable stack trains through the blocked-GEMM kernels on
+	// the master model itself: one forward/backward per mini-batch instead
+	// of one per sample. The kernels keep the per-sample accumulation
+	// order, and the path involves no worker scheduling at all, so the fit
+	// stays bit-identical for any Workers value. Stacks with recurrent
+	// layers keep the wave-parallel per-sample path.
+	batched := m.batchable()
+	var (
+		replicas      []*Model
+		replicaParams [][]*Param
+		gradBufs      [][]float64
+		waveLoss      []float64
+		dropSeeds     []uint64
+
+		xblock, gblock []float64
+		batchSeeds     []uint64
+	)
+	if batched {
+		maxB := cfg.BatchSize
+		if maxB > len(x) {
+			maxB = len(x)
+		}
+		xblock = make([]float64, maxB*inLen)
+		gblock = make([]float64, maxB*outLen)
+		if hasDrop {
+			batchSeeds = make([]uint64, maxB)
+		}
+	} else {
+		var err error
+		replicas, err = m.replicaPool(workers)
+		if err != nil {
+			return nil, err
+		}
+		replicaParams = make([][]*Param, workers)
+		gradBufs = make([][]float64, workers)
+		for i, r := range replicas {
+			replicaParams[i] = r.Params()
+			gradBufs[i] = make([]float64, outLen)
+		}
+		waveLoss = make([]float64, workers)
+		dropSeeds = make([]uint64, workers)
 	}
-	waveLoss := make([]float64, workers)
-	dropSeeds := make([]uint64, workers)
 
 	idx := make([]int, len(x))
 	for i := range idx {
@@ -160,6 +190,44 @@ func (m *Model) Fit(x, y [][]float64, cfg FitConfig) (*History, error) {
 				end = len(idx)
 			}
 			m.ZeroGrad()
+			if batched {
+				// Assemble the mini-batch into one row-major block and run a
+				// single batched forward/backward. Dropout seeds are drawn in
+				// sample order from the same root as the wave path, and the
+				// losses accumulate in sample order, so shuffling, masks and
+				// epoch loss all match the per-sample path exactly.
+				bn := end - start
+				for j := 0; j < bn; j++ {
+					copy(xblock[j*inLen:(j+1)*inLen], x[idx[start+j]])
+				}
+				if hasDrop {
+					for j := 0; j < bn; j++ {
+						batchSeeds[j] = dropRoot.Uint64()
+					}
+					m.reseedDropoutBatch(batchSeeds[:bn])
+				}
+				yb := m.forwardBatch(xblock[:bn*inLen], bn)
+				for j := 0; j < bn; j++ {
+					k := idx[start+j]
+					row := yb[j*outLen : (j+1)*outLen]
+					epochLoss += cfg.Loss.Loss(row, y[k])
+					cfg.Loss.Grad(row, y[k], gblock[j*outLen:(j+1)*outLen])
+				}
+				m.backwardBatch(gblock[:bn*outLen], bn)
+
+				// average gradients over the batch
+				inv := 1 / float64(end-start)
+				for _, p := range masterParams {
+					for i := range p.Grad {
+						p.Grad[i] *= inv
+					}
+				}
+				if cfg.ClipNorm > 0 {
+					clipGradNorm(masterParams, cfg.ClipNorm)
+				}
+				cfg.Optimizer.Step(masterParams)
+				continue
+			}
 			// Each batch is processed in waves of `workers` samples. Wave
 			// item j always runs on replica j, and the per-sample gradients
 			// are reduced into the master in sample order below, so the sum
@@ -220,7 +288,13 @@ func (m *Model) Fit(x, y [][]float64, cfg FitConfig) (*History, error) {
 		hist.TrainLoss = append(hist.TrainLoss, epochLoss)
 
 		if len(cfg.ValX) > 0 {
-			valLoss, verr := evaluateLossReplicas(replicas, cfg.ValX, cfg.ValY, cfg.Loss)
+			var valLoss float64
+			var verr error
+			if batched {
+				valLoss, verr = m.evaluateLossBatched(cfg.ValX, cfg.ValY, cfg.Loss, cfg.BatchSize)
+			} else {
+				valLoss, verr = evaluateLossReplicas(replicas, cfg.ValX, cfg.ValY, cfg.Loss)
+			}
 			if verr != nil {
 				return nil, verr
 			}
@@ -281,6 +355,41 @@ func evaluateLossReplicas(replicas []*Model, x, y [][]float64, loss Loss) (float
 	total := 0.0
 	for _, l := range losses {
 		total += l
+	}
+	return total / float64(len(x)), nil
+}
+
+// evaluateLossBatched computes the mean loss over a dataset through the
+// batched forward path in chunks of the training batch size. Per-sample
+// losses are summed in index order and the batched forward is bit-identical
+// to per-sample Forward, so the result matches evaluateLossReplicas (and a
+// sequential EvaluateLoss) bit for bit.
+func (m *Model) evaluateLossBatched(x, y [][]float64, loss Loss, chunk int) (float64, error) {
+	if len(x) == 0 {
+		return 0, nil
+	}
+	m.checkBatchInputs(x)
+	m.SetTraining(false)
+	inLen, outLen := m.InputLen(), m.OutputLen()
+	if chunk <= 0 || chunk > len(x) {
+		chunk = len(x)
+	}
+	xb := batchScratch.Get(chunk * inLen)
+	defer batchScratch.Put(xb)
+	total := 0.0
+	for start := 0; start < len(x); start += chunk {
+		end := start + chunk
+		if end > len(x) {
+			end = len(x)
+		}
+		bn := end - start
+		for j := 0; j < bn; j++ {
+			copy(xb[j*inLen:(j+1)*inLen], x[start+j])
+		}
+		yb := m.forwardBatch(xb[:bn*inLen], bn)
+		for j := 0; j < bn; j++ {
+			total += loss.Loss(yb[j*outLen:(j+1)*outLen], y[start+j])
+		}
 	}
 	return total / float64(len(x)), nil
 }
@@ -347,6 +456,8 @@ func (m *Model) EvaluateLoss(x, y [][]float64, loss Loss) float64 {
 		loss = MAE
 	}
 	m.SetTraining(false)
+	m.setInference(true)
+	defer m.setInference(false)
 	total := 0.0
 	for i := range x {
 		out := m.Forward(x[i])
@@ -366,6 +477,8 @@ func (m *Model) EvaluateMAE(x, y [][]float64) (mean float64, perOutput []float64
 	if len(x) == 0 {
 		return 0, nil
 	}
+	m.setInference(true)
+	defer m.setInference(false)
 	perOutput = make([]float64, m.OutputLen())
 	for i := range x {
 		out := m.Forward(x[i])

@@ -46,6 +46,11 @@ type Batcher struct {
 	inflight sync.WaitGroup
 	reqs     chan *request
 	done     chan struct{}
+
+	// Dispatcher-goroutine scratch, reused across flushes so steady-state
+	// batching does not allocate per batch.
+	batchBuf []*request
+	xsBuf    [][]float64
 }
 
 // NewBatcher starts the dispatcher goroutine. maxBatch <= 0 defaults to 32;
@@ -134,8 +139,10 @@ func (b *Batcher) loop() {
 // remaining queued requests are picked up by subsequent loop iterations,
 // so shutdown drains everything.
 func (b *Batcher) collect(first *request) []*request {
-	batch := make([]*request, 1, b.maxBatch)
-	batch[0] = first
+	if b.batchBuf == nil {
+		b.batchBuf = make([]*request, 0, b.maxBatch)
+	}
+	batch := append(b.batchBuf[:0], first)
 	if b.window <= 0 {
 		for len(batch) < b.maxBatch {
 			select {
@@ -168,7 +175,10 @@ func (b *Batcher) collect(first *request) []*request {
 
 // flush runs one coalesced forward pass and distributes the results.
 func (b *Batcher) flush(batch []*request) {
-	xs := make([][]float64, len(batch))
+	if cap(b.xsBuf) < len(batch) {
+		b.xsBuf = make([][]float64, len(batch))
+	}
+	xs := b.xsBuf[:len(batch)]
 	for i, r := range batch {
 		xs[i] = r.x
 	}
@@ -185,6 +195,12 @@ func (b *Batcher) flush(batch []*request) {
 			continue
 		}
 		r.resp <- response{y: ys[i]}
+	}
+	// Drop input and request references so reused scratch doesn't pin
+	// completed batches in memory.
+	for i := range xs {
+		xs[i] = nil
+		batch[i] = nil
 	}
 }
 

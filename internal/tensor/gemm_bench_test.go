@@ -1,0 +1,78 @@
+package tensor
+
+import (
+	"testing"
+
+	"specml/internal/rng"
+)
+
+// Benchmark shapes mirror the serve hot path: a coalesced batch of 32
+// spectra through the demo dense stack (199 -> 32), and the Table-1 MS
+// convolution lowered by im2col (batch 32, 976 positions x 25-wide kernel
+// against 20 filters collapses to one 31232 x 25 x 20 GEMM).
+
+func benchMats(m, n, k int) (a, b, c []float64) {
+	src := rng.New(99)
+	a = make([]float64, m*k)
+	b = make([]float64, k*n)
+	c = make([]float64, m*n)
+	fillRand(src, a)
+	fillRand(src, b)
+	return
+}
+
+func BenchmarkGemm32x199x32(b *testing.B) {
+	m, n, k := 32, 32, 199
+	am, bm, cm := benchMats(m, n, k)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Gemm(cm, am, bm, m, n, k)
+	}
+}
+
+func BenchmarkGemmNTConvLowered(b *testing.B) {
+	// batch 32 x outLen 976 rows, fanIn 25, 20 filters (MS CNN layer 1).
+	m, n, k := 32*976, 20, 25
+	am := make([]float64, m*k)
+	bm := make([]float64, n*k)
+	cm := make([]float64, m*n)
+	src := rng.New(100)
+	fillRand(src, am)
+	fillRand(src, bm)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GemmNT(cm, am, bm, m, n, k)
+	}
+}
+
+func BenchmarkGemmTNWeightGrad(b *testing.B) {
+	// dW += dYᵀ·X for the demo dense layer over a batch of 32.
+	m, n, k := 32, 199, 32
+	am := make([]float64, k*m)
+	bm := make([]float64, k*n)
+	cm := make([]float64, m*n)
+	src := rng.New(101)
+	fillRand(src, am)
+	fillRand(src, bm)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GemmTN(cm, am, bm, m, n, k)
+	}
+}
+
+func BenchmarkIm2Col(b *testing.B) {
+	inLen, inCh, kernel, stride := 2000, 1, 25, 2
+	outLen := (inLen-kernel)/stride + 1
+	x := make([]float64, inLen*inCh)
+	src := rng.New(102)
+	fillRand(src, x)
+	dst := make([]float64, outLen*kernel*inCh)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Im2Col(dst, x, inLen, inCh, kernel, stride, outLen)
+	}
+}

@@ -1,0 +1,56 @@
+package tensor
+
+import "fmt"
+
+// Im2Col lowers a channels-last 1-D sequence to the convolution's column
+// matrix: x is [inLen, inCh] row-major, dst becomes [outLen, kernel*inCh]
+// row-major where row p is the window x[p*stride : p*stride+kernel] with
+// its channels flattened. Because the layout is channels-last, each window
+// is a contiguous run of kernel*inCh elements of x, so the lowering is a
+// straight copy per output position. outLen must equal
+// (inLen-kernel)/stride+1 (valid padding).
+//
+// After Im2Col, a 1-D convolution with row-major weights [filters][kernel*
+// inCh] is exactly GemmNT(y, dst, w, outLen, filters, kernel*inCh).
+func Im2Col(dst, x []float64, inLen, inCh, kernel, stride, outLen int) {
+	fanIn := kernel * inCh
+	if len(x) != inLen*inCh || len(dst) != outLen*fanIn {
+		panic(fmt.Sprintf("tensor: Im2Col dimension mismatch (x %d, dst %d for inLen=%d inCh=%d kernel=%d outLen=%d)",
+			len(x), len(dst), inLen, inCh, kernel, outLen))
+	}
+	if (outLen-1)*stride+kernel > inLen {
+		panic(fmt.Sprintf("tensor: Im2Col window overrun (inLen=%d kernel=%d stride=%d outLen=%d)",
+			inLen, kernel, stride, outLen))
+	}
+	step := stride * inCh
+	for p := 0; p < outLen; p++ {
+		copy(dst[p*fanIn:(p+1)*fanIn], x[p*step:p*step+fanIn])
+	}
+}
+
+// Col2Im is the adjoint of Im2Col: it accumulates a column-matrix gradient
+// cols ([outLen, kernel*inCh] row-major) back onto the sequence gradient
+// dst ([inLen, inCh] row-major, NOT cleared first). Rows are scattered in
+// ascending position order and elements within a row in ascending order,
+// so an element of dst covered by several overlapping windows receives its
+// contributions in the same order a per-position backward loop would add
+// them.
+func Col2Im(dst, cols []float64, inLen, inCh, kernel, stride, outLen int) {
+	fanIn := kernel * inCh
+	if len(dst) != inLen*inCh || len(cols) != outLen*fanIn {
+		panic(fmt.Sprintf("tensor: Col2Im dimension mismatch (dst %d, cols %d for inLen=%d inCh=%d kernel=%d outLen=%d)",
+			len(dst), len(cols), inLen, inCh, kernel, outLen))
+	}
+	if (outLen-1)*stride+kernel > inLen {
+		panic(fmt.Sprintf("tensor: Col2Im window overrun (inLen=%d kernel=%d stride=%d outLen=%d)",
+			inLen, kernel, stride, outLen))
+	}
+	step := stride * inCh
+	for p := 0; p < outLen; p++ {
+		row := cols[p*fanIn : (p+1)*fanIn]
+		win := dst[p*step : p*step+fanIn]
+		for i, v := range row {
+			win[i] += v
+		}
+	}
+}

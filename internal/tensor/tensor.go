@@ -286,25 +286,12 @@ func OuterAccum(grad, y, x []float64, rows, cols int) {
 }
 
 // MatMul computes C = A*B for row-major matrices A (m x k) and B (k x n),
-// returning a new (m x n) tensor.
+// returning a new (m x n) tensor. It allocates the result; hot paths that
+// can reuse a destination should call MatMulTo (or Gemm on raw slices)
+// instead.
 func MatMul(a, b *Tensor) *Tensor {
 	if a.Rank() != 2 || b.Rank() != 2 || a.Shape[1] != b.Shape[0] {
 		panic(fmt.Sprintf("tensor: MatMul shape mismatch %v x %v", a.Shape, b.Shape))
 	}
-	m, k, n := a.Shape[0], a.Shape[1], b.Shape[1]
-	c := New(m, n)
-	for i := 0; i < m; i++ {
-		arow := a.Data[i*k : (i+1)*k]
-		crow := c.Data[i*n : (i+1)*n]
-		for p, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := b.Data[p*n : (p+1)*n]
-			for j, bv := range brow {
-				crow[j] += av * bv
-			}
-		}
-	}
-	return c
+	return MatMulTo(New(a.Shape[0], b.Shape[1]), a, b)
 }
