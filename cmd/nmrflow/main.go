@@ -25,6 +25,8 @@ func main() {
 		scale    = flag.String("scale", "laptop", "workload scale: quick | laptop | paper")
 		seed     = flag.Uint64("seed", 1, "experiment seed")
 		workers  = flag.Int("workers", 0, "generation/training worker count (0 = all cores); results are identical for any value")
+		exact    = flag.Bool("exact-render", false, "force the legacy analytic peak renderer for corpus generation (slower, bit-identical to pre-render-engine corpora)")
+		oversamp = flag.Int("render-oversample", 0, "render-engine master-grid oversampling factor (0 = automatic)")
 		verbose  = flag.Bool("v", false, "per-epoch training logs")
 	)
 	flag.Parse()
@@ -33,7 +35,8 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	cfg := experiments.Config{Scale: sc, Seed: *seed, Workers: *workers}
+	cfg := experiments.Config{Scale: sc, Seed: *seed, Workers: *workers,
+		ExactRender: *exact, RenderOversample: *oversamp}
 	if *verbose {
 		cfg.Verbose = os.Stderr
 	}

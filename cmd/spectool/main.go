@@ -31,13 +31,17 @@ func main() {
 		demoStore = flag.String("demo-store", "", "run a mini pipeline and save its provenance store to this path")
 		seed      = flag.Uint64("seed", 1, "simulation seed")
 		workers   = flag.Int("workers", 0, "generation/training worker count (0 = all cores); results are identical for any value")
+		exact     = flag.Bool("exact-render", false, "force the legacy analytic peak renderer for corpus generation (slower, bit-identical to pre-render-engine corpora)")
+		oversamp  = flag.Int("render-oversample", 0, "render-engine master-grid oversampling factor (0 = automatic)")
 	)
 	flag.Parse()
 
 	ran := false
 	if *fig4 {
 		ran = true
-		if _, _, err := experiments.Fig4(experiments.Config{Seed: *seed, Workers: *workers}, os.Stdout); err != nil {
+		cfg := experiments.Config{Seed: *seed, Workers: *workers,
+			ExactRender: *exact, RenderOversample: *oversamp}
+		if _, _, err := experiments.Fig4(cfg, os.Stdout); err != nil {
 			fatal(err)
 		}
 	}
@@ -60,7 +64,7 @@ func main() {
 	}
 	if *demoStore != "" {
 		ran = true
-		if err := buildDemoStore(*demoStore, *seed, *workers); err != nil {
+		if err := buildDemoStore(*demoStore, *seed, *workers, *exact); err != nil {
 			fatal(err)
 		}
 	}
@@ -152,13 +156,14 @@ func inspectStore(path, lineageID string) error {
 // buildDemoStore runs characterization + training-data generation + a
 // short training through a provenance-recording pipeline and saves the
 // resulting document store.
-func buildDemoStore(path string, seed uint64, workers int) error {
+func buildDemoStore(path string, seed uint64, workers int, exactRender bool) error {
 	st := store.New()
 	pipe, err := core.NewMSPipeline(core.MSConfig{
 		TrainSamples: 200,
 		Epochs:       1,
 		Seed:         seed,
 		Workers:      workers,
+		ExactRender:  exactRender,
 		Store:        st,
 	})
 	if err != nil {

@@ -36,6 +36,13 @@ type NMRConfig struct {
 	Workers int
 	// MaxPureFitPeaks bounds the IHM pure-component fits.
 	MaxPureFitPeaks int
+	// ExactRender forces the legacy analytic peak renderer during corpus
+	// generation instead of the cached-template render engine (slower,
+	// bit-identical to pre-engine corpora; see DESIGN.md).
+	ExactRender bool
+	// RenderOversample overrides the render engine's automatic master-grid
+	// oversampling factor (0 = automatic).
+	RenderOversample int
 }
 
 func (c *NMRConfig) withDefaults() *NMRConfig {
@@ -112,15 +119,17 @@ func (p *NMRPipeline) FitComponents() error {
 	}
 	p.analyzer = an
 	p.augmenter = &nmrsim.Augmenter{
-		Axis:           p.LowField.Axis,
-		Components:     comps,
-		ConcLo:         []float64{0, 0, 0, 0},
-		ConcHi:         []float64{0.6, 0.6, 0.6, 0.5},
-		ShiftJitter:    p.LowField.ShiftJitter,
-		WidthJitter:    p.LowField.WidthJitter,
-		NoiseSigma:     p.LowField.NoiseSigma,
-		IntensityScale: p.LowField.IntensityScale,
-		Workers:        p.cfg.Workers,
+		Axis:             p.LowField.Axis,
+		Components:       comps,
+		ConcLo:           []float64{0, 0, 0, 0},
+		ConcHi:           []float64{0.6, 0.6, 0.6, 0.5},
+		ShiftJitter:      p.LowField.ShiftJitter,
+		WidthJitter:      p.LowField.WidthJitter,
+		NoiseSigma:       p.LowField.NoiseSigma,
+		IntensityScale:   p.LowField.IntensityScale,
+		Workers:          p.cfg.Workers,
+		ExactRender:      p.cfg.ExactRender,
+		RenderOversample: p.cfg.RenderOversample,
 	}
 	return nil
 }

@@ -9,6 +9,7 @@ import (
 	"math"
 
 	"specml/internal/rng"
+	"specml/internal/tensor/pool"
 )
 
 // Dataset holds flat feature rows X with label rows Y (one row per sample).
@@ -35,6 +36,32 @@ func (d *Dataset) Append(x, y []float64) {
 
 // Len returns the sample count.
 func (d *Dataset) Len() int { return len(d.X) }
+
+// Resize sets the dataset to exactly n rows of the given feature and label
+// widths, reusing existing row storage wherever capacity allows (grow-only,
+// so repeated regeneration into the same dataset settles at zero heap
+// allocation). Row contents are unspecified afterwards; callers overwrite
+// every row. The rows become owned by the dataset: resizing a dataset whose
+// rows are still referenced elsewhere (Split or Subset views) lets those
+// references observe the new contents.
+func (d *Dataset) Resize(n, xWidth, yWidth int) {
+	d.X = resizeRows(d.X, n, xWidth)
+	d.Y = resizeRows(d.Y, n, yWidth)
+}
+
+func resizeRows(rows [][]float64, n, width int) [][]float64 {
+	if cap(rows) >= n {
+		rows = rows[:n]
+	} else {
+		grown := make([][]float64, n)
+		copy(grown, rows)
+		rows = grown
+	}
+	for i := range rows {
+		rows[i] = pool.Grow(rows[i], width)
+	}
+	return rows
+}
 
 // Validate checks rectangularity: every feature row and every label row
 // must have a consistent width.

@@ -59,8 +59,10 @@ func (w *msWorld) evalData(perMixture int) (*dataset.Dataset, error) {
 // trainVariant trains one Table-1 variant on a fresh simulated corpus,
 // generating and training on `workers` goroutines (0 = all cores).
 func (w *msWorld) trainVariant(spec toolflow.TopologySpec, model *msim.InstrumentModel,
-	trainSamples int, seed uint64, workers int, verbose io.Writer) (*toolflow.Result, *dataset.Dataset, error) {
-	d, err := msim.GenerateTraining(w.sim, model, w.axis, trainSamples, 1.0, seed, workers)
+	trainSamples int, seed uint64, cfg Config) (*toolflow.Result, *dataset.Dataset, error) {
+	workers, verbose := cfg.Workers, cfg.Verbose
+	d, err := msim.GenerateTrainingWith(w.sim, model, w.axis, trainSamples, 1.0, seed, workers,
+		msim.TrainingOptions{ExactRender: cfg.ExactRender})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -193,7 +195,7 @@ func Fig5(cfg Config, w io.Writer) ([]VariantResult, error) {
 				if err != nil {
 					return nil, err
 				}
-				res, _, err := world.trainVariant(spec, model, trainSamples, cfg.Seed+11, cfg.Workers, cfg.Verbose)
+				res, _, err := world.trainVariant(spec, model, trainSamples, cfg.Seed+11, cfg)
 				if err != nil {
 					return nil, err
 				}
@@ -262,7 +264,7 @@ func Fig6(cfg Config, w io.Writer) (map[int]VariantResult, error) {
 			return nil, err
 		}
 		spec.Name = fmt.Sprintf("table1-n%d", n)
-		res, _, err := world.trainVariant(spec, model, trainSamples, cfg.Seed+uint64(n), cfg.Workers, cfg.Verbose)
+		res, _, err := world.trainVariant(spec, model, trainSamples, cfg.Seed+uint64(n), cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -307,7 +309,7 @@ func Fig7(cfg Config, w io.Writer) (*Fig7Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, val, err := world.trainVariant(spec, model, trainSamples, cfg.Seed+17, cfg.Workers, cfg.Verbose)
+	res, val, err := world.trainVariant(spec, model, trainSamples, cfg.Seed+17, cfg)
 	if err != nil {
 		return nil, err
 	}

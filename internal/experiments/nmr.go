@@ -46,14 +46,16 @@ func NMR(cfg Config, w io.Writer) (*NMRResult, error) {
 	const steps = 5
 
 	p := core.NewNMRPipeline(core.NMRConfig{
-		TrainSamples: cnnTrain,
-		Windows:      lstmWindows,
-		Steps:        steps,
-		MaxRepeat:    20,
-		Epochs:       epochs,
-		BatchSize:    32,
-		Seed:         cfg.Seed,
-		Workers:      cfg.Workers,
+		TrainSamples:     cnnTrain,
+		Windows:          lstmWindows,
+		Steps:            steps,
+		MaxRepeat:        20,
+		Epochs:           epochs,
+		BatchSize:        32,
+		Seed:             cfg.Seed,
+		Workers:          cfg.Workers,
+		ExactRender:      cfg.ExactRender,
+		RenderOversample: cfg.RenderOversample,
 	})
 	if err := p.FitComponents(); err != nil {
 		return nil, err

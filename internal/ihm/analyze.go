@@ -3,10 +3,23 @@ package ihm
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"specml/internal/fit"
 	"specml/internal/spectrum"
+	"specml/internal/tensor/pool"
 )
+
+// analyzeScratch holds the per-call working buffers of Analyze. They are
+// recycled through a sync.Pool because mixture analysis runs per spectrum
+// in tight evaluation loops (and concurrently in serve handlers), and the
+// LM solver never retains them: fit.LevenbergMarquardt copies the initial
+// parameter vector, so Result never aliases scratch memory.
+type analyzeScratch struct {
+	design, b, params, lower, upper []float64
+}
+
+var analyzePool = sync.Pool{New: func() any { return new(analyzeScratch) }}
 
 // AnalyzerOptions configures a MixtureAnalyzer.
 type AnalyzerOptions struct {
@@ -82,9 +95,13 @@ func (a *MixtureAnalyzer) Analyze(s *spectrum.Spectrum) (*Result, error) {
 		return nil, fmt.Errorf("ihm: spectrum too short (%d residuals) for %d components", nRes, k)
 	}
 
+	sc := analyzePool.Get().(*analyzeScratch)
+	defer analyzePool.Put(sc)
+
 	// initial linear estimate: design matrix of undistorted components
-	design := make([]float64, nRes*k)
-	b := make([]float64, nRes)
+	sc.design = pool.Grow(sc.design, nRes*k)
+	sc.b = pool.Grow(sc.b, nRes)
+	design, b := sc.design, sc.b
 	for r, i := 0, 0; i < axis.N; i += stride {
 		x := axis.Value(i)
 		for j, c := range a.Components {
@@ -104,13 +121,14 @@ func (a *MixtureAnalyzer) Analyze(s *spectrum.Spectrum) (*Result, error) {
 	}
 
 	// nonlinear refinement: params = [w_j, shift_j, widthFactor_j]*k
-	params := make([]float64, 0, 3*k)
-	lower := make([]float64, 0, 3*k)
-	upper := make([]float64, 0, 3*k)
+	sc.params = pool.Grow(sc.params, 3*k)
+	sc.lower = pool.Grow(sc.lower, 3*k)
+	sc.upper = pool.Grow(sc.upper, 3*k)
+	params, lower, upper := sc.params, sc.lower, sc.upper
 	for j := 0; j < k; j++ {
-		params = append(params, w0[j], 0, 1)
-		lower = append(lower, 0, -a.Opts.MaxShift, 1-a.Opts.WidthRange)
-		upper = append(upper, math.MaxFloat64, a.Opts.MaxShift, 1+a.Opts.WidthRange)
+		params[3*j], params[3*j+1], params[3*j+2] = w0[j], 0, 1
+		lower[3*j], lower[3*j+1], lower[3*j+2] = 0, -a.Opts.MaxShift, 1-a.Opts.WidthRange
+		upper[3*j], upper[3*j+1], upper[3*j+2] = math.MaxFloat64, a.Opts.MaxShift, 1+a.Opts.WidthRange
 	}
 	iterCount := 0
 	prob := fit.Problem{

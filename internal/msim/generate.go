@@ -4,8 +4,6 @@ import (
 	"fmt"
 
 	"specml/internal/dataset"
-	"specml/internal/parallel"
-	"specml/internal/rng"
 	"specml/internal/spectrum"
 )
 
@@ -23,21 +21,31 @@ func DefaultAxis() spectrum.Axis {
 // scale.
 func Preprocess(s *spectrum.Spectrum) []float64 {
 	x := make([]float64, len(s.Intensities))
+	PreprocessInto(x, s)
+	return x
+}
+
+// PreprocessInto is Preprocess writing into a caller-owned buffer of the
+// same length as the spectrum.
+func PreprocessInto(dst []float64, s *spectrum.Spectrum) {
+	preprocessInto(dst, s.Intensities)
+}
+
+func preprocessInto(dst, src []float64) {
 	sum := 0.0
-	for i, v := range s.Intensities {
+	for i, v := range src {
 		if v < 0 {
 			v = 0
 		}
-		x[i] = v
+		dst[i] = v
 		sum += v
 	}
 	if sum > 0 {
 		inv := 1 / sum
-		for i := range x {
-			x[i] *= inv
+		for i := range dst {
+			dst[i] *= inv
 		}
 	}
-	return x
 }
 
 // StandardMixtures returns the deterministic reference-mixture table used
@@ -119,48 +127,12 @@ func CollectReferences(vi *VirtualInstrument, sim *LineSimulator, axis spectrum.
 // Generation runs on `workers` goroutines (0 = all cores). Every sample i
 // draws from its own rng.Split-derived child stream keyed by i, so the
 // corpus is bit-identical for any worker count: equal (seed, n, alpha)
-// always yield equal datasets.
+// always yield equal datasets. Rendering uses the cached-template fast
+// path (see GenerateTrainingWith / TrainingOptions for the exact legacy
+// renderer).
 func GenerateTraining(sim *LineSimulator, model *InstrumentModel, axis spectrum.Axis,
 	n int, alpha float64, seed uint64, workers int) (*dataset.Dataset, error) {
-	if n <= 0 {
-		return nil, fmt.Errorf("msim: need a positive sample count, got %d", n)
-	}
-	if err := model.Validate(); err != nil {
-		return nil, err
-	}
-	// Child-stream seeds are drawn sequentially from the root (the Split
-	// construction), so sample i's stream never depends on scheduling.
-	root := rng.New(seed)
-	seeds := make([]uint64, n)
-	for i := range seeds {
-		seeds[i] = root.Uint64()
-	}
-	xs := make([][]float64, n)
-	ys := make([][]float64, n)
-	err := parallel.For(workers, n, func(_, i int) error {
-		src := rng.New(seeds[i])
-		frac := sim.RandomFractions(src, alpha)
-		ideal, err := sim.Mixture(frac)
-		if err != nil {
-			return err
-		}
-		s, err := model.Measure(ideal, axis, src)
-		if err != nil {
-			return err
-		}
-		xs[i] = Preprocess(s)
-		ys[i] = frac
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	d := dataset.New(n)
-	d.Names = sim.Names()
-	for i := range xs {
-		d.Append(xs[i], ys[i])
-	}
-	return d, nil
+	return GenerateTrainingWith(sim, model, axis, n, alpha, seed, workers, TrainingOptions{})
 }
 
 // MeasureEvaluation prepares evaluation data on the virtual prototype: the

@@ -1,0 +1,181 @@
+package msim
+
+import (
+	"fmt"
+	"math"
+
+	"specml/internal/dataset"
+	"specml/internal/fit"
+	"specml/internal/parallel"
+	"specml/internal/rng"
+	"specml/internal/spectrum"
+)
+
+// TrainingOptions selects the rendering strategy of GenerateTrainingWith.
+type TrainingOptions struct {
+	// ExactRender forces the legacy per-sample Mixture + Measure path,
+	// bit-identical to the pre-cache generator. The default cached path
+	// renders each compound's fragmentation pattern through the instrument
+	// model once and composes samples as fraction-weighted template sums,
+	// which additionally carries the analytic Lorentzian tail correction the
+	// truncating exact renderer lacks (values agree to ~1e-4 of the peak
+	// scale, dominated by that tail).
+	ExactRender bool
+}
+
+// renderCache holds the per-compound instrument-rendered templates on a
+// fixed axis. Measurement is linear in the line intensities — attenuation
+// and peak width depend only on line position — so the spectrum of any
+// mixture is the fraction-weighted sum of the pure-compound templates plus
+// the composition-independent background (ignition artifact and baseline).
+type renderCache struct {
+	comp [][]float64 // pure-compound renders, label order
+	bg   []float64   // ignition peak + baseline drift
+}
+
+// modelPeaks converts one ideal line spectrum into instrument peaks,
+// mirroring InstrumentModel.Measure exactly.
+func modelPeaks(m *InstrumentModel, ls *spectrum.LineSpectrum) []spectrum.Peak {
+	peaks := make([]spectrum.Peak, 0, len(ls.Lines))
+	for _, l := range ls.Lines {
+		if l.Intensity <= 0 {
+			continue
+		}
+		mz := l.Position + m.MassOffset
+		peaks = append(peaks, spectrum.Peak{
+			Center: mz,
+			Area:   l.Intensity * m.attenuationAt(l.Position),
+			Width:  m.fwhmAt(mz),
+			Eta:    m.PeakEta,
+		})
+	}
+	return peaks
+}
+
+// newRenderCache renders every pure compound and the background through the
+// instrument model once. Templates use the tail-corrected renderer, so the
+// 12-width cutoff loses no Lorentzian area.
+func newRenderCache(sim *LineSimulator, model *InstrumentModel, axis spectrum.Axis) (*renderCache, error) {
+	c := &renderCache{comp: make([][]float64, len(sim.pure))}
+	for k, ls := range sim.pure {
+		s := spectrum.New(axis)
+		if err := spectrum.RenderPeaksTailCorrected(s, modelPeaks(model, ls), 12); err != nil {
+			return nil, err
+		}
+		c.comp[k] = s.Intensities
+	}
+	s := spectrum.New(axis)
+	if model.IgnitionArea > 0 {
+		peak := []spectrum.Peak{{
+			Center: model.IgnitionMZ + model.MassOffset,
+			Area:   model.IgnitionArea,
+			Width:  model.fwhmAt(model.IgnitionMZ),
+			Eta:    model.PeakEta,
+		}}
+		if err := spectrum.RenderPeaksTailCorrected(s, peak, 12); err != nil {
+			return nil, err
+		}
+	}
+	if len(model.Baseline) > 0 {
+		for i := range s.Intensities {
+			s.Intensities[i] += fit.PolyEval(model.Baseline, axis.Value(i))
+		}
+	}
+	c.bg = s.Intensities
+	return c, nil
+}
+
+// GenerateTrainingWith is GenerateTraining with explicit rendering options.
+func GenerateTrainingWith(sim *LineSimulator, model *InstrumentModel, axis spectrum.Axis,
+	n int, alpha float64, seed uint64, workers int, opts TrainingOptions) (*dataset.Dataset, error) {
+	d := dataset.New(n)
+	if err := GenerateTrainingInto(d, sim, model, axis, n, alpha, seed, workers, opts); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// GenerateTrainingInto is GenerateTrainingWith writing into an existing
+// dataset, reusing its row storage (grow-only). On the cached path,
+// steady-state regeneration performs zero heap allocation per sample.
+func GenerateTrainingInto(d *dataset.Dataset, sim *LineSimulator, model *InstrumentModel,
+	axis spectrum.Axis, n int, alpha float64, seed uint64, workers int, opts TrainingOptions) error {
+	if n <= 0 {
+		return fmt.Errorf("msim: need a positive sample count, got %d", n)
+	}
+	if err := model.Validate(); err != nil {
+		return err
+	}
+	d.Resize(n, axis.N, sim.NumCompounds())
+	d.Names = sim.Names()
+
+	// Child-stream seeds are drawn sequentially from the root (the Split
+	// construction), so sample i's stream never depends on scheduling.
+	root := rng.New(seed)
+	seeds := make([]uint64, n)
+	for i := range seeds {
+		seeds[i] = root.Uint64()
+	}
+
+	if opts.ExactRender {
+		return parallel.For(workers, n, func(_, i int) error {
+			src := rng.New(seeds[i])
+			frac := sim.RandomFractions(src, alpha)
+			ideal, err := sim.Mixture(frac)
+			if err != nil {
+				return err
+			}
+			s, err := model.Measure(ideal, axis, src)
+			if err != nil {
+				return err
+			}
+			PreprocessInto(d.X[i], s)
+			copy(d.Y[i], frac)
+			return nil
+		})
+	}
+
+	// Cached path: templates are built deterministically before the
+	// parallel wave; each worker reuses one raw-spectrum buffer and one
+	// reseedable source, so the wave itself does not allocate.
+	cache, err := newRenderCache(sim, model, axis)
+	if err != nil {
+		return err
+	}
+	nw := parallel.Resolve(workers)
+	if nw > n {
+		nw = n
+	}
+	raws := make([][]float64, nw)
+	srcs := make([]*rng.Source, nw)
+	for w := 0; w < nw; w++ {
+		raws[w] = make([]float64, axis.N)
+		srcs[w] = rng.New(0)
+	}
+	noisy := model.NoiseFloor > 0 || model.NoiseScale > 0
+	return parallel.For(nw, n, func(w, i int) error {
+		src := srcs[w]
+		src.Reseed(seeds[i])
+		frac := d.Y[i]
+		src.Dirichlet(alpha, frac)
+		raw := raws[w]
+		copy(raw, cache.bg)
+		for k, f := range frac {
+			if f == 0 {
+				continue
+			}
+			tmpl := cache.comp[k]
+			for j, t := range tmpl {
+				raw[j] += f * t
+			}
+		}
+		if noisy {
+			for j, v := range raw {
+				sigma := model.NoiseFloor + model.NoiseScale*math.Abs(v)
+				raw[j] = v + src.Normal(0, sigma)
+			}
+		}
+		preprocessInto(d.X[i], raw)
+		return nil
+	})
+}

@@ -1,0 +1,171 @@
+package msim
+
+import (
+	"math"
+	"testing"
+
+	"specml/internal/fit"
+	"specml/internal/spectrum"
+)
+
+func maxAbs(x []float64) float64 {
+	m := 0.0
+	for _, v := range x {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// TestCachedTrainingMatchesFullAxisReference: for a noiseless instrument
+// the cached generator (fraction-weighted template sums) must match a
+// from-scratch full-axis analytic render of the same mixture — the
+// tail-corrected templates are the *more* accurate rendering, so they are
+// compared against the untruncated ground truth, not the cutoff renderer.
+func TestCachedTrainingMatchesFullAxisReference(t *testing.T) {
+	sim := taskSim(t)
+	model := DefaultTrueModel().Clone()
+	model.NoiseFloor, model.NoiseScale = 0, 0
+	axis := DefaultAxis()
+	d, err := GenerateTrainingWith(sim, model, axis, 8, 1, 31, 1, TrainingOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range d.X {
+		ideal, err := sim.Mixture(d.Y[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := spectrum.New(axis)
+		peaks := modelPeaks(model, ideal)
+		if model.IgnitionArea > 0 {
+			peaks = append(peaks, spectrum.Peak{
+				Center: model.IgnitionMZ + model.MassOffset,
+				Area:   model.IgnitionArea,
+				Width:  model.fwhmAt(model.IgnitionMZ),
+				Eta:    model.PeakEta,
+			})
+		}
+		if err := spectrum.RenderPeaks(s, peaks, 0); err != nil {
+			t.Fatal(err)
+		}
+		for j := range s.Intensities {
+			s.Intensities[j] += fit.PolyEval(model.Baseline, axis.Value(j))
+		}
+		want := Preprocess(s)
+		scale := maxAbs(want)
+		for j := range want {
+			if diff := math.Abs(d.X[i][j] - want[j]); diff > 2e-4*scale {
+				t.Fatalf("sample %d[%d]: cached %v vs full-axis %v (%v of max)",
+					i, j, d.X[i][j], want[j], diff/scale)
+			}
+		}
+	}
+}
+
+// TestCachedTrainingAgainstExactOption: labels are bit-identical between
+// the cached and exact paths (same draw sequence), and with a noiseless
+// model the spectra agree up to the Lorentzian tail intensity the exact
+// cutoff renderer discards.
+func TestCachedTrainingAgainstExactOption(t *testing.T) {
+	sim := taskSim(t)
+	model := DefaultTrueModel().Clone()
+	model.NoiseFloor, model.NoiseScale = 0, 0
+	axis := DefaultAxis()
+	cached, err := GenerateTrainingWith(sim, model, axis, 12, 1, 7, 2, TrainingOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := GenerateTrainingWith(sim, model, axis, 12, 1, 7, 2, TrainingOptions{ExactRender: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cached.Y {
+		for j := range cached.Y[i] {
+			if cached.Y[i][j] != exact.Y[i][j] {
+				t.Fatalf("label [%d][%d] differs between cached and exact", i, j)
+			}
+		}
+		scale := maxAbs(exact.X[i])
+		for j := range cached.X[i] {
+			if diff := math.Abs(cached.X[i][j] - exact.X[i][j]); diff > 1e-2*scale {
+				t.Fatalf("X[%d][%d]: cached %v vs exact %v", i, j, cached.X[i][j], exact.X[i][j])
+			}
+		}
+	}
+}
+
+// TestExactOptionDeterministic: the legacy path behind the ExactRender
+// option must stay deterministic and produce simplex labels.
+func TestExactOptionDeterministic(t *testing.T) {
+	sim := taskSim(t)
+	model := DefaultTrueModel()
+	d1, err := GenerateTrainingWith(sim, model, DefaultAxis(), 10, 1, 13, 1, TrainingOptions{ExactRender: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := GenerateTrainingWith(sim, model, DefaultAxis(), 10, 1, 13, 3, TrainingOptions{ExactRender: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range d1.X {
+		for j := range d1.X[i] {
+			if d1.X[i][j] != d2.X[i][j] {
+				t.Fatalf("exact path X[%d][%d] depends on worker count", i, j)
+			}
+		}
+	}
+}
+
+// TestGenerateTrainingIntoReuse: regenerating into a reused dataset must be
+// bit-identical to a fresh generation.
+func TestGenerateTrainingIntoReuse(t *testing.T) {
+	sim := taskSim(t)
+	model := DefaultTrueModel()
+	axis := DefaultAxis()
+	want, err := GenerateTrainingWith(sim, model, axis, 9, 1, 55, 1, TrainingOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := GenerateTrainingWith(sim, model, axis, 25, 1, 2, 1, TrainingOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := GenerateTrainingInto(d, sim, model, axis, 9, 1, 55, 1, TrainingOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 9 {
+		t.Fatalf("reused dataset has %d rows, want 9", d.Len())
+	}
+	for i := range want.X {
+		for j := range want.X[i] {
+			if d.X[i][j] != want.X[i][j] {
+				t.Fatalf("X[%d][%d] differs after reuse", i, j)
+			}
+		}
+	}
+}
+
+// TestPreprocessIntoMatchesPreprocess: the in-place variant must agree with
+// the allocating one bit for bit.
+func TestPreprocessIntoMatchesPreprocess(t *testing.T) {
+	sim := taskSim(t)
+	model := DefaultTrueModel()
+	ideal, err := sim.Mixture([]float64{0.4, 0.3, 0.1, 0.1, 0.05, 0.05, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := model.Measure(ideal, DefaultAxis(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Preprocess(s)
+	got := make([]float64, len(s.Intensities))
+	PreprocessInto(got, s)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sample %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}

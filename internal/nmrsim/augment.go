@@ -8,6 +8,7 @@ import (
 	"specml/internal/parallel"
 	"specml/internal/rng"
 	"specml/internal/spectrum"
+	"specml/internal/spectrum/render"
 )
 
 // Augmenter generates synthetic training spectra from fitted IHM
@@ -15,6 +16,15 @@ import (
 // plus the physically motivated distortions (peak shift and broadening)
 // that a naive linear combination of measured spectra would miss. This is
 // the paper's central data-augmentation method for NMR.
+//
+// Rendering goes through the render-engine templates built once per
+// component (see internal/spectrum/render): pure-shift variants are
+// interpolated master-grid lookups, broadened variants use the hoisted
+// analytic kernels, and ExactRender forces the legacy bit-identical
+// spectrum.RenderPeaks path. Templates and scratch live on the Augmenter,
+// so an Augmenter must not be used from multiple goroutines concurrently —
+// Generate's internal worker pool is fine, concurrent Generate calls on one
+// Augmenter are not.
 type Augmenter struct {
 	Axis spectrum.Axis
 	// Components are the fitted pure-component hard models (label order).
@@ -34,6 +44,21 @@ type Augmenter struct {
 	// cores). The corpus is bit-identical for any value because every
 	// sample draws from its own index-keyed child stream.
 	Workers int
+	// ExactRender forces the legacy analytic RenderPeaks path for every
+	// sample, bit-identical to the pre-engine generator (golden baselines).
+	ExactRender bool
+	// RenderOversample overrides the render engine's automatic master-grid
+	// oversampling factor (0 = automatic).
+	RenderOversample int
+
+	// Cached render templates (one per component) plus reusable generation
+	// scratch; rebuilt when the render options change.
+	templates []*render.Template
+	tmplOpts  render.Options
+	names     []string
+	seeds     []uint64
+	srcs      []*rng.Source
+	root      rng.Source
 }
 
 // Validate checks the augmenter configuration.
@@ -57,16 +82,74 @@ func (a *Augmenter) Validate() error {
 	return nil
 }
 
+// prepare (re)builds the per-component render templates. It must run
+// before any parallel wave so the templates are constructed
+// deterministically and the wave itself only reads them.
+func (a *Augmenter) prepare() error {
+	opts := render.Options{Exact: a.ExactRender, Oversample: a.RenderOversample}
+	if a.templates != nil && len(a.templates) == len(a.Components) && a.tmplOpts == opts {
+		return nil
+	}
+	eng := render.NewEngine(opts)
+	ts := make([]*render.Template, len(a.Components))
+	for j, c := range a.Components {
+		t, err := eng.NewTemplate(a.Axis, c.Peaks)
+		if err != nil {
+			return fmt.Errorf("nmrsim: building render template for %s: %w", c.Name, err)
+		}
+		ts[j] = t
+	}
+	a.templates = ts
+	a.tmplOpts = opts
+	a.names = componentNames(a.Components)
+	return nil
+}
+
 // Sample renders one synthetic spectrum with random concentrations,
 // returning the input vector and its label.
 func (a *Augmenter) Sample(src *rng.Source) ([]float64, []float64, error) {
-	k := len(a.Components)
-	conc := make([]float64, k)
-	for j := range conc {
-		conc[j] = src.Uniform(a.ConcLo[j], a.ConcHi[j])
+	x := make([]float64, a.Axis.N)
+	y := make([]float64, len(a.Components))
+	if err := a.SampleInto(x, y, src); err != nil {
+		return nil, nil, err
 	}
-	s := spectrum.New(a.Axis)
-	for j, c := range a.Components {
+	return x, y, nil
+}
+
+// SampleInto renders one synthetic spectrum into caller-owned buffers:
+// x (length Axis.N) receives the spectrum, y (one slot per component) the
+// concentration label. The draw sequence matches Sample exactly.
+func (a *Augmenter) SampleInto(x, y []float64, src *rng.Source) error {
+	if err := a.Validate(); err != nil {
+		return err
+	}
+	if err := a.prepare(); err != nil {
+		return err
+	}
+	return a.sampleInto(x, y, src)
+}
+
+// sampleInto is SampleInto after validation and template preparation.
+func (a *Augmenter) sampleInto(x, y []float64, src *rng.Source) error {
+	if len(y) != len(a.Components) {
+		return fmt.Errorf("nmrsim: label buffer has %d slots for %d components", len(y), len(a.Components))
+	}
+	for j := range y {
+		y[j] = src.Uniform(a.ConcLo[j], a.ConcHi[j])
+	}
+	return a.renderConcInto(x, y, src)
+}
+
+// renderConcInto renders one spectrum at fixed concentrations into x,
+// drawing fresh per-component distortions and noise from src.
+func (a *Augmenter) renderConcInto(x, conc []float64, src *rng.Source) error {
+	if len(x) != a.Axis.N {
+		return fmt.Errorf("nmrsim: spectrum buffer has %d samples for axis length %d", len(x), a.Axis.N)
+	}
+	for i := range x {
+		x[i] = 0
+	}
+	for j := range a.Components {
 		if conc[j] == 0 {
 			continue
 		}
@@ -75,52 +158,93 @@ func (a *Augmenter) Sample(src *rng.Source) ([]float64, []float64, error) {
 		if wf < 0.2 {
 			wf = 0.2
 		}
-		if err := c.Render(s, conc[j]*a.IntensityScale, shift, wf); err != nil {
-			return nil, nil, err
+		if err := a.templates[j].RenderInto(x, conc[j]*a.IntensityScale, shift, wf); err != nil {
+			return err
 		}
 	}
 	if a.NoiseSigma > 0 {
-		for i := range s.Intensities {
-			s.Intensities[i] += src.Normal(0, a.NoiseSigma)
+		if a.ExactRender {
+			// Legacy Box-Muller stream: corpora rendered with ExactRender
+			// replay historical bytes exactly.
+			for i := range x {
+				x[i] += src.Normal(0, a.NoiseSigma)
+			}
+		} else {
+			// The cached fast path draws noise with the ziggurat sampler —
+			// a different (still fully deterministic and seed-reproducible)
+			// stream. Labels and distortion draws happen before this point,
+			// so they remain bit-identical between the two modes.
+			src.FastNormalAdd(x, a.NoiseSigma)
 		}
 	}
-	return s.Intensities, conc, nil
+	return nil
 }
 
 // Generate produces n synthetic labelled spectra on a.Workers goroutines
 // (0 = all cores). Sample i is rendered from an rng.Split-derived child
 // stream keyed by i, so the dataset is bit-identical for any worker count.
 func (a *Augmenter) Generate(n int, seed uint64) (*dataset.Dataset, error) {
-	if err := a.Validate(); err != nil {
-		return nil, err
-	}
-	if n <= 0 {
-		return nil, fmt.Errorf("nmrsim: need a positive sample count, got %d", n)
-	}
-	root := rng.New(seed)
-	seeds := make([]uint64, n)
-	for i := range seeds {
-		seeds[i] = root.Uint64()
-	}
-	xs := make([][]float64, n)
-	ys := make([][]float64, n)
-	err := parallel.For(a.Workers, n, func(_, i int) error {
-		x, y, err := a.Sample(rng.New(seeds[i]))
-		if err != nil {
-			return err
-		}
-		xs[i], ys[i] = x, y
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
 	d := dataset.New(n)
-	d.Names = componentNames(a.Components)
-	for i := range xs {
-		d.Append(xs[i], ys[i])
+	if err := a.GenerateInto(d, n, seed); err != nil {
+		return nil, err
 	}
 	return d, nil
+}
+
+// GenerateInto is Generate writing into an existing dataset, reusing its
+// row storage (grow-only): after the first call, steady-state regeneration
+// performs zero heap allocation per sample. The dataset's previous rows are
+// overwritten, so d must not share rows with data the caller still needs.
+// The generated values are bit-identical to Generate's for equal arguments.
+func (a *Augmenter) GenerateInto(d *dataset.Dataset, n int, seed uint64) error {
+	if err := a.Validate(); err != nil {
+		return err
+	}
+	if n <= 0 {
+		return fmt.Errorf("nmrsim: need a positive sample count, got %d", n)
+	}
+	// Templates are built deterministically before the parallel wave; the
+	// wave itself only reads them.
+	if err := a.prepare(); err != nil {
+		return err
+	}
+	d.Resize(n, a.Axis.N, len(a.Components))
+	d.Names = a.names
+
+	// Child-stream seeds are drawn sequentially from the root (the Split
+	// construction), so sample i's stream never depends on scheduling.
+	a.root.Reseed(seed)
+	a.seeds = growUint64(a.seeds, n)
+	for i := range a.seeds {
+		a.seeds[i] = a.root.Uint64()
+	}
+	workers := parallel.Resolve(a.Workers)
+	if workers > n {
+		workers = n
+	}
+	for len(a.srcs) < workers {
+		a.srcs = append(a.srcs, rng.New(0))
+	}
+	seeds, srcs := a.seeds, a.srcs
+	return parallel.For(workers, n, func(w, i int) error {
+		// Reseeding a per-worker source reproduces rng.New(seeds[i])
+		// without allocating; the stream depends only on i.
+		src := srcs[w]
+		src.Reseed(seeds[i])
+		return a.sampleInto(d.X[i], d.Y[i], src)
+	})
+}
+
+// growUint64 is pool.Grow for seed scratch.
+func growUint64(buf []uint64, n int) []uint64 {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	c := 1
+	for c < n {
+		c <<= 1
+	}
+	return make([]uint64, n, c)
 }
 
 // GenerateTimeSeries produces synthetic plateau time series for LSTM
@@ -131,7 +255,9 @@ func (a *Augmenter) Generate(n int, seed uint64) (*dataset.Dataset, error) {
 //
 // Unlike Generate, the window stream is an order-dependent rolling buffer
 // (each window overlaps its predecessor), so this path stays sequential;
-// Workers does not apply here.
+// Workers does not apply here. Spectrum rows are rendered into a reused
+// ring of `steps` buffers — only the emitted windows and their label
+// copies allocate.
 func (a *Augmenter) GenerateTimeSeries(nWindows, steps, maxRepeat int, seed uint64) (*dataset.Dataset, error) {
 	if err := a.Validate(); err != nil {
 		return nil, err
@@ -139,35 +265,43 @@ func (a *Augmenter) GenerateTimeSeries(nWindows, steps, maxRepeat int, seed uint
 	if nWindows <= 0 || steps <= 0 || maxRepeat <= 0 {
 		return nil, fmt.Errorf("nmrsim: nWindows, steps and maxRepeat must be positive")
 	}
+	if err := a.prepare(); err != nil {
+		return nil, err
+	}
 	src := rng.New(seed)
 	d := dataset.New(nWindows)
 	d.Names = componentNames(a.Components)
 
-	// rolling buffer of recent spectra/labels emulating the online stream
-	var bufX [][]float64
-	var bufY [][]float64
+	// ring of reusable spectrum rows emulating the online stream: a window
+	// copies its rows on emission, so slot t may be overwritten once it is
+	// `steps` spectra old
+	ring := make([][]float64, steps)
+	for i := range ring {
+		ring[i] = make([]float64, a.Axis.N)
+	}
+	conc := make([]float64, len(a.Components))
+	count := 0
 	for d.Len() < nWindows {
-		x, y, err := a.Sample(src)
-		if err != nil {
+		row := ring[count%steps]
+		if err := a.sampleInto(row, conc, src); err != nil {
 			return nil, err
 		}
 		repeat := 1 + src.Intn(maxRepeat)
 		for r := 0; r < repeat; r++ {
-			// re-measure the same plateau (new jitter and noise)
 			if r > 0 {
-				x, _, err = a.resample(src, y)
-				if err != nil {
+				// re-measure the same plateau (new jitter and noise)
+				row = ring[count%steps]
+				if err := a.renderConcInto(row, conc, src); err != nil {
 					return nil, err
 				}
 			}
-			bufX = append(bufX, x)
-			bufY = append(bufY, y)
-			if len(bufX) >= steps {
-				window := make([]float64, 0, steps*len(x))
-				for _, row := range bufX[len(bufX)-steps:] {
-					window = append(window, row...)
+			count++
+			if count >= steps {
+				window := make([]float64, 0, steps*a.Axis.N)
+				for t := count - steps; t < count; t++ {
+					window = append(window, ring[t%steps]...)
 				}
-				d.Append(window, bufY[len(bufY)-1])
+				d.Append(window, append([]float64(nil), conc...))
 				if d.Len() >= nWindows {
 					return d, nil
 				}
@@ -175,30 +309,6 @@ func (a *Augmenter) GenerateTimeSeries(nWindows, steps, maxRepeat int, seed uint
 		}
 	}
 	return d, nil
-}
-
-// resample renders another spectrum at fixed concentrations.
-func (a *Augmenter) resample(src *rng.Source, conc []float64) ([]float64, []float64, error) {
-	s := spectrum.New(a.Axis)
-	for j, c := range a.Components {
-		if conc[j] == 0 {
-			continue
-		}
-		shift := src.Normal(0, a.ShiftJitter)
-		wf := 1 + src.Normal(0, a.WidthJitter)
-		if wf < 0.2 {
-			wf = 0.2
-		}
-		if err := c.Render(s, conc[j]*a.IntensityScale, shift, wf); err != nil {
-			return nil, nil, err
-		}
-	}
-	if a.NoiseSigma > 0 {
-		for i := range s.Intensities {
-			s.Intensities[i] += src.Normal(0, a.NoiseSigma)
-		}
-	}
-	return s.Intensities, conc, nil
 }
 
 func componentNames(cs []*ihm.ComponentModel) []string {

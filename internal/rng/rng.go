@@ -37,8 +37,19 @@ func splitmix64(state *uint64) uint64 {
 // New returns a Source seeded with seed. Two sources created with the same
 // seed produce identical streams.
 func New(seed uint64) *Source {
-	st := seed
 	var s Source
+	s.Reseed(seed)
+	return &s
+}
+
+// Reseed resets the source in place to the exact state New(seed) produces,
+// discarding any cached Box-Muller variate. Hot loops reuse one Source per
+// worker for per-index child streams (src.Reseed(seeds[i])) instead of
+// allocating a Source per index, keeping steady-state generation
+// allocation-free while preserving the bit-identical-for-any-worker-count
+// contract.
+func (s *Source) Reseed(seed uint64) {
+	st := seed
 	s.s0 = splitmix64(&st)
 	s.s1 = splitmix64(&st)
 	s.s2 = splitmix64(&st)
@@ -47,7 +58,8 @@ func New(seed uint64) *Source {
 	if s.s0|s.s1|s.s2|s.s3 == 0 {
 		s.s0 = 0x9e3779b97f4a7c15
 	}
-	return &s
+	s.haveGauss = false
+	s.gauss = 0
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }

@@ -1,0 +1,140 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+// TestFastNormalDeterministic: equal seeds produce equal streams, and the
+// stream differs from (does not silently alias) the Box-Muller stream.
+func TestFastNormalDeterministic(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		va, vb := a.FastNormal(1.5, 0.3), b.FastNormal(1.5, 0.3)
+		if va != vb {
+			t.Fatalf("draw %d: %v vs %v from equal seeds", i, va, vb)
+		}
+		if !math.IsInf(va, 0) && math.IsNaN(va) {
+			t.Fatalf("draw %d: NaN", i)
+		}
+	}
+}
+
+// TestFastNormalMoments: over many draws the sample mean, variance, skew
+// and kurtosis must match the standard normal within loose Monte-Carlo
+// bounds, and both tails must be exercised.
+func TestFastNormalMoments(t *testing.T) {
+	src := New(7)
+	const n = 2_000_000
+	var sum, sum2, sum3, sum4 float64
+	var beyondTailPos, beyondTailNeg int
+	for i := 0; i < n; i++ {
+		x := src.FastNormal(0, 1)
+		sum += x
+		sum2 += x * x
+		sum3 += x * x * x
+		sum4 += x * x * x * x
+		if x > zigR {
+			beyondTailPos++
+		}
+		if x < -zigR {
+			beyondTailNeg++
+		}
+	}
+	mean := sum / n
+	variance := sum2/n - mean*mean
+	skew := sum3 / n
+	kurt := sum4 / n
+	if math.Abs(mean) > 3e-3 {
+		t.Fatalf("mean %v too far from 0", mean)
+	}
+	if math.Abs(variance-1) > 5e-3 {
+		t.Fatalf("variance %v too far from 1", variance)
+	}
+	if math.Abs(skew) > 1e-2 {
+		t.Fatalf("third moment %v too far from 0", skew)
+	}
+	if math.Abs(kurt-3) > 5e-2 {
+		t.Fatalf("fourth moment %v too far from 3", kurt)
+	}
+	// P(|X| > zigR) ≈ 5.78e-4; with 2M draws expect ~578 per side.
+	if beyondTailPos < 100 || beyondTailNeg < 100 {
+		t.Fatalf("tail branch under-exercised: +%d -%d draws beyond ±zigR", beyondTailPos, beyondTailNeg)
+	}
+}
+
+// TestFastNormalAddMatchesScalar: the bulk noise fill must consume exactly
+// the same stream as successive FastNormal calls and add (not overwrite).
+func TestFastNormalAddMatchesScalar(t *testing.T) {
+	a, b := New(321), New(321)
+	const n = 100_000 // large enough to hit tail and wedge branches
+	x := make([]float64, n)
+	want := make([]float64, n)
+	for i := range x {
+		x[i] = float64(i) * 0.5
+		want[i] = x[i] + 0.7*b.fastStdNormal()
+	}
+	a.FastNormalAdd(x, 0.7)
+	for i := range x {
+		if x[i] != want[i] {
+			t.Fatalf("sample %d: bulk %v vs scalar %v", i, x[i], want[i])
+		}
+	}
+	if av, bv := a.Uint64(), b.Uint64(); av != bv {
+		t.Fatalf("sources diverged after fill: %d vs %d", av, bv)
+	}
+}
+
+// TestFastNormalMeanStddev: the affine transform by (mean, stddev) is exact.
+func TestFastNormalMeanStddev(t *testing.T) {
+	a, b := New(11), New(11)
+	for i := 0; i < 100; i++ {
+		std := a.FastNormal(0, 1)
+		scaled := b.FastNormal(2, 0.25)
+		if want := 2 + 0.25*std; scaled != want {
+			t.Fatalf("draw %d: %v, want %v", i, scaled, want)
+		}
+	}
+}
+
+// TestFastNormalQuantiles: empirical CDF at a few fixed points against the
+// normal CDF, catching shape errors the moments miss.
+func TestFastNormalQuantiles(t *testing.T) {
+	src := New(19)
+	const n = 1_000_000
+	points := []float64{-2, -1, -0.5, 0, 0.5, 1, 2}
+	counts := make([]int, len(points))
+	for i := 0; i < n; i++ {
+		x := src.FastNormal(0, 1)
+		for j, p := range points {
+			if x <= p {
+				counts[j]++
+			}
+		}
+	}
+	for j, p := range points {
+		want := 0.5 * (1 + math.Erf(p/math.Sqrt2))
+		got := float64(counts[j]) / n
+		if math.Abs(got-want) > 3e-3 {
+			t.Fatalf("CDF(%v): empirical %v vs exact %v", p, got, want)
+		}
+	}
+}
+
+func BenchmarkStdNormalBoxMuller(b *testing.B) {
+	src := New(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += src.Normal(0, 1)
+	}
+	_ = sink
+}
+
+func BenchmarkStdNormalZiggurat(b *testing.B) {
+	src := New(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += src.FastNormal(0, 1)
+	}
+	_ = sink
+}

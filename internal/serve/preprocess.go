@@ -5,11 +5,22 @@ import (
 	"math"
 
 	"specml/internal/spectrum"
+	"specml/internal/tensor/pool"
 )
 
 // maxInputLen bounds accepted spectra; hostile requests cannot make the
 // server allocate unbounded interpolation buffers.
 const maxInputLen = 1 << 20
+
+// inputPool recycles preprocessed network-input buffers across requests.
+// preprocessInput returns buffers from this pool; callers hand them back
+// with putInput once the batcher can no longer read them.
+var inputPool pool.Pool
+
+// putInput recycles a buffer returned by preprocessInput. It must not be
+// called while the batcher may still flush the request that holds it (a
+// context-error return from Predict leaves the request queued).
+func putInput(buf []float64) { inputPool.Put(buf) }
 
 // axisSpec is the optional sampling axis of a request spectrum. N is
 // implied by the intensity count.
@@ -45,11 +56,16 @@ func preprocessInput(x []float64, axis *axisSpec, normalize string, wantLen int)
 			return nil, fmt.Errorf("serve: non-finite axis parameters")
 		}
 	}
+	switch normalize {
+	case "", "sum", "max", "area", "none":
+	default:
+		return nil, fmt.Errorf("serve: unknown normalize mode %q (want sum, max, area or none)", normalize)
+	}
 	src, err := spectrum.NewAxis(start, step, len(x))
 	if err != nil {
 		return nil, fmt.Errorf("serve: invalid request axis: %w", err)
 	}
-	s := &spectrum.Spectrum{Axis: src, Intensities: append([]float64(nil), x...)}
+	out := src
 	if len(x) != wantLen {
 		span := src.End() - src.Start
 		tstep := 1.0
@@ -59,17 +75,29 @@ func preprocessInput(x []float64, axis *axisSpec, normalize string, wantLen int)
 		if tstep <= 0 || math.IsInf(tstep, 0) || math.IsNaN(tstep) {
 			return nil, fmt.Errorf("serve: cannot resample axis span %g onto %d samples", span, wantLen)
 		}
-		dst, err := spectrum.NewAxis(src.Start, tstep, wantLen)
+		out, err = spectrum.NewAxis(src.Start, tstep, wantLen)
 		if err != nil {
 			return nil, fmt.Errorf("serve: resample axis: %w", err)
 		}
-		s = s.Resample(dst)
 	}
-	for i, v := range s.Intensities {
-		if v < 0 {
-			s.Intensities[i] = 0
+	// All fallible validation is done; from here the pooled buffer is always
+	// handed to the caller, who recycles it via putInput.
+	buf := inputPool.Get(wantLen)
+	if len(x) == wantLen {
+		copy(buf, x)
+	} else {
+		req := spectrum.Spectrum{Axis: src, Intensities: x}
+		if err := req.ResampleInto(buf, out); err != nil {
+			putInput(buf)
+			return nil, err
 		}
 	}
+	for i, v := range buf {
+		if v < 0 {
+			buf[i] = 0
+		}
+	}
+	s := spectrum.Spectrum{Axis: out, Intensities: buf}
 	switch normalize {
 	case "", "sum":
 		s.NormalizeSum()
@@ -77,9 +105,6 @@ func preprocessInput(x []float64, axis *axisSpec, normalize string, wantLen int)
 		s.NormalizeMax()
 	case "area":
 		s.NormalizeArea()
-	case "none":
-	default:
-		return nil, fmt.Errorf("serve: unknown normalize mode %q (want sum, max, area or none)", normalize)
 	}
-	return s.Intensities, nil
+	return buf, nil
 }

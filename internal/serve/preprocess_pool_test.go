@@ -1,0 +1,101 @@
+package serve
+
+import (
+	"math"
+	"testing"
+
+	"specml/internal/spectrum"
+)
+
+// TestPreprocessInputMatchesUnpooledPipeline: the pooled, resample-in-place
+// implementation must agree bit for bit with the straightforward
+// Resample + clip + normalize pipeline it replaced.
+func TestPreprocessInputMatchesUnpooledPipeline(t *testing.T) {
+	x := make([]float64, 120)
+	for i := range x {
+		x[i] = math.Sin(0.2*float64(i)) - 0.3 // some negative samples to clip
+	}
+	ax := &axisSpec{Start: 10, Step: 0.5}
+	const wantLen = 64
+	got, err := preprocessInput(x, ax, "sum", wantLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := spectrum.NewAxis(ax.Start, ax.Step, len(x))
+	if err != nil {
+		t.Fatal(err)
+	}
+	span := src.End() - src.Start
+	out, err := spectrum.NewAxis(src.Start, span/float64(wantLen-1), wantLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := &spectrum.Spectrum{Axis: src, Intensities: x}
+	want := req.Resample(out)
+	for i, v := range want.Intensities {
+		if v < 0 {
+			want.Intensities[i] = 0
+		}
+	}
+	want.NormalizeSum()
+	if len(got) != wantLen {
+		t.Fatalf("got %d samples, want %d", len(got), wantLen)
+	}
+	for i := range got {
+		if got[i] != want.Intensities[i] {
+			t.Fatalf("sample %d: pooled %v vs reference %v", i, got[i], want.Intensities[i])
+		}
+	}
+	putInput(got)
+}
+
+// TestPreprocessInputReusesPooledBuffer: after putInput, the next
+// same-width request must get the recycled buffer back instead of
+// allocating — the pool round-trip that makes serving allocation-free.
+func TestPreprocessInputReusesPooledBuffer(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	b1, err := preprocessInput(x, nil, "none", len(x))
+	if err != nil {
+		t.Fatal(err)
+	}
+	putInput(b1)
+	b2, err := preprocessInput(x, nil, "none", len(x))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &b1[0] != &b2[0] {
+		t.Fatal("pooled buffer was not reused for a same-width request")
+	}
+	// the recycled buffer must carry the new request's values, not stale ones
+	for i, v := range x {
+		if b2[i] != v {
+			t.Fatalf("recycled buffer sample %d = %v, want %v", i, b2[i], v)
+		}
+	}
+	putInput(b2)
+}
+
+// TestPreprocessInputValidationBeforePooling: every rejection path fires
+// before a pooled buffer is taken, so errors cannot leak buffers.
+func TestPreprocessInputValidationBeforePooling(t *testing.T) {
+	good := []float64{1, 2, 3, 4}
+	cases := []struct {
+		name string
+		x    []float64
+		axis *axisSpec
+		norm string
+		want int
+	}{
+		{"too short", []float64{1}, nil, "", 4},
+		{"non-finite sample", []float64{1, math.NaN(), 3}, nil, "", 4},
+		{"bad normalize", good, nil, "zscore", 4},
+		{"bad axis", good, &axisSpec{Start: 0, Step: math.Inf(1)}, "", 4},
+		{"zero step", good, &axisSpec{Start: 0, Step: 0}, "", 8},
+		{"bad width", good, nil, "", 0},
+	}
+	for _, c := range cases {
+		if _, err := preprocessInput(c.x, c.axis, c.norm, c.want); err == nil {
+			t.Fatalf("%s: must error", c.name)
+		}
+	}
+}

@@ -230,6 +230,12 @@ func (s *Server) batchedPredict(ctx context.Context, e *modelEntry, req *predict
 	ctx, cancel := context.WithTimeout(ctx, s.cfg.RequestTimeout)
 	defer cancel()
 	y, err := e.batcher.Predict(ctx, x)
+	if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+		// Any other outcome means the batcher is done with x; a context
+		// error can race a pending flush that still reads it, so the pooled
+		// buffer is dropped rather than recycled on those paths.
+		putInput(x)
+	}
 	switch {
 	case errors.Is(err, context.Canceled):
 		// The client disconnected mid-request; not a server failure.

@@ -4,8 +4,6 @@ import (
 	"fmt"
 	"math"
 	"sort"
-
-	"specml/internal/fit"
 )
 
 // SavitzkyGolay smooths (deriv = 0) or differentiates (deriv >= 1) a
@@ -15,6 +13,10 @@ import (
 // the center. Edges use shifted windows so the output covers the full
 // axis. This is the standard denoising step applied to spectra before
 // classical multivariate analysis.
+//
+// The least-squares solve depends only on (halfWindow, degree, deriv), so
+// the coefficient vectors are computed once per parameter triple and cached
+// process-wide (see sgWeights); each call is then a dot product per sample.
 func SavitzkyGolay(s *Spectrum, halfWindow, degree, deriv int) (*Spectrum, error) {
 	if halfWindow < 1 {
 		return nil, fmt.Errorf("spectrum: halfWindow must be >= 1, got %d", halfWindow)
@@ -32,9 +34,13 @@ func SavitzkyGolay(s *Spectrum, halfWindow, degree, deriv int) (*Spectrum, error
 	if s.Axis.N < window {
 		return nil, fmt.Errorf("spectrum: %d samples shorter than window %d", s.Axis.N, window)
 	}
+	weights, err := sgWeights(halfWindow, degree, deriv)
+	if err != nil {
+		return nil, err
+	}
+	// convert the derivative from sample units to axis units
+	scale := 1 / math.Pow(s.Axis.Step, float64(deriv))
 	out := New(s.Axis)
-	xs := make([]float64, window)
-	ys := make([]float64, window)
 	for i := 0; i < s.Axis.N; i++ {
 		// window start clamped to the axis; the evaluation point moves
 		// inside the window near the edges
@@ -45,28 +51,12 @@ func SavitzkyGolay(s *Spectrum, halfWindow, degree, deriv int) (*Spectrum, error
 		if start+window > s.Axis.N {
 			start = s.Axis.N - window
 		}
-		for k := 0; k < window; k++ {
-			// local coordinates keep the fit well conditioned
-			xs[k] = float64(start + k - i)
-			ys[k] = s.Intensities[start+k]
-		}
-		coeffs, err := fit.Polyfit(xs, ys, degree)
-		if err != nil {
-			return nil, err
-		}
-		// evaluate the deriv-th derivative at local x = 0:
-		// d^n/dx^n sum c_k x^k |_0 = n! * c_n
-		factorial := 1.0
-		for f := 2; f <= deriv; f++ {
-			factorial *= float64(f)
-		}
+		w := weights[i-start]
 		v := 0.0
-		if deriv < len(coeffs) {
-			v = coeffs[deriv] * factorial
+		for k, wk := range w {
+			v += wk * s.Intensities[start+k]
 		}
-		// convert the derivative from sample units to axis units
-		v /= math.Pow(s.Axis.Step, float64(deriv))
-		out.Intensities[i] = v
+		out.Intensities[i] = v * scale
 	}
 	return out, nil
 }

@@ -1,0 +1,115 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// lane indices [0, 1, 2, 3] and the per-iteration index increment.
+DATA lorentzIdx<>+0(SB)/8, $0x0000000000000000 // 0.0
+DATA lorentzIdx<>+8(SB)/8, $0x3ff0000000000000 // 1.0
+DATA lorentzIdx<>+16(SB)/8, $0x4000000000000000 // 2.0
+DATA lorentzIdx<>+24(SB)/8, $0x4008000000000000 // 3.0
+GLOBL lorentzIdx<>(SB), RODATA, $32
+
+DATA lorentzFour<>+0(SB)/8, $0x4010000000000000 // 4.0
+GLOBL lorentzFour<>(SB), RODATA, $8
+
+// func lorentzAccumAVX2(dst []float64, d0, step, num, g2 float64)
+//
+// dst[i] += num / (d*d + g2) with d = d0 + float64(i)*step, four lanes per
+// iteration. The lane index vector holds exact small integers, so VMULPD/
+// VADDPD/VDIVPD reproduce the scalar loop's roundings bit for bit; FMA is
+// deliberately not used (it would fuse the mul+add with a different
+// rounding than the scalar Go code).
+TEXT ·lorentzAccumAVX2(SB), NOSPLIT, $0-56
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), CX
+	VBROADCASTSD d0+24(FP), Y1
+	VBROADCASTSD step+32(FP), Y2
+	VBROADCASTSD num+40(FP), Y3
+	VBROADCASTSD g2+48(FP), Y4
+	VMOVUPD lorentzIdx<>(SB), Y0
+	VBROADCASTSD lorentzFour<>(SB), Y15
+
+loop:
+	TESTQ CX, CX
+	JLE   done
+	VMULPD Y2, Y0, Y5  // float64(i) * step
+	VADDPD Y1, Y5, Y5  // + d0            -> d
+	VMULPD Y5, Y5, Y5  // d*d
+	VADDPD Y4, Y5, Y5  // + g2
+	VDIVPD Y5, Y3, Y5  // num / (d*d + g2)
+	VMOVUPD (DI), Y6
+	VADDPD Y6, Y5, Y6
+	VMOVUPD Y6, (DI)
+	VADDPD Y15, Y0, Y0 // advance lane indices by 4
+	ADDQ $32, DI
+	SUBQ $4, CX
+	JMP  loop
+
+done:
+	VZEROUPPER
+	RET
+
+// func lorentzPairAccumAVX2(dst []float64, d01, g21, num1, d02, g22, num2, step float64)
+//
+// dst[i] += (num1*b + num2*a) / (a*b) with a = d1²+g21, b = d2²+g22,
+// d1 = d01 + float64(i)*step, d2 = d02 + float64(i)*step. One VDIVPD per
+// iteration covers two Lorentzian peaks; the multiplies retire under the
+// divider's shadow. Same no-FMA bit-identity contract as lorentzAccumAVX2.
+TEXT ·lorentzPairAccumAVX2(SB), NOSPLIT, $0-80
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), CX
+	VBROADCASTSD d01+24(FP), Y1
+	VBROADCASTSD g21+32(FP), Y2
+	VBROADCASTSD num1+40(FP), Y3
+	VBROADCASTSD d02+48(FP), Y7
+	VBROADCASTSD g22+56(FP), Y8
+	VBROADCASTSD num2+64(FP), Y9
+	VBROADCASTSD step+72(FP), Y11
+	VMOVUPD lorentzIdx<>(SB), Y0
+	VBROADCASTSD lorentzFour<>(SB), Y15
+
+pairloop:
+	TESTQ CX, CX
+	JLE   pairdone
+	VMULPD Y11, Y0, Y5  // t = float64(i) * step
+	VADDPD Y1, Y5, Y6   // d1 = d01 + t
+	VMULPD Y6, Y6, Y6   // d1*d1
+	VADDPD Y2, Y6, Y6   // a = d1*d1 + g21
+	VADDPD Y7, Y5, Y5   // d2 = d02 + t
+	VMULPD Y5, Y5, Y5   // d2*d2
+	VADDPD Y8, Y5, Y5   // b = d2*d2 + g22
+	VMULPD Y5, Y3, Y10  // num1*b
+	VMULPD Y6, Y9, Y12  // num2*a
+	VADDPD Y12, Y10, Y10 // num1*b + num2*a
+	VMULPD Y5, Y6, Y5   // a*b
+	VDIVPD Y5, Y10, Y5  // (num1*b + num2*a) / (a*b)
+	VMOVUPD (DI), Y6
+	VADDPD Y6, Y5, Y6
+	VMOVUPD Y6, (DI)
+	VADDPD Y15, Y0, Y0  // advance lane indices by 4
+	ADDQ $32, DI
+	SUBQ $4, CX
+	JMP  pairloop
+
+pairdone:
+	VZEROUPPER
+	RET
+
+// func cpuid(op, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL op+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv() (eax, edx uint32)
+TEXT ·xgetbv(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

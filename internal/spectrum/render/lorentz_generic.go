@@ -1,0 +1,13 @@
+//go:build !amd64
+
+package render
+
+// lorentzAccum on non-amd64 hosts is the portable scalar loop.
+func lorentzAccum(dst []float64, d0, step, num, g2 float64) {
+	lorentzAccumGeneric(dst, d0, step, num, g2)
+}
+
+// lorentzAccumPair on non-amd64 hosts is the portable scalar loop.
+func lorentzAccumPair(dst []float64, d01, g21, num1, d02, g22, num2, step float64) {
+	lorentzPairAccumGeneric(dst, d01, g21, num1, d02, g22, num2, step)
+}

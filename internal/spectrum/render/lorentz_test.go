@@ -1,0 +1,85 @@
+package render
+
+import (
+	"math"
+	"testing"
+
+	"specml/internal/rng"
+)
+
+// TestLorentzAccumBitIdentical: the dispatched kernel (AVX2 on hosts that
+// have it) must agree bit for bit with the scalar reference loop for
+// arbitrary lengths, including tails not divisible by the vector width and
+// non-zero starting contents of dst.
+func TestLorentzAccumBitIdentical(t *testing.T) {
+	src := rng.New(99)
+	for _, n := range []int{0, 1, 3, 4, 5, 7, 8, 9, 15, 16, 17, 100, 1700, 4093} {
+		got := make([]float64, n)
+		want := make([]float64, n)
+		for i := range got {
+			base := src.Normal(0, 1)
+			got[i] = base
+			want[i] = base
+		}
+		d0 := src.Normal(-5, 3)
+		step := 0.001 + src.Float64()*0.01
+		num := src.Float64() * 2
+		g2 := 1e-6 + src.Float64()*0.1
+		lorentzAccum(got, d0, step, num, g2)
+		lorentzAccumGeneric(want, d0, step, num, g2)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d sample %d: dispatched %v (bits %x) vs scalar %v (bits %x)",
+					n, i, got[i], math.Float64bits(got[i]), want[i], math.Float64bits(want[i]))
+			}
+		}
+	}
+}
+
+// TestLorentzAccumPairBitIdentical: same contract for the two-peak fused
+// kernel, and the pairing itself must stay within a few ulp of evaluating
+// the two peaks separately.
+func TestLorentzAccumPairBitIdentical(t *testing.T) {
+	src := rng.New(77)
+	for _, n := range []int{0, 1, 4, 7, 8, 9, 31, 100, 1700} {
+		got := make([]float64, n)
+		want := make([]float64, n)
+		sep := make([]float64, n)
+		for i := range got {
+			base := src.Normal(0, 1)
+			got[i] = base
+			want[i] = base
+			sep[i] = base
+		}
+		d01 := src.Normal(-5, 3)
+		d02 := src.Normal(-5, 3)
+		step := 0.001 + src.Float64()*0.01
+		num1 := src.Float64() * 2
+		num2 := src.Float64() * 2
+		g21 := 1e-6 + src.Float64()*0.1
+		g22 := 1e-6 + src.Float64()*0.1
+		lorentzAccumPair(got, d01, g21, num1, d02, g22, num2, step)
+		lorentzPairAccumGeneric(want, d01, g21, num1, d02, g22, num2, step)
+		lorentzAccumGeneric(sep, d01, step, num1, g21)
+		lorentzAccumGeneric(sep, d02, step, num2, g22)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d sample %d: dispatched %v vs scalar %v", n, i, got[i], want[i])
+			}
+			if diff := math.Abs(got[i] - sep[i]); diff > 1e-12*math.Abs(sep[i]) {
+				t.Fatalf("n=%d sample %d: paired form drifted %v relative from separate evaluation",
+					n, i, diff/math.Abs(sep[i]))
+			}
+		}
+	}
+}
+
+// BenchmarkLorentzAccum measures the dispatched full-axis Lorentzian loop
+// on a Fig. 7-scale axis — the per-point cost floor of the cached render.
+func BenchmarkLorentzAccum(b *testing.B) {
+	dst := make([]float64, 1700)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		lorentzAccum(dst, -5.0, 10.0/1699.0, 0.3, 0.01)
+	}
+}

@@ -1,0 +1,222 @@
+package spectrum
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"specml/internal/rng"
+)
+
+// TestRenderPeaksMatchesNaive: the hoisted inner loop of renderPeaks (all
+// per-peak constants precomputed outside the loop) must be bit-identical to
+// the naive per-point Peak.Value evaluation — the hoisting is a pure
+// algebraic refactor, not an approximation.
+func TestRenderPeaksMatchesNaive(t *testing.T) {
+	axis := MustAxis(-2, 0.013, 700)
+	src := rng.New(21)
+	peaks := make([]Peak, 5)
+	for i := range peaks {
+		peaks[i] = Peak{
+			Center: src.Uniform(-1, 6),
+			Width:  src.Uniform(0.05, 0.4),
+			Area:   src.Uniform(0.2, 3),
+			Eta:    src.Float64(),
+		}
+	}
+	s := New(axis)
+	if err := RenderPeaks(s, peaks, 0); err != nil {
+		t.Fatal(err)
+	}
+	want := make([]float64, axis.N)
+	for i := range want {
+		x := axis.Value(i)
+		for _, p := range peaks {
+			want[i] += p.Value(x)
+		}
+	}
+	for i := range want {
+		if s.Intensities[i] != want[i] {
+			t.Fatalf("sample %d: hoisted %v vs naive %v", i, s.Intensities[i], want[i])
+		}
+	}
+}
+
+// TestLorentzianTailFraction checks the closed form against the definition:
+// the fraction of a unit Lorentzian's area beyond ±k widths of the center.
+func TestLorentzianTailFraction(t *testing.T) {
+	for _, k := range []float64{1, 4, 12} {
+		got := LorentzianTailFraction(k)
+		// CDF of the Lorentzian at d = k·FWHM (γ = FWHM/2): the retained
+		// central fraction is (2/π)·atan(2k).
+		want := 1 - 2/math.Pi*math.Atan(2*k)
+		if math.Abs(got-want) > 1e-15 {
+			t.Fatalf("k=%g: %v, want %v", k, got, want)
+		}
+		if got <= 0 || got >= 1 {
+			t.Fatalf("k=%g: fraction %v outside (0,1)", k, got)
+		}
+	}
+	// at the production cutoff of 12 widths, ~2.65% of the Lorentzian area
+	// still sits in the tails — the correction is not a rounding concern
+	if f := LorentzianTailFraction(12); math.Abs(f-0.0265) > 1e-3 {
+		t.Fatalf("tail fraction at 12 widths = %v, want ≈ 0.0265", f)
+	}
+}
+
+// TestRenderPeaksTailCorrected: windowed rendering with the analytic
+// Lorentzian tail correction must recover the area a plain cutoff render
+// loses, and stay pointwise close to the full-axis render.
+func TestRenderPeaksTailCorrected(t *testing.T) {
+	axis := MustAxis(-200, 0.05, 8001)
+	peaks := []Peak{
+		{Center: -30, Width: 1.2, Area: 2, Eta: 1},   // pure Lorentzian
+		{Center: 45, Width: 0.8, Area: 1, Eta: 0.4},  // mixed
+		{Center: 120, Width: 2.0, Area: 3, Eta: 0.9}, // mostly Lorentzian
+	}
+	full := New(axis)
+	if err := RenderPeaks(full, peaks, 0); err != nil {
+		t.Fatal(err)
+	}
+	trunc := New(axis)
+	if err := RenderPeaks(trunc, peaks, 4); err != nil {
+		t.Fatal(err)
+	}
+	corrected := New(axis)
+	if err := RenderPeaksTailCorrected(corrected, peaks, 4); err != nil {
+		t.Fatal(err)
+	}
+	sum := func(x []float64) float64 {
+		s := 0.0
+		for _, v := range x {
+			s += v
+		}
+		return s
+	}
+	lost := sum(full.Intensities) - sum(trunc.Intensities)
+	if lost <= 0 {
+		t.Fatal("truncation should lose Lorentzian tail intensity")
+	}
+	if gap := math.Abs(sum(corrected.Intensities) - sum(full.Intensities)); gap > 0.02*lost {
+		t.Fatalf("correction recovered only part of the tail: residual %v of %v lost", gap, lost)
+	}
+	// pointwise the linearly interpolated tails track the true 1/d² decay
+	scale := full.Max()
+	for i := range full.Intensities {
+		if d := math.Abs(corrected.Intensities[i] - full.Intensities[i]); d > 2e-4*scale {
+			t.Fatalf("sample %d: corrected render off by %v (%v of max)", i, d, d/scale)
+		}
+	}
+	// inside the windows the corrected render equals the truncated one plus
+	// only the other peaks' tails, so it must dominate trunc everywhere
+	for i := range trunc.Intensities {
+		if corrected.Intensities[i] < trunc.Intensities[i]-1e-15 {
+			t.Fatalf("sample %d: tail correction decreased intensity", i)
+		}
+	}
+}
+
+// TestRenderPeaksTailCorrectedGaussianNoop: a pure Gaussian has no
+// Lorentzian tail, so the corrected render equals the plain cutoff render.
+func TestRenderPeaksTailCorrectedGaussianNoop(t *testing.T) {
+	axis := MustAxis(0, 0.02, 2000)
+	peaks := []Peak{{Center: 20, Width: 0.5, Area: 1, Eta: 0}}
+	a := New(axis)
+	if err := RenderPeaks(a, peaks, 6); err != nil {
+		t.Fatal(err)
+	}
+	b := New(axis)
+	if err := RenderPeaksTailCorrected(b, peaks, 6); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Intensities {
+		if a.Intensities[i] != b.Intensities[i] {
+			t.Fatalf("sample %d differs for a Gaussian peak", i)
+		}
+	}
+}
+
+// TestResampleIntoMatchesResample: the allocation-free sibling must agree
+// with Resample exactly and validate its destination.
+func TestResampleIntoMatchesResample(t *testing.T) {
+	src := New(MustAxis(0, 0.1, 101))
+	for i := range src.Intensities {
+		src.Intensities[i] = math.Sin(0.3 * float64(i))
+	}
+	target := MustAxis(-1, 0.07, 180) // overlaps partially, forces 0-fill
+	want := src.Resample(target)
+	dst := make([]float64, target.N)
+	if err := src.ResampleInto(dst, target); err != nil {
+		t.Fatal(err)
+	}
+	for i := range dst {
+		if dst[i] != want.Intensities[i] {
+			t.Fatalf("sample %d: %v vs %v", i, dst[i], want.Intensities[i])
+		}
+	}
+	if err := src.ResampleInto(make([]float64, 3), target); err == nil {
+		t.Fatal("wrong destination length must error")
+	}
+}
+
+// TestSavitzkyGolayCacheConsistency: the process-wide coefficient cache
+// must hand every caller identical weights — concurrent first-touch
+// included — and the filter must stay a linear functional of the input.
+func TestSavitzkyGolayCacheConsistency(t *testing.T) {
+	axis := MustAxis(0, 0.05, 400)
+	src := rng.New(33)
+	a := New(axis)
+	b := New(axis)
+	for i := 0; i < axis.N; i++ {
+		a.Intensities[i] = src.Normal(0, 1)
+		b.Intensities[i] = src.Normal(0, 1)
+	}
+	// use an uncommon parameter set so this test exercises a fresh cache
+	// entry under concurrency
+	const hw, deg, deriv = 9, 4, 1
+	var wg sync.WaitGroup
+	out := make([]*Spectrum, 8)
+	for w := range out {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s, err := SavitzkyGolay(a, hw, deg, deriv)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			out[w] = s
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < len(out); w++ {
+		for i := range out[0].Intensities {
+			if out[w].Intensities[i] != out[0].Intensities[i] {
+				t.Fatalf("goroutine %d got different SG output at %d", w, i)
+			}
+		}
+	}
+	// linearity: SG(a+b) == SG(a) + SG(b) — true iff every call applies the
+	// same cached weight vectors
+	sum := New(axis)
+	for i := range sum.Intensities {
+		sum.Intensities[i] = a.Intensities[i] + b.Intensities[i]
+	}
+	sa, err := SavitzkyGolay(a, hw, deg, deriv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := SavitzkyGolay(b, hw, deg, deriv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ssum, err := SavitzkyGolay(sum, hw, deg, deriv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ssum.Intensities {
+		if math.Abs(ssum.Intensities[i]-(sa.Intensities[i]+sb.Intensities[i])) > 1e-9 {
+			t.Fatalf("SG not linear at %d", i)
+		}
+	}
+}

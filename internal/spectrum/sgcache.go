@@ -1,0 +1,69 @@
+package spectrum
+
+import (
+	"sync"
+
+	"specml/internal/fit"
+)
+
+// Savitzky-Golay output is a linear functional of the window samples, so
+// the least-squares solve does not depend on the data at all — only on the
+// window geometry. For a given (halfWindow, degree, deriv) there are at
+// most 2·halfWindow+1 distinct window geometries (the evaluation point sits
+// at offset halfWindow in every interior window and walks to the window
+// edges near the axis ends), each with one weight vector. The weights are
+// computed once, by running the polynomial fit on the unit vectors, and
+// cached process-wide; every subsequent SavitzkyGolay call is then a plain
+// dot product per sample instead of a factorization per sample.
+
+// sgKey identifies one cached coefficient set.
+type sgKey struct {
+	halfWindow, degree, deriv int
+}
+
+// sgCache maps sgKey to [][]float64: weights[off] is the weight vector of
+// the window whose evaluation point sits at offset off in [0, window).
+var sgCache sync.Map
+
+// sgWeights returns (building and caching on first use) the coefficient
+// matrix for the given filter parameters. The returned weights are in
+// sample units; callers divide by Step^deriv to convert derivatives to
+// axis units.
+func sgWeights(halfWindow, degree, deriv int) ([][]float64, error) {
+	key := sgKey{halfWindow, degree, deriv}
+	if w, ok := sgCache.Load(key); ok {
+		return w.([][]float64), nil
+	}
+	window := 2*halfWindow + 1
+	factorial := 1.0
+	for f := 2; f <= deriv; f++ {
+		factorial *= float64(f)
+	}
+	xs := make([]float64, window)
+	ys := make([]float64, window)
+	weights := make([][]float64, window)
+	for off := 0; off < window; off++ {
+		for k := 0; k < window; k++ {
+			xs[k] = float64(k - off)
+		}
+		w := make([]float64, window)
+		for m := 0; m < window; m++ {
+			for k := range ys {
+				ys[k] = 0
+			}
+			ys[m] = 1
+			coeffs, err := fit.Polyfit(xs, ys, degree)
+			if err != nil {
+				return nil, err
+			}
+			if deriv < len(coeffs) {
+				w[m] = coeffs[deriv] * factorial
+			}
+		}
+		weights[off] = w
+	}
+	// LoadOrStore keeps concurrent first callers consistent: everyone ends
+	// up using the same (deterministically computed) matrix.
+	actual, _ := sgCache.LoadOrStore(key, weights)
+	return actual.([][]float64), nil
+}

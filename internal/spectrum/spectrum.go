@@ -186,10 +186,24 @@ func (s *Spectrum) ValueAt(x float64) float64 {
 // resolution [is] changed".
 func (s *Spectrum) Resample(axis Axis) *Spectrum {
 	out := New(axis)
-	for i := range out.Intensities {
-		out.Intensities[i] = s.ValueAt(axis.Value(i))
+	if err := s.ResampleInto(out.Intensities, axis); err != nil {
+		panic(err) // unreachable: out was sized from axis
 	}
 	return out
+}
+
+// ResampleInto is the allocation-free sibling of Resample: it fills dst
+// (which must have length axis.N) with the spectrum linearly interpolated
+// onto axis. Hot paths reuse pooled buffers through it instead of
+// allocating a Spectrum per call.
+func (s *Spectrum) ResampleInto(dst []float64, axis Axis) error {
+	if len(dst) != axis.N {
+		return fmt.Errorf("spectrum: ResampleInto destination length %d does not match axis length %d", len(dst), axis.N)
+	}
+	for i := range dst {
+		dst[i] = s.ValueAt(axis.Value(i))
+	}
+	return nil
 }
 
 // NormalizeMax scales the spectrum so its maximum intensity is 1. An

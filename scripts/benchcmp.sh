@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# benchcmp.sh — guard against render-path performance regressions.
+#
+# Runs the Fig. 7 / Fig. 4 render benchmarks and compares each ns/op
+# against the committed baseline in BENCH_render.json. Fails if any
+# benchmark is more than THRESHOLD_PCT slower than its baseline.
+#
+# Usage: scripts/benchcmp.sh [threshold_pct]   (default 20)
+#
+# CI shares hardware, so the baseline is only meaningful on comparable
+# machines; set BENCHCMP_SKIP=1 to run the benchmarks without enforcing
+# the threshold (smoke mode).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+THRESHOLD_PCT="${1:-20}"
+BASELINE="BENCH_render.json"
+
+if [ ! -f "$BASELINE" ]; then
+    echo "benchcmp: missing baseline $BASELINE" >&2
+    exit 1
+fi
+
+out=$(go test -run '^$' -bench 'Fig7Augmentation|Fig4CorpusRender' -benchtime 1s -cpu 1 . 2>&1)
+echo "$out"
+
+fail=0
+for name in BenchmarkFig7AugmentationExact BenchmarkFig7AugmentationCached \
+            BenchmarkFig4CorpusRenderExact BenchmarkFig4CorpusRenderCached; do
+    got=$(echo "$out" | awk -v n="$name" '$1 ~ "^"n"($|\\s)" {print $3; exit}')
+    if [ -z "$got" ]; then
+        echo "benchcmp: $name missing from benchmark output" >&2
+        fail=1
+        continue
+    fi
+    base=$(awk -v n="$name" '
+        $0 ~ "\"benchmark\": \""n"\"" {found=1}
+        found && /"ns_per_op"/ {gsub(/[^0-9]/, ""); print; exit}
+    ' "$BASELINE")
+    if [ -z "$base" ]; then
+        echo "benchcmp: $name missing from $BASELINE" >&2
+        fail=1
+        continue
+    fi
+    # integer arithmetic: got > base * (100 + threshold) / 100 ?
+    limit=$(( base * (100 + THRESHOLD_PCT) / 100 ))
+    pct=$(( (got - base) * 100 / base ))
+    status="ok"
+    if [ "${got%.*}" -gt "$limit" ]; then
+        status="REGRESSION"
+        fail=1
+    fi
+    printf '%-34s baseline %12d ns/op  now %12d ns/op  (%+d%%)  %s\n' \
+        "$name" "$base" "${got%.*}" "$pct" "$status"
+done
+
+if [ "${BENCHCMP_SKIP:-0}" = "1" ]; then
+    echo "benchcmp: BENCHCMP_SKIP=1, threshold not enforced"
+    exit 0
+fi
+if [ "$fail" -ne 0 ]; then
+    echo "benchcmp: render benchmarks regressed more than ${THRESHOLD_PCT}% vs $BASELINE" >&2
+    exit 1
+fi
+echo "benchcmp: all render benchmarks within ${THRESHOLD_PCT}% of baseline"
