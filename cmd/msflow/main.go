@@ -15,26 +15,39 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 
 	"specml/internal/experiments"
+	"specml/internal/obs"
 	"specml/internal/toolflow"
 )
 
+// logger carries the command's diagnostics; experiment tables stay on
+// stdout. Replaced by the -log-format flag in main.
+var logger = obs.NopLogger()
+
 func main() {
 	var (
-		table1  = flag.Bool("table1", false, "print the Table-1 network architecture")
-		fig5    = flag.Bool("fig5", false, "run the activation-function study (Fig. 5)")
-		fig6    = flag.Bool("fig6", false, "run the simulator sample-size study (Fig. 6)")
-		fig7    = flag.Bool("fig7", false, "run the final per-compound evaluation (Fig. 7)")
-		all     = flag.Bool("all", false, "run every MS experiment")
-		scale   = flag.String("scale", "laptop", "workload scale: quick | laptop | paper")
-		seed    = flag.Uint64("seed", 1, "experiment seed")
-		workers = flag.Int("workers", 0, "generation/training worker count (0 = all cores); results are identical for any value")
-		verbose = flag.Bool("v", false, "per-epoch training logs")
-		export  = flag.String("export", "", "with -fig7: write the trained network JSON to this file")
+		table1    = flag.Bool("table1", false, "print the Table-1 network architecture")
+		fig5      = flag.Bool("fig5", false, "run the activation-function study (Fig. 5)")
+		fig6      = flag.Bool("fig6", false, "run the simulator sample-size study (Fig. 6)")
+		fig7      = flag.Bool("fig7", false, "run the final per-compound evaluation (Fig. 7)")
+		all       = flag.Bool("all", false, "run every MS experiment")
+		scale     = flag.String("scale", "laptop", "workload scale: quick | laptop | paper")
+		seed      = flag.Uint64("seed", 1, "experiment seed")
+		workers   = flag.Int("workers", 0, "generation/training worker count (0 = all cores); results are identical for any value")
+		verbose   = flag.Bool("v", false, "per-epoch training logs")
+		export    = flag.String("export", "", "with -fig7: write the trained network JSON to this file")
+		logFormat = flag.String("log-format", "text", "diagnostic log format: text or json")
 	)
 	flag.Parse()
+
+	var lerr error
+	if logger, lerr = obs.NewLogger(os.Stderr, *logFormat, slog.LevelInfo); lerr != nil {
+		fmt.Fprintln(os.Stderr, "msflow:", lerr)
+		os.Exit(2)
+	}
 
 	sc, err := experiments.ParseScale(*scale)
 	if err != nil {
@@ -87,7 +100,7 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
-			fmt.Printf("trained network exported to %s\n", *export)
+			logger.Info("trained network exported", "path", *export)
 		}
 		fmt.Println()
 	}
@@ -98,6 +111,6 @@ func main() {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "msflow:", err)
+	logger.Error("msflow failed", "err", err)
 	os.Exit(1)
 }

@@ -12,24 +12,37 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 
 	"specml/internal/experiments"
+	"specml/internal/obs"
 )
+
+// logger carries the command's diagnostics; experiment tables stay on
+// stdout. Replaced by the -log-format flag in main.
+var logger = obs.NopLogger()
 
 func main() {
 	var (
-		ablation = flag.Bool("ablation", false, "run the augmentation ablation instead of the main comparison")
-		hybrid   = flag.Bool("hybrid", false, "run the CNN+LSTM hybrid extension instead of the main comparison")
-		quant    = flag.Bool("quant", false, "run the post-training quantization study instead of the main comparison")
-		scale    = flag.String("scale", "laptop", "workload scale: quick | laptop | paper")
-		seed     = flag.Uint64("seed", 1, "experiment seed")
-		workers  = flag.Int("workers", 0, "generation/training worker count (0 = all cores); results are identical for any value")
-		exact    = flag.Bool("exact-render", false, "force the legacy analytic peak renderer for corpus generation (slower, bit-identical to pre-render-engine corpora)")
-		oversamp = flag.Int("render-oversample", 0, "render-engine master-grid oversampling factor (0 = automatic)")
-		verbose  = flag.Bool("v", false, "per-epoch training logs")
+		ablation  = flag.Bool("ablation", false, "run the augmentation ablation instead of the main comparison")
+		hybrid    = flag.Bool("hybrid", false, "run the CNN+LSTM hybrid extension instead of the main comparison")
+		quant     = flag.Bool("quant", false, "run the post-training quantization study instead of the main comparison")
+		scale     = flag.String("scale", "laptop", "workload scale: quick | laptop | paper")
+		seed      = flag.Uint64("seed", 1, "experiment seed")
+		workers   = flag.Int("workers", 0, "generation/training worker count (0 = all cores); results are identical for any value")
+		exact     = flag.Bool("exact-render", false, "force the legacy analytic peak renderer for corpus generation (slower, bit-identical to pre-render-engine corpora)")
+		oversamp  = flag.Int("render-oversample", 0, "render-engine master-grid oversampling factor (0 = automatic)")
+		verbose   = flag.Bool("v", false, "per-epoch training logs")
+		logFormat = flag.String("log-format", "text", "diagnostic log format: text or json")
 	)
 	flag.Parse()
+
+	var lerr error
+	if logger, lerr = obs.NewLogger(os.Stderr, *logFormat, slog.LevelInfo); lerr != nil {
+		fmt.Fprintln(os.Stderr, "nmrflow:", lerr)
+		os.Exit(2)
+	}
 
 	sc, err := experiments.ParseScale(*scale)
 	if err != nil {
@@ -64,6 +77,6 @@ func main() {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "nmrflow:", err)
+	logger.Error("nmrflow failed", "err", err)
 	os.Exit(1)
 }

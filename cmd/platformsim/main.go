@@ -12,19 +12,32 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 
 	"specml/internal/experiments"
+	"specml/internal/obs"
 )
+
+// logger carries the command's diagnostics; experiment tables stay on
+// stdout. Replaced by the -log-format flag in main.
+var logger = obs.NopLogger()
 
 func main() {
 	var (
-		host     = flag.Bool("host", false, "also measure real inference latency on this machine")
-		section4 = flag.Bool("section4", false, "also estimate the Section-IV FPGA alternatives")
-		samples  = flag.Int("samples", 1000, "with -host: number of inferences to time")
-		seed     = flag.Uint64("seed", 1, "experiment seed")
+		host      = flag.Bool("host", false, "also measure real inference latency on this machine")
+		section4  = flag.Bool("section4", false, "also estimate the Section-IV FPGA alternatives")
+		samples   = flag.Int("samples", 1000, "with -host: number of inferences to time")
+		seed      = flag.Uint64("seed", 1, "experiment seed")
+		logFormat = flag.String("log-format", "text", "diagnostic log format: text or json")
 	)
 	flag.Parse()
+
+	var lerr error
+	if logger, lerr = obs.NewLogger(os.Stderr, *logFormat, slog.LevelInfo); lerr != nil {
+		fmt.Fprintln(os.Stderr, "platformsim:", lerr)
+		os.Exit(2)
+	}
 
 	cfg := experiments.Config{Seed: *seed}
 	if _, err := experiments.Table2(cfg, os.Stdout); err != nil {
@@ -45,6 +58,6 @@ func main() {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "platformsim:", err)
+	logger.Error("platformsim failed", "err", err)
 	os.Exit(1)
 }

@@ -23,6 +23,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -33,6 +34,7 @@ import (
 
 	"specml/internal/core"
 	"specml/internal/msim"
+	"specml/internal/obs"
 	"specml/internal/serve"
 )
 
@@ -50,11 +52,17 @@ func main() {
 		demoSize  = flag.Int("demo-samples", 400, "with -train-demo: training-corpus size")
 		seed      = flag.Uint64("seed", 1, "with -train-demo: training seed")
 		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (e.g. localhost:6060); off when empty")
+		logFormat = flag.String("log-format", "text", "diagnostic log format: text or json")
 	)
 	flag.Parse()
 
+	logger, err := obs.NewLogger(os.Stderr, *logFormat, slog.LevelInfo)
+	if err != nil {
+		fatal(err)
+	}
+
 	if *trainDemo != "" {
-		if err := trainDemoModel(*trainDemo, *demoSize, *seed, *workers); err != nil {
+		if err := trainDemoModel(logger, *trainDemo, *demoSize, *seed, *workers); err != nil {
 			fatal(err)
 		}
 		return
@@ -72,13 +80,13 @@ func main() {
 		ModelDir:           *models,
 		MaxSessions:        *maxSess,
 		SessionIdleTimeout: *sessIdle,
+		Logger:             logger,
 	})
 	if err != nil {
 		fatal(err)
 	}
 	for _, m := range srv.Registry().List() {
-		fmt.Printf("specserve: loaded model %q (in %d, out %d, %d params)\n",
-			m.Name, m.InputLen, m.OutputLen, m.Params)
+		logger.Info("loaded model", "model", m.Name, "in", m.InputLen, "out", m.OutputLen, "params", m.Params)
 	}
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
@@ -93,40 +101,39 @@ func main() {
 		pm.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		go func() {
 			if err := http.ListenAndServe(*pprofAddr, pm); err != nil {
-				fmt.Fprintln(os.Stderr, "specserve: pprof listener:", err)
+				logger.Error("pprof listener failed", "err", err)
 			}
 		}()
-		fmt.Printf("specserve: pprof on http://%s/debug/pprof/\n", *pprofAddr)
+		logger.Info("pprof listening", "url", fmt.Sprintf("http://%s/debug/pprof/", *pprofAddr))
 	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	fmt.Printf("specserve: listening on %s (max-batch %d, window %s, workers %d)\n",
-		*addr, *maxBatch, *window, *workers)
+	logger.Info("listening", "addr", *addr, "max_batch", *maxBatch, "window", *window, "workers", *workers)
 
 	select {
 	case sig := <-stop:
-		fmt.Printf("specserve: %s, draining...\n", sig)
+		logger.Info("signal received, draining", "signal", sig.String())
 	case err := <-errc:
 		fatal(err)
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil {
-		fmt.Fprintln(os.Stderr, "specserve: http shutdown:", err)
+		logger.Error("http shutdown failed", "err", err)
 	}
 	if err := srv.Close(ctx); err != nil {
-		fmt.Fprintln(os.Stderr, "specserve: drain:", err)
+		logger.Error("drain failed", "err", err)
 	}
-	fmt.Println("specserve: bye")
+	logger.Info("shutdown complete")
 }
 
 // trainDemoModel runs the laptop-scale MS pipeline end to end and exports
 // the trained Table-1 CNN, so a served model exists within seconds of a
 // fresh checkout.
-func trainDemoModel(dir string, samples int, seed uint64, workers int) error {
+func trainDemoModel(logger *slog.Logger, dir string, samples int, seed uint64, workers int) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
@@ -148,7 +155,7 @@ func trainDemoModel(dir string, samples int, seed uint64, workers int) error {
 	if err := pipe.Characterize(refs); err != nil {
 		return err
 	}
-	fmt.Printf("specserve: training demo model (%d samples)...\n", samples)
+	logger.Info("training demo model", "samples", samples)
 	res, err := pipe.Train(os.Stdout)
 	if err != nil {
 		return err
@@ -165,8 +172,7 @@ func trainDemoModel(dir string, samples int, seed uint64, workers int) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("specserve: wrote %s (val MAE %.4f); serve it with: specserve -models %s\n",
-		path, res.ValMAE, dir)
+	logger.Info("wrote demo model", "path", path, "val_mae", res.ValMAE, "serve_with", "specserve -models "+dir)
 	return nil
 }
 

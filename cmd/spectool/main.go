@@ -10,6 +10,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strconv"
 	"strings"
@@ -17,9 +18,14 @@ import (
 	"specml/internal/core"
 	"specml/internal/experiments"
 	"specml/internal/msim"
+	"specml/internal/obs"
 	"specml/internal/rng"
 	"specml/internal/store"
 )
+
+// logger carries the command's diagnostics; data tables stay on stdout.
+// Replaced by the -log-format flag in main.
+var logger = obs.NopLogger()
 
 func main() {
 	var (
@@ -33,8 +39,15 @@ func main() {
 		workers   = flag.Int("workers", 0, "generation/training worker count (0 = all cores); results are identical for any value")
 		exact     = flag.Bool("exact-render", false, "force the legacy analytic peak renderer for corpus generation (slower, bit-identical to pre-render-engine corpora)")
 		oversamp  = flag.Int("render-oversample", 0, "render-engine master-grid oversampling factor (0 = automatic)")
+		logFormat = flag.String("log-format", "text", "diagnostic log format: text or json")
 	)
 	flag.Parse()
+
+	var lerr error
+	if logger, lerr = obs.NewLogger(os.Stderr, *logFormat, slog.LevelInfo); lerr != nil {
+		fmt.Fprintln(os.Stderr, "spectool:", lerr)
+		os.Exit(2)
+	}
 
 	ran := false
 	if *fig4 {
@@ -192,15 +205,16 @@ func buildDemoStore(path string, seed uint64, workers int, exactRender bool) err
 	if err != nil {
 		return err
 	}
-	fmt.Printf("provenance store with %d documents written to %s\n", st.Len(), path)
-	fmt.Printf("inspect with: spectool -store %s\n", path)
+	logger.Info("provenance store written", "documents", st.Len(), "path", path,
+		"inspect_with", "spectool -store "+path)
 	for _, d := range st.Find("networks", nil) {
-		fmt.Printf("trace a network with: spectool -store %s -lineage %s\n", path, d.ID)
+		logger.Info("network recorded", "trace_with",
+			fmt.Sprintf("spectool -store %s -lineage %s", path, d.ID))
 	}
 	return nil
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "spectool:", err)
+	logger.Error("spectool failed", "err", err)
 	os.Exit(1)
 }

@@ -1,0 +1,42 @@
+package msim
+
+import (
+	"testing"
+
+	"specml/internal/obs"
+)
+
+// TestGenerateTrainingReportsMetrics checks the throughput counter and the
+// duration histogram land in the registry once per generation call, and
+// that instrumented generation yields the same corpus as uninstrumented.
+func TestGenerateTrainingReportsMetrics(t *testing.T) {
+	sim := taskSim(t)
+	model := DefaultTrueModel()
+	axis := DefaultAxis()
+	reg := obs.NewRegistry()
+
+	plain, err := GenerateTrainingWith(sim, model, axis, 6, 1, 11, 2, TrainingOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := GenerateTrainingWith(sim, model, axis, 6, 1, 11, 2, TrainingOptions{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain.X {
+		for j := range plain.X[i] {
+			if plain.X[i][j] != inst.X[i][j] {
+				t.Fatalf("instrumented corpus diverges at sample %d index %d", i, j)
+			}
+		}
+	}
+
+	c := reg.Counter("specml_corpus_samples_total", "", obs.L("source", "msim"))
+	if c.Value() != 6 {
+		t.Fatalf("samples counter = %d, want 6", c.Value())
+	}
+	h := reg.Histogram("specml_corpus_generate_seconds", "", corpusGenBuckets, obs.L("source", "msim"))
+	if h.Count() != 1 {
+		t.Fatalf("duration histogram count = %d, want 1", h.Count())
+	}
+}

@@ -3,9 +3,11 @@ package msim
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"specml/internal/dataset"
 	"specml/internal/fit"
+	"specml/internal/obs"
 	"specml/internal/parallel"
 	"specml/internal/rng"
 	"specml/internal/spectrum"
@@ -21,7 +23,15 @@ type TrainingOptions struct {
 	// truncating exact renderer lacks (values agree to ~1e-4 of the peak
 	// scale, dominated by that tail).
 	ExactRender bool
+	// Metrics, when non-nil, receives corpus-generation throughput:
+	// specml_corpus_samples_total{source="msim"} and a wall-clock
+	// specml_corpus_generate_seconds histogram. Recording happens once per
+	// generation call, never per sample.
+	Metrics *obs.Registry
 }
+
+// corpusGenBuckets spans 1ms..~2m of corpus-generation wall clock.
+var corpusGenBuckets = obs.ExponentialBuckets(1e-3, 2, 18)
 
 // renderCache holds the per-compound instrument-rendered templates on a
 // fixed axis. Measurement is linear in the line intensities — attenuation
@@ -98,7 +108,26 @@ func GenerateTrainingWith(sim *LineSimulator, model *InstrumentModel, axis spect
 // GenerateTrainingInto is GenerateTrainingWith writing into an existing
 // dataset, reusing its row storage (grow-only). On the cached path,
 // steady-state regeneration performs zero heap allocation per sample.
+// Generation runs under a pprof "corpus-msim" stage label (inherited by
+// the parallel workers) and, when opts.Metrics is set, reports samples and
+// duration through the registry.
 func GenerateTrainingInto(d *dataset.Dataset, sim *LineSimulator, model *InstrumentModel,
+	axis spectrum.Axis, n int, alpha float64, seed uint64, workers int, opts TrainingOptions) error {
+	start := time.Now()
+	err := obs.WithStage("corpus-msim", func() error {
+		return generateTrainingInto(d, sim, model, axis, n, alpha, seed, workers, opts)
+	})
+	if opts.Metrics != nil && err == nil {
+		opts.Metrics.Counter("specml_corpus_samples_total",
+			"Simulated training samples generated.", obs.L("source", "msim")).Add(uint64(n))
+		opts.Metrics.Histogram("specml_corpus_generate_seconds",
+			"Wall-clock duration of one corpus generation call.", corpusGenBuckets,
+			obs.L("source", "msim")).ObserveSince(start)
+	}
+	return err
+}
+
+func generateTrainingInto(d *dataset.Dataset, sim *LineSimulator, model *InstrumentModel,
 	axis spectrum.Axis, n int, alpha float64, seed uint64, workers int, opts TrainingOptions) error {
 	if n <= 0 {
 		return fmt.Errorf("msim: need a positive sample count, got %d", n)

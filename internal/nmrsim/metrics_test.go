@@ -1,0 +1,40 @@
+package nmrsim
+
+import (
+	"testing"
+
+	"specml/internal/obs"
+)
+
+// TestGenerateReportsMetrics checks Generate reports samples and duration
+// through the registry without changing the generated corpus.
+func TestGenerateReportsMetrics(t *testing.T) {
+	plain, err := defaultAugmenter().Generate(5, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	a := defaultAugmenter()
+	a.Metrics = reg
+	inst, err := a.Generate(5, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain.X {
+		for j := range plain.X[i] {
+			if plain.X[i][j] != inst.X[i][j] {
+				t.Fatalf("instrumented corpus diverges at sample %d index %d", i, j)
+			}
+		}
+	}
+
+	c := reg.Counter("specml_corpus_samples_total", "", obs.L("source", "nmrsim"))
+	if c.Value() != 5 {
+		t.Fatalf("samples counter = %d, want 5", c.Value())
+	}
+	h := reg.Histogram("specml_corpus_generate_seconds", "", corpusGenBuckets, obs.L("source", "nmrsim"))
+	if h.Count() != 1 {
+		t.Fatalf("duration histogram count = %d, want 1", h.Count())
+	}
+}

@@ -1,0 +1,65 @@
+package nn
+
+import (
+	"testing"
+
+	"specml/internal/obs"
+	"specml/internal/rng"
+)
+
+// TestFitReportsMetrics checks the epoch/sample counters, the epoch
+// duration histogram and the loss gauges after an instrumented fit, and
+// that instrumentation does not perturb the fitted weights.
+func TestFitReportsMetrics(t *testing.T) {
+	src := rng.New(3)
+	var xs, ys [][]float64
+	for i := 0; i < 40; i++ {
+		x := []float64{src.Normal(0, 1), src.Normal(0, 1)}
+		xs = append(xs, x)
+		ys = append(ys, []float64{x[0] - x[1]})
+	}
+	// Optimizers are stateful (Adam moments), so each fit gets a fresh one.
+	cfg := FitConfig{Epochs: 4, BatchSize: 8, Loss: MSE, Optimizer: NewAdam(0.01), Seed: 9,
+		ValX: xs[:8], ValY: ys[:8]}
+
+	plain := buildModel(t, 2, []int{2}, NewDense(1))
+	if _, err := plain.Fit(xs, ys, cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	cfg.Metrics = reg
+	cfg.Optimizer = NewAdam(0.01)
+	inst := buildModel(t, 2, []int{2}, NewDense(1))
+	hist, err := inst.Fit(xs, ys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pp, ip := plain.Params(), inst.Params()
+	for i := range pp {
+		for j := range pp[i].Data {
+			if pp[i].Data[j] != ip[i].Data[j] {
+				t.Fatalf("instrumented fit diverges at param %d index %d", i, j)
+			}
+		}
+	}
+
+	if v := reg.Counter("specml_fit_epochs_total", "").Value(); v != 4 {
+		t.Fatalf("epochs counter = %d, want 4", v)
+	}
+	if v := reg.Counter("specml_fit_samples_total", "").Value(); v != 4*40 {
+		t.Fatalf("samples counter = %d, want %d", v, 4*40)
+	}
+	if h := reg.Histogram("specml_fit_epoch_seconds", "", fitEpochBuckets); h.Count() != 4 {
+		t.Fatalf("epoch histogram count = %d, want 4", h.Count())
+	}
+	wantTrain := hist.TrainLoss[len(hist.TrainLoss)-1]
+	if g := reg.Gauge("specml_fit_train_loss", "").Value(); g != wantTrain {
+		t.Fatalf("train loss gauge = %g, want %g", g, wantTrain)
+	}
+	wantVal := hist.ValLoss[len(hist.ValLoss)-1]
+	if g := reg.Gauge("specml_fit_val_loss", "").Value(); g != wantVal {
+		t.Fatalf("val loss gauge = %g, want %g", g, wantVal)
+	}
+}

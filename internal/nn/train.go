@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"time"
 
+	"specml/internal/obs"
 	"specml/internal/parallel"
 	"specml/internal/rng"
 )
@@ -41,6 +43,35 @@ type FitConfig struct {
 	// so the fit is bit-identical for any worker count: equal seeds and
 	// data produce equal models regardless of Workers or GOMAXPROCS.
 	Workers int
+	// Metrics, when non-nil, receives training progress: epoch and sample
+	// throughput counters, an epoch-duration histogram and the latest
+	// train/validation losses as gauges. Recording is off the per-sample
+	// hot path (once per epoch), so instrumented fits are not slower.
+	Metrics *obs.Registry
+}
+
+// fitMetrics bundles the instruments Fit records into, resolved once per
+// call so the epoch loop records without registry lookups.
+type fitMetrics struct {
+	epochs       *obs.Counter
+	samples      *obs.Counter
+	epochSeconds *obs.Histogram
+	trainLoss    *obs.Gauge
+	valLoss      *obs.Gauge
+}
+
+// fitEpochBuckets spans 1ms..~2m, covering toy fits through full corpus
+// epochs.
+var fitEpochBuckets = obs.ExponentialBuckets(1e-3, 2, 18)
+
+func newFitMetrics(reg *obs.Registry) *fitMetrics {
+	return &fitMetrics{
+		epochs:       reg.Counter("specml_fit_epochs_total", "Training epochs completed."),
+		samples:      reg.Counter("specml_fit_samples_total", "Training samples processed (epochs x dataset size)."),
+		epochSeconds: reg.Histogram("specml_fit_epoch_seconds", "Wall-clock duration of one training epoch.", fitEpochBuckets),
+		trainLoss:    reg.Gauge("specml_fit_train_loss", "Training loss of the most recent epoch."),
+		valLoss:      reg.Gauge("specml_fit_val_loss", "Validation loss of the most recent epoch."),
+	}
 }
 
 // History records per-epoch training metrics.
@@ -52,8 +83,23 @@ type History struct {
 }
 
 // Fit trains the model with mini-batch gradient descent. X and Y hold one
-// flat sample per row.
+// flat sample per row. The whole fit runs under a pprof "fit" stage label
+// (inherited by the data-parallel workers), so CPU profiles attribute
+// training time even when a fit shares its process with serving.
 func (m *Model) Fit(x, y [][]float64, cfg FitConfig) (*History, error) {
+	var hist *History
+	err := obs.WithStage("fit", func() error {
+		var ferr error
+		hist, ferr = m.fit(x, y, cfg)
+		return ferr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return hist, nil
+}
+
+func (m *Model) fit(x, y [][]float64, cfg FitConfig) (*History, error) {
 	if !m.built {
 		return nil, fmt.Errorf("nn: Fit before Build")
 	}
@@ -174,7 +220,13 @@ func (m *Model) Fit(x, y [][]float64, cfg FitConfig) (*History, error) {
 		}
 	}
 
+	var mx *fitMetrics
+	if cfg.Metrics != nil {
+		mx = newFitMetrics(cfg.Metrics)
+	}
+
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		epochStart := time.Now()
 		if cfg.LRSchedule != nil {
 			cfg.Optimizer.(LRSettable).SetLR(cfg.LRSchedule(epoch))
 		}
@@ -286,6 +338,12 @@ func (m *Model) Fit(x, y [][]float64, cfg FitConfig) (*History, error) {
 		m.SetTraining(false)
 		epochLoss /= float64(len(idx))
 		hist.TrainLoss = append(hist.TrainLoss, epochLoss)
+		if mx != nil {
+			mx.epochs.Inc()
+			mx.samples.Add(uint64(len(idx)))
+			mx.epochSeconds.ObserveSince(epochStart)
+			mx.trainLoss.Set(epochLoss)
+		}
 
 		if len(cfg.ValX) > 0 {
 			var valLoss float64
@@ -299,6 +357,9 @@ func (m *Model) Fit(x, y [][]float64, cfg FitConfig) (*History, error) {
 				return nil, verr
 			}
 			hist.ValLoss = append(hist.ValLoss, valLoss)
+			if mx != nil {
+				mx.valLoss.Set(valLoss)
+			}
 			if cfg.Verbose != nil {
 				fmt.Fprintf(cfg.Verbose, "epoch %3d  train=%.6f  val=%.6f\n", epoch+1, epochLoss, valLoss)
 			}

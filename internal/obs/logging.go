@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"runtime/pprof"
+)
+
+// NewLogger builds a slog.Logger writing to w in the given format: "text"
+// (or empty) for logfmt-style key=value lines, "json" for one JSON object
+// per line — the value space of the cmd/* -log-format flag.
+func NewLogger(w io.Writer, format string, level slog.Level) (*slog.Logger, error) {
+	opts := &slog.HandlerOptions{Level: level}
+	switch format {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (want json or text)", format)
+	}
+}
+
+// NopLogger returns a logger that discards everything — the default for
+// library code when the caller wires no logger.
+func NopLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.LevelError + 128}))
+}
+
+// WithStage runs fn with a pprof "stage" label on the current goroutine
+// (inherited by any goroutine fn spawns, including parallel.For workers),
+// so CPU and heap profiles attribute time to pipeline stages. The previous
+// label set is restored when fn returns.
+func WithStage(stage string, fn func() error) error {
+	var err error
+	pprof.Do(context.Background(), pprof.Labels("stage", stage), func(context.Context) {
+		err = fn()
+	})
+	return err
+}
+
+// LabelGoroutine permanently tags the current goroutine with alternating
+// key/value pprof labels — for long-lived goroutines (dispatcher loops,
+// sweepers) that are started once and never return.
+func LabelGoroutine(kv ...string) {
+	pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(), pprof.Labels(kv...)))
+}

@@ -1,0 +1,364 @@
+// Package obs is the dependency-free observability core of the library:
+// atomic counters, float gauges and fixed-bucket histograms collected in a
+// Registry that exposes them in the Prometheus text format, plus the slog
+// and pprof-label plumbing shared by the servers and pipelines.
+//
+// The hot paths are lock-free: Counter.Inc, Gauge.Set and
+// Histogram.Observe are a handful of atomic operations and never allocate,
+// so metric recording is safe inside the per-request serving path and the
+// per-sample generation loops. The registry lock is only taken when a
+// metric is created (cold: once per name/label set, get-or-create) and
+// when the family table is snapshotted for exposition.
+//
+// Metrics are identified by name plus a fixed, sorted label set baked in
+// at creation — there is no per-observation label hashing, which is what
+// keeps recording allocation-free. Callers that need a per-entity metric
+// (e.g. per-model request counters) create one instrument per entity up
+// front and hold the pointer.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Label is one constant key/value pair attached to a metric at creation.
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Counter is a monotonically increasing counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a float64 value that can go up and down, stored as atomic bits.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds delta (CAS loop; contended adds retry, they never lock).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into fixed buckets. Bounds are inclusive
+// upper bounds in ascending order; observations above the last bound land
+// in the implicit +Inf bucket. Observe is lock-free and allocation-free.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1, last is +Inf
+	sum    atomic.Uint64   // float64 bits, CAS-accumulated
+	total  atomic.Uint64
+}
+
+// Observe records one value. NaN observations are dropped: a poisoned
+// value must not corrupt the sum for every scrape that follows.
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.total.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the elapsed time since t0 in seconds — the standard
+// unit of Prometheus latency histograms.
+func (h *Histogram) ObserveSince(t0 time.Time) {
+	h.Observe(time.Since(t0).Seconds())
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.total.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// ExponentialBuckets returns n bucket bounds starting at start, each
+// factor times the previous. start must be positive and factor > 1.
+func ExponentialBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic(fmt.Sprintf("obs: invalid exponential buckets (start %g, factor %g, n %d)", start, factor, n))
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = start
+		start *= factor
+	}
+	return b
+}
+
+// LinearBuckets returns n bucket bounds starting at start, spaced width
+// apart.
+func LinearBuckets(start, width float64, n int) []float64 {
+	if width <= 0 || n < 1 {
+		panic(fmt.Sprintf("obs: invalid linear buckets (width %g, n %d)", width, n))
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = start + float64(i)*width
+	}
+	return b
+}
+
+// LatencyBuckets spans 50µs to ~1.6s doubling per bucket — wide enough
+// for a micro-batched forward pass on one end and a cold model load on
+// the other.
+var LatencyBuckets = ExponentialBuckets(50e-6, 2, 16)
+
+// SizeBuckets suits small count distributions such as coalesced batch
+// sizes (1 to 128 doubling).
+var SizeBuckets = ExponentialBuckets(1, 2, 8)
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge, kindGaugeFunc:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// child is one labeled instrument inside a family.
+type child struct {
+	labels []Label // sorted by key
+	key    string  // canonical label encoding, sort key
+
+	counter *Counter
+	gauge   *Gauge
+	fn      func() float64
+	hist    *Histogram
+}
+
+// family groups every child sharing one metric name (and therefore one
+// type and help string).
+type family struct {
+	name     string
+	help     string
+	kind     metricKind
+	bounds   []float64 // histograms: shared bucket bounds
+	children map[string]*child
+}
+
+// Registry holds metric families and exposes them; the zero value is not
+// usable, create with NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// Counter returns the counter for name+labels, creating it on first use.
+// It panics if name is already registered as a different metric type —
+// that is a programming error, not a runtime condition.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	c := r.child(name, help, kindCounter, nil, labels)
+	return c.counter
+}
+
+// Gauge returns the gauge for name+labels, creating it on first use.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	c := r.child(name, help, kindGauge, nil, labels)
+	return c.gauge
+}
+
+// GaugeFunc registers fn to be evaluated at every exposition for
+// name+labels. Re-registering the same name+labels replaces the function,
+// so an entity that is rebuilt (e.g. a reloaded model's queue) can point
+// its gauge at the fresh state.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	c := r.child(name, help, kindGaugeFunc, nil, labels)
+	r.mu.Lock()
+	c.fn = fn
+	r.mu.Unlock()
+}
+
+// Histogram returns the histogram for name+labels, creating it on first
+// use. Every histogram of one name shares the same bucket bounds; a
+// mismatch panics.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	if len(bounds) == 0 {
+		panic("obs: histogram needs at least one bucket bound")
+	}
+	for i, b := range bounds {
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			panic(fmt.Sprintf("obs: histogram %q bound %d is not finite (the +Inf bucket is implicit)", name, i))
+		}
+		if i > 0 && b <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q bounds not ascending at %d", name, i))
+		}
+	}
+	c := r.child(name, help, kindHistogram, bounds, labels)
+	return c.hist
+}
+
+// child implements get-or-create for every metric type.
+func (r *Registry) child(name, help string, kind metricKind, bounds []float64, labels []Label) *child {
+	if !validMetricName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	sorted := make([]Label, len(labels))
+	copy(sorted, labels)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+	for i, l := range sorted {
+		if !validLabelName(l.Key) {
+			panic(fmt.Sprintf("obs: invalid label name %q on metric %q", l.Key, name))
+		}
+		if i > 0 && sorted[i-1].Key == l.Key {
+			panic(fmt.Sprintf("obs: duplicate label %q on metric %q", l.Key, name))
+		}
+	}
+	key := labelKey(sorted)
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, children: make(map[string]*child)}
+		if kind == kindHistogram {
+			f.bounds = append([]float64(nil), bounds...)
+		}
+		r.families[name] = f
+	}
+	if f.kind != kind && !(f.kind == kindGauge && kind == kindGaugeFunc) &&
+		!(f.kind == kindGaugeFunc && kind == kindGauge) {
+		panic(fmt.Sprintf("obs: metric %q re-registered as %s, was %s", name, kind, f.kind))
+	}
+	if kind == kindHistogram && !equalBounds(f.bounds, bounds) {
+		panic(fmt.Sprintf("obs: histogram %q re-registered with different bounds", name))
+	}
+	c, ok := f.children[key]
+	if !ok {
+		c = &child{labels: sorted, key: key}
+		switch kind {
+		case kindCounter:
+			c.counter = &Counter{}
+		case kindGauge:
+			c.gauge = &Gauge{}
+		case kindGaugeFunc:
+			// fn is installed by the caller under the registry lock.
+		case kindHistogram:
+			c.hist = &Histogram{bounds: f.bounds, counts: make([]atomic.Uint64, len(f.bounds)+1)}
+		}
+		f.children[key] = c
+	}
+	return c
+}
+
+func equalBounds(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// labelKey canonically encodes a sorted label set.
+func labelKey(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+	}
+	return b.String()
+}
+
+// validMetricName follows the Prometheus data model:
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// validLabelName is validMetricName without the colon.
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		ok := r == '_' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

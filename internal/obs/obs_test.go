@@ -1,0 +1,214 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestHistogramBucketBoundaries pins the inclusive-upper-bound contract:
+// a value equal to a bound lands in that bound's bucket, a value just
+// above it in the next, and anything beyond the last bound in +Inf.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_seconds", "t", []float64{1, 2, 5})
+	cases := []struct {
+		v      float64
+		bucket int
+	}{
+		{0, 0}, {0.5, 0}, {1, 0}, // le="1" is inclusive
+		{1.0000001, 1}, {2, 1},
+		{2.5, 2}, {5, 2},
+		{5.0001, 3}, {1e9, 3}, // overflow -> +Inf
+		{-3, 0}, // below the first bound still counts there
+	}
+	for _, c := range cases {
+		before := make([]uint64, len(h.counts))
+		for i := range h.counts {
+			before[i] = h.counts[i].Load()
+		}
+		h.Observe(c.v)
+		for i := range h.counts {
+			want := before[i]
+			if i == c.bucket {
+				want++
+			}
+			if got := h.counts[i].Load(); got != want {
+				t.Fatalf("Observe(%g): bucket %d count = %d, want %d", c.v, i, got, want)
+			}
+		}
+	}
+	if h.Count() != uint64(len(cases)) {
+		t.Fatalf("Count = %d, want %d", h.Count(), len(cases))
+	}
+}
+
+func TestHistogramSumAndNaN(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_sum", "t", []float64{10})
+	h.Observe(1.5)
+	h.Observe(2.25)
+	h.Observe(math.NaN()) // dropped
+	if got := h.Sum(); got != 3.75 {
+		t.Fatalf("Sum = %g, want 3.75", got)
+	}
+	if got := h.Count(); got != 2 {
+		t.Fatalf("Count = %d, want 2 (NaN must be dropped)", got)
+	}
+}
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs_total", "t")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	g := r.Gauge("depth", "t")
+	g.Set(2.5)
+	g.Add(-1)
+	if g.Value() != 1.5 {
+		t.Fatalf("gauge = %g, want 1.5", g.Value())
+	}
+}
+
+// TestGetOrCreate: same name+labels returns the same instrument; different
+// labels return distinct ones.
+func TestGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "t", L("model", "a"))
+	b := r.Counter("x_total", "t", L("model", "b"))
+	if a == b {
+		t.Fatal("distinct label sets must give distinct counters")
+	}
+	if again := r.Counter("x_total", "t", L("model", "a")); again != a {
+		t.Fatal("same name+labels must return the same counter")
+	}
+	// Label order must not matter.
+	h1 := r.Histogram("h_seconds", "t", []float64{1}, L("a", "1"), L("b", "2"))
+	h2 := r.Histogram("h_seconds", "t", []float64{1}, L("b", "2"), L("a", "1"))
+	if h1 != h2 {
+		t.Fatal("label order must not change metric identity")
+	}
+}
+
+func TestTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m_total", "t")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge must panic")
+		}
+	}()
+	r.Gauge("m_total", "t")
+}
+
+func TestHistogramBoundsMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("h_seconds", "t", []float64{1, 2})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a histogram with different bounds must panic")
+		}
+	}()
+	r.Histogram("h_seconds", "t", []float64{1, 3})
+}
+
+func TestInvalidNamesPanic(t *testing.T) {
+	r := NewRegistry()
+	for _, bad := range []string{"", "9lead", "sp ace", "dash-ed"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("metric name %q must panic", bad)
+				}
+			}()
+			r.Counter(bad, "t")
+		}()
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid label name must panic")
+		}
+	}()
+	r.Counter("fine_total", "t", L("bad-key", "v"))
+}
+
+func TestBucketConstructors(t *testing.T) {
+	exp := ExponentialBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	for i := range want {
+		if exp[i] != want[i] {
+			t.Fatalf("ExponentialBuckets = %v, want %v", exp, want)
+		}
+	}
+	lin := LinearBuckets(10, 5, 3)
+	want = []float64{10, 15, 20}
+	for i := range want {
+		if lin[i] != want[i] {
+			t.Fatalf("LinearBuckets = %v, want %v", lin, want)
+		}
+	}
+}
+
+// TestRecordingDoesNotAllocate is the zero-alloc contract of the hot
+// path: once created, counters, gauges and histograms record without
+// touching the heap.
+func TestRecordingDoesNotAllocate(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hot_total", "t", L("model", "m"))
+	g := r.Gauge("hot_gauge", "t")
+	h := r.Histogram("hot_seconds", "t", LatencyBuckets)
+	t0 := time.Now()
+	if n := testing.AllocsPerRun(100, func() {
+		c.Inc()
+		g.Set(3)
+		h.Observe(0.001)
+		h.ObserveSince(t0)
+	}); n != 0 {
+		t.Fatalf("hot-path recording allocates %.1f objects/op, want 0", n)
+	}
+}
+
+func TestGaugeFuncReplaced(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("live", "t", func() float64 { return 1 })
+	r.GaugeFunc("live", "t", func() float64 { return 2 })
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "live 2\n") {
+		t.Fatalf("re-registered gauge func not used:\n%s", sb.String())
+	}
+}
+
+func TestConcurrentRecordingAndScrape(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("conc_seconds", "t", LatencyBuckets)
+	c := r.Counter("conc_total", "t")
+	done := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		go func() {
+			for i := 0; i < 2000; i++ {
+				h.Observe(float64(i) * 1e-5)
+				c.Inc()
+			}
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < 50; i++ {
+		var sb strings.Builder
+		if err := r.WritePrometheus(&sb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for w := 0; w < 4; w++ {
+		<-done
+	}
+	if c.Value() != 8000 || h.Count() != 8000 {
+		t.Fatalf("lost updates: counter %d, histogram %d, want 8000", c.Value(), h.Count())
+	}
+}

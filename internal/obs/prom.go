@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus writes every registered metric in the Prometheus text
+// exposition format (version 0.0.4): families sorted by name, children
+// sorted by label set, histograms expanded into cumulative _bucket
+// samples plus _sum and _count.
+//
+// The family table is snapshotted under the registry lock, but values are
+// read atomically and gauge functions are evaluated after the lock is
+// released — a slow scrape (or a gauge function that takes other locks)
+// never blocks metric creation, and lock ordering with caller locks
+// cannot deadlock.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	type snapFamily struct {
+		family
+		kids []*child
+	}
+	r.mu.Lock()
+	fams := make([]snapFamily, 0, len(r.families))
+	for _, f := range r.families {
+		sf := snapFamily{family: *f, kids: make([]*child, 0, len(f.children))}
+		for _, c := range f.children {
+			sf.kids = append(sf.kids, c)
+		}
+		fams = append(fams, sf)
+	}
+	r.mu.Unlock()
+
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	var b strings.Builder
+	for _, f := range fams {
+		sort.Slice(f.kids, func(i, j int) bool { return f.kids[i].key < f.kids[j].key })
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		for _, c := range f.kids {
+			switch f.kind {
+			case kindCounter:
+				b.WriteString(f.name)
+				writeLabels(&b, c.labels, "", 0)
+				b.WriteByte(' ')
+				b.WriteString(strconv.FormatUint(c.counter.Value(), 10))
+				b.WriteByte('\n')
+			case kindGauge, kindGaugeFunc:
+				v := 0.0
+				if c.gauge != nil {
+					v = c.gauge.Value()
+				} else if c.fn != nil {
+					v = c.fn()
+				}
+				b.WriteString(f.name)
+				writeLabels(&b, c.labels, "", 0)
+				b.WriteByte(' ')
+				b.WriteString(formatFloat(v))
+				b.WriteByte('\n')
+			case kindHistogram:
+				// Cumulative bucket counts; the +Inf bucket equals _count.
+				// Bucket counters are read once each: a concurrent Observe
+				// may land between reads, so _count is re-derived from the
+				// same reads to keep the series self-consistent.
+				cum := uint64(0)
+				for i, bound := range c.hist.bounds {
+					cum += c.hist.counts[i].Load()
+					b.WriteString(f.name)
+					b.WriteString("_bucket")
+					writeLabels(&b, c.labels, "le", bound)
+					b.WriteByte(' ')
+					b.WriteString(strconv.FormatUint(cum, 10))
+					b.WriteByte('\n')
+				}
+				cum += c.hist.counts[len(c.hist.bounds)].Load()
+				b.WriteString(f.name)
+				b.WriteString("_bucket")
+				writeLabels(&b, c.labels, "le", infBound)
+				b.WriteByte(' ')
+				b.WriteString(strconv.FormatUint(cum, 10))
+				b.WriteByte('\n')
+				b.WriteString(f.name)
+				b.WriteString("_sum")
+				writeLabels(&b, c.labels, "", 0)
+				b.WriteByte(' ')
+				b.WriteString(formatFloat(c.hist.Sum()))
+				b.WriteByte('\n')
+				b.WriteString(f.name)
+				b.WriteString("_count")
+				writeLabels(&b, c.labels, "", 0)
+				b.WriteByte(' ')
+				b.WriteString(strconv.FormatUint(cum, 10))
+				b.WriteByte('\n')
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// infBound is the sentinel passed to writeLabels for the +Inf bucket;
+// finite bounds are enforced at histogram creation, so it cannot collide
+// with a real bucket bound.
+var infBound = math.Inf(1)
+
+// Handler returns an http.Handler serving the exposition, for mounting at
+// /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// writeLabels renders {k="v",...}; leKey, when non-empty, appends the
+// histogram le label with leBound (infBound meaning +Inf). Nothing is
+// written for an empty label set without le.
+func writeLabels(b *strings.Builder, labels []Label, leKey string, leBound float64) {
+	if len(labels) == 0 && leKey == "" {
+		return
+	}
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	if leKey != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(leKey)
+		b.WriteString(`="`)
+		if math.IsInf(leBound, 1) {
+			b.WriteString("+Inf")
+		} else {
+			b.WriteString(formatFloat(leBound))
+		}
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+}
+
+// formatFloat renders a sample value the way Prometheus clients do:
+// shortest round-trip representation.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes backslash and newline in HELP text.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes backslash, double quote and newline in label values.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

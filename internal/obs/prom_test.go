@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
+
+// goldenRegistry builds a registry with one deterministic instance of
+// every metric type and label shape the exposition writer handles.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("specserve_model_requests_total", "Requests routed per model.", L("model", "ms-demo")).Add(42)
+	r.Counter("specserve_model_requests_total", "Requests routed per model.", L("model", "nmr")).Add(7)
+	r.Counter("plain_total", "A label-free counter.").Add(3)
+	r.Gauge("specserve_queue_depth", "Queued requests per model batcher.", L("model", "ms-demo")).Set(5)
+	r.GaugeFunc("specserve_monitor_sessions", "Live monitor sessions.", func() float64 { return 2 })
+	r.Gauge("tricky_gauge", "Escapes: backslash \\ and\nnewline.", L("path", `C:\tmp`), L("q", `say "hi"`)).Set(1.5)
+
+	h := r.Histogram("specserve_stage_seconds", "Stage latency.", []float64{0.001, 0.01, 0.1}, L("stage", "forward"))
+	h.Observe(0.0005)
+	h.Observe(0.001) // boundary: lands in le="0.001"
+	h.Observe(0.05)
+	h.Observe(3) // +Inf
+	r.Histogram("specserve_stage_seconds", "Stage latency.", []float64{0.001, 0.01, 0.1}, L("stage", "decode")).Observe(0.02)
+	return r
+}
+
+// TestExpositionGolden pins the exposition bytes. The format is consumed
+// by external scrapers, so accidental drift is a wire-format break;
+// regenerate intentionally with -update-golden.
+func TestExpositionGolden(t *testing.T) {
+	var sb strings.Builder
+	if err := goldenRegistry().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	path := filepath.Join("testdata", "exposition.golden.txt")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (regenerate with: go test -run ExpositionGolden -update-golden ./internal/obs)", err)
+	}
+	if got != string(want) {
+		t.Fatalf("exposition format drifted from %s.\n"+
+			"If the change is intentional, regenerate with -update-golden.\ngot:\n%s\nwant:\n%s",
+			path, got, want)
+	}
+}
+
+// TestExpositionShape spot-checks structural properties independent of the
+// golden bytes: cumulative buckets, +Inf == _count, HELP/TYPE ordering.
+func TestExpositionShape(t *testing.T) {
+	var sb strings.Builder
+	if err := goldenRegistry().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`specserve_stage_seconds_bucket{stage="forward",le="0.001"} 2`,
+		`specserve_stage_seconds_bucket{stage="forward",le="0.01"} 2`,
+		`specserve_stage_seconds_bucket{stage="forward",le="0.1"} 3`,
+		`specserve_stage_seconds_bucket{stage="forward",le="+Inf"} 4`,
+		`specserve_stage_seconds_count{stage="forward"} 4`,
+		"# TYPE specserve_stage_seconds histogram",
+		"# TYPE specserve_queue_depth gauge",
+		"# TYPE plain_total counter",
+		"plain_total 3",
+		"specserve_monitor_sessions 2",
+		`tricky_gauge{path="C:\\tmp",q="say \"hi\""} 1.5`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Families must appear in sorted order.
+	if strings.Index(out, "# TYPE plain_total") > strings.Index(out, "# TYPE specserve_monitor_sessions") {
+		t.Fatalf("families not sorted by name:\n%s", out)
+	}
+}

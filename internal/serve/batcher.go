@@ -4,8 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 	"time"
+
+	"specml/internal/obs"
 )
 
 // ErrBatcherClosed is returned by Batcher.Predict after Close.
@@ -13,8 +16,9 @@ var ErrBatcherClosed = errors.New("serve: batcher closed")
 
 // request is one enqueued forward pass awaiting a batch slot.
 type request struct {
-	x    []float64
-	resp chan response
+	x        []float64
+	enqueued time.Time // batch_wait stage starts here
+	resp     chan response
 }
 
 type response struct {
@@ -40,6 +44,9 @@ type Batcher struct {
 	window   time.Duration
 	run      func([][]float64) ([][]float64, error)
 	stats    *Stats
+	model    string        // pprof/metrics label; empty for bare batchers
+	mx       *serveMetrics // nil disables obs recording
+	logger   *slog.Logger
 
 	mu       sync.Mutex
 	closed   bool
@@ -58,14 +65,30 @@ type Batcher struct {
 // already queued). stats may be nil.
 func NewBatcher(maxBatch int, window time.Duration, stats *Stats,
 	run func([][]float64) ([][]float64, error)) *Batcher {
+	return newBatcher(maxBatch, window, stats, run, "", nil, nil)
+}
+
+// newBatcher is NewBatcher plus the observability wiring: a model label
+// for pprof/metrics attribution, the server's obs instruments and a
+// structured logger. Everything is installed before the dispatcher
+// goroutine starts, so no field needs locking.
+func newBatcher(maxBatch int, window time.Duration, stats *Stats,
+	run func([][]float64) ([][]float64, error),
+	model string, mx *serveMetrics, logger *slog.Logger) *Batcher {
 	if maxBatch <= 0 {
 		maxBatch = 32
+	}
+	if logger == nil {
+		logger = obs.NopLogger()
 	}
 	b := &Batcher{
 		maxBatch: maxBatch,
 		window:   window,
 		run:      run,
 		stats:    stats,
+		model:    model,
+		mx:       mx,
+		logger:   logger,
 		reqs:     make(chan *request, 4*maxBatch),
 		done:     make(chan struct{}),
 	}
@@ -86,7 +109,7 @@ func (b *Batcher) Predict(ctx context.Context, x []float64) ([]float64, error) {
 	b.inflight.Add(1)
 	b.mu.Unlock()
 
-	r := &request{x: x, resp: make(chan response, 1)}
+	r := &request{x: x, enqueued: time.Now(), resp: make(chan response, 1)}
 	select {
 	case b.reqs <- r:
 		b.inflight.Done()
@@ -121,8 +144,11 @@ func (b *Batcher) Close() {
 	<-b.done
 }
 
-// loop collects requests into batches and flushes them.
+// loop collects requests into batches and flushes them. The goroutine is
+// pprof-labeled so CPU profiles attribute forward-pass time to the model
+// whose dispatcher ran it.
 func (b *Batcher) loop() {
+	obs.LabelGoroutine("stage", "batch-dispatch", "model", b.model)
 	defer close(b.done)
 	for {
 		first, ok := <-b.reqs
@@ -182,9 +208,23 @@ func (b *Batcher) flush(batch []*request) {
 	for i, r := range batch {
 		xs[i] = r.x
 	}
+	var start time.Time
+	if b.mx != nil {
+		start = time.Now()
+		for _, r := range batch {
+			b.mx.stBatchWait.Observe(start.Sub(r.enqueued).Seconds())
+		}
+	}
 	ys, err := b.runSafe(xs)
 	if err == nil && len(ys) != len(batch) {
 		err = errors.New("serve: batch run returned wrong result count")
+	}
+	if b.mx != nil {
+		b.mx.stForward.ObserveSince(start)
+		b.mx.batchSize.Observe(float64(len(batch)))
+	}
+	if err != nil {
+		b.logger.Error("batch flush failed", "model", b.model, "batch", len(batch), "err", err)
 	}
 	if b.stats != nil {
 		b.stats.RecordBatch(len(batch))

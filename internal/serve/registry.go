@@ -3,6 +3,7 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
@@ -11,6 +12,7 @@ import (
 	"time"
 
 	"specml/internal/nn"
+	"specml/internal/obs"
 )
 
 // ErrModelReloaded reports that a hot reload swapped in a model whose input
@@ -45,6 +47,10 @@ type modelEntry struct {
 	model    *nn.Model
 	loadedAt time.Time
 	batcher  *Batcher
+
+	// reqs/errs are this model's obs counters, resolved once at entry
+	// creation so the predict hot path records without registry lookups.
+	reqs, errs *obs.Counter
 }
 
 // current returns the entry's model at this instant.
@@ -72,6 +78,8 @@ type Registry struct {
 	maxBatch int
 	window   time.Duration
 	stats    *Stats
+	mx       *serveMetrics // nil disables obs recording
+	logger   *slog.Logger
 
 	mu      sync.RWMutex
 	dir     string
@@ -79,12 +87,18 @@ type Registry struct {
 }
 
 // newRegistry wires batching parameters shared by every model's batcher.
-func newRegistry(maxBatch int, window time.Duration, workers int, stats *Stats) *Registry {
+func newRegistry(maxBatch int, window time.Duration, workers int, stats *Stats,
+	mx *serveMetrics, logger *slog.Logger) *Registry {
+	if logger == nil {
+		logger = obs.NopLogger()
+	}
 	return &Registry{
 		workers:  workers,
 		maxBatch: maxBatch,
 		window:   window,
 		stats:    stats,
+		mx:       mx,
+		logger:   logger,
 		entries:  make(map[string]*modelEntry),
 	}
 }
@@ -93,7 +107,7 @@ func newRegistry(maxBatch int, window time.Duration, workers int, stats *Stats) 
 // entry's current model per flush so reloads take effect immediately.
 func (r *Registry) newEntry(name, source string, m *nn.Model) *modelEntry {
 	e := &modelEntry{name: name, source: source, model: m, loadedAt: time.Now()}
-	e.batcher = NewBatcher(r.maxBatch, r.window, r.stats, func(xs [][]float64) ([][]float64, error) {
+	e.batcher = newBatcher(r.maxBatch, r.window, r.stats, func(xs [][]float64) ([][]float64, error) {
 		// One snapshot per flush: every row is validated against the exact
 		// model that will run the batch. Requests are preprocessed to the
 		// width current at enqueue time, so a hot reload that changes the
@@ -108,7 +122,19 @@ func (r *Registry) newEntry(name, source string, m *nn.Model) *modelEntry {
 			}
 		}
 		return m.PredictBatch(xs, r.workers)
-	})
+	}, name, r.mx, r.logger)
+	if r.mx != nil {
+		e.reqs, e.errs = r.mx.modelCounters(name)
+		// The gauge closes over this entry's batcher; if the model is later
+		// dropped by a reload, the series keeps reporting the drained
+		// queue's depth (0) rather than disappearing mid-scrape. A model
+		// re-registered under the same name re-registers the func, pointing
+		// the series at the fresh batcher.
+		b := e.batcher
+		r.mx.reg.GaugeFunc("specserve_queue_depth",
+			"Requests queued in a model's micro-batcher.",
+			func() float64 { return float64(len(b.reqs)) }, obs.L("model", name))
+	}
 	return e
 }
 
@@ -146,6 +172,23 @@ func (r *Registry) LoadDir(dir string) ([]string, error) {
 // Programmatic models are untouched. A file that fails to load aborts the
 // reload with no partial swaps.
 func (r *Registry) ReloadDir() ([]string, error) {
+	names, err := r.reloadDir()
+	if r.mx != nil {
+		if err != nil {
+			r.mx.reloadsFailed.Inc()
+		} else {
+			r.mx.reloadsOK.Inc()
+		}
+	}
+	if err != nil {
+		r.logger.Error("model reload failed", "err", err)
+	} else {
+		r.logger.Info("models reloaded", "models", len(names))
+	}
+	return names, err
+}
+
+func (r *Registry) reloadDir() ([]string, error) {
 	r.mu.RLock()
 	dir := r.dir
 	r.mu.RUnlock()

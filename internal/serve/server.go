@@ -35,12 +35,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"net/http"
 	"sync/atomic"
 	"time"
 
 	"specml/internal/core"
+	"specml/internal/obs"
 )
 
 // Config parameterizes a Server.
@@ -68,6 +70,15 @@ type Config struct {
 	// SessionIdleTimeout expires monitor sessions that have not been
 	// stepped or queried for this long (default 30m, negative = never).
 	SessionIdleTimeout time.Duration
+	// Metrics receives the server's obs instruments (stage-latency
+	// histograms, batch-size distribution, queue-depth and session gauges,
+	// per-model counters) and is served at GET /metrics in the Prometheus
+	// text format. Nil creates a private registry, so /metrics always
+	// works; inject one to aggregate with other subsystems.
+	Metrics *obs.Registry
+	// Logger receives structured server events (reloads, batch failures).
+	// Nil discards them.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -98,6 +109,8 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	cfg      Config
 	stats    *Stats
+	mx       *serveMetrics
+	logger   *slog.Logger
 	reg      *Registry
 	sessions *sessionStore
 	mux      *http.ServeMux
@@ -107,13 +120,23 @@ type Server struct {
 // New builds a server and, when Config.ModelDir is set, loads its models.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewRegistry()
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = obs.NopLogger()
+	}
 	s := &Server{
 		cfg:      cfg,
 		stats:    NewStats(),
+		mx:       newServeMetrics(cfg.Metrics),
+		logger:   cfg.Logger,
 		sessions: newSessionStore(cfg.MaxSessions, cfg.SessionIdleTimeout),
 		mux:      http.NewServeMux(),
 	}
-	s.reg = newRegistry(cfg.MaxBatch, cfg.BatchWindow, cfg.Workers, s.stats)
+	s.reg = newRegistry(cfg.MaxBatch, cfg.BatchWindow, cfg.Workers, s.stats, s.mx, s.logger)
+	cfg.Metrics.GaugeFunc("specserve_monitor_sessions",
+		"Live monitor sessions.", func() float64 { return float64(s.sessions.count()) })
 	if cfg.ModelDir != "" {
 		if _, err := s.reg.LoadDir(cfg.ModelDir); err != nil {
 			return nil, err
@@ -122,6 +145,9 @@ func New(cfg Config) (*Server, error) {
 	s.routes()
 	return s, nil
 }
+
+// Metrics exposes the obs registry backing GET /metrics.
+func (s *Server) Metrics() *obs.Registry { return s.cfg.Metrics }
 
 // Registry exposes the model registry (programmatic registration, tests).
 func (s *Server) Registry() *Registry { return s.reg }
@@ -163,6 +189,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	s.mux.Handle("GET /metrics", s.cfg.Metrics.Handler())
 	s.mux.HandleFunc("GET /v1/stats", s.instrument("stats", s.handleStats))
 	s.mux.HandleFunc("POST /v1/predict", s.instrument("predict", s.handlePredict))
 	s.mux.HandleFunc("GET /v1/models", s.instrument("models", s.handleModels))
@@ -180,14 +207,22 @@ func (s *Server) routes() {
 // out of the /v1/stats error counts.
 const statusClientClosedRequest = 499
 
-// instrument records request count and latency per endpoint label. A
-// client-closed request is not counted as an error: the server did nothing
-// wrong when the client hung up.
+// instrument records request count and latency per endpoint label — into
+// the legacy /v1/stats collector and the obs counters both. A client-closed
+// request is not counted as an error: the server did nothing wrong when the
+// client hung up. The obs counters are resolved once per endpoint at route
+// setup, so the per-request path performs no registry lookups.
 func (s *Server) instrument(label string, h func(http.ResponseWriter, *http.Request) int) http.HandlerFunc {
+	reqs, errs := s.mx.endpointCounters(label)
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		status := h(w, r)
-		s.stats.RecordRequest(label, time.Since(start), status >= 400 && status != statusClientClosedRequest)
+		isErr := status >= 400 && status != statusClientClosedRequest
+		reqs.Inc()
+		if isErr {
+			errs.Inc()
+		}
+		s.stats.RecordRequest(label, time.Since(start), isErr)
 	}
 }
 
@@ -222,14 +257,24 @@ func decodeJSON(r *http.Request, v any) error {
 
 // batchedPredict preprocesses one request spectrum for entry's model and
 // runs it through the entry's micro-batcher under the request timeout.
-func (s *Server) batchedPredict(ctx context.Context, e *modelEntry, req *predictRequest) ([]float64, int, error) {
+func (s *Server) batchedPredict(ctx context.Context, e *modelEntry, req *predictRequest) (y []float64, status int, err error) {
+	if e.reqs != nil {
+		e.reqs.Inc()
+		defer func() {
+			if err != nil && status != statusClientClosedRequest {
+				e.errs.Inc()
+			}
+		}()
+	}
+	t0 := time.Now()
 	x, err := preprocessInput(req.Intensities, req.Axis, req.Normalize, e.current().InputLen())
+	s.mx.stPreprocess.ObserveSince(t0)
 	if err != nil {
 		return nil, http.StatusBadRequest, err
 	}
 	ctx, cancel := context.WithTimeout(ctx, s.cfg.RequestTimeout)
 	defer cancel()
-	y, err := e.batcher.Predict(ctx, x)
+	y, err = e.batcher.Predict(ctx, x)
 	if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
 		// Any other outcome means the batcher is done with x; a context
 		// error can race a pending flush that still reads it, so the pooled
@@ -270,9 +315,26 @@ func modelErrStatus(err error) int {
 	return http.StatusNotFound
 }
 
+// decodeRequest and encodeResponse wrap the JSON codec with the decode /
+// encode stage histograms, so serialization cost is visible next to the
+// compute stages it brackets.
+func (s *Server) decodeRequest(r *http.Request, v any) error {
+	t0 := time.Now()
+	err := decodeJSON(r, v)
+	s.mx.stDecode.ObserveSince(t0)
+	return err
+}
+
+func (s *Server) encodeResponse(w http.ResponseWriter, status int, v any) int {
+	t0 := time.Now()
+	st := writeJSON(w, status, v)
+	s.mx.stEncode.ObserveSince(t0)
+	return st
+}
+
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) int {
 	var req predictRequest
-	if err := decodeJSON(r, &req); err != nil {
+	if err := s.decodeRequest(r, &req); err != nil {
 		return writeError(w, http.StatusBadRequest, err)
 	}
 	e, err := s.reg.get(req.Model)
@@ -283,7 +345,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) int {
 	if err != nil {
 		return writeError(w, status, err)
 	}
-	return writeJSON(w, http.StatusOK, map[string]any{
+	return s.encodeResponse(w, http.StatusOK, map[string]any{
 		"model":     e.name,
 		"fractions": y,
 	})
@@ -407,7 +469,7 @@ func (s *Server) handleMonitorStep(w http.ResponseWriter, r *http.Request) int {
 		return writeError(w, http.StatusNotFound, fmt.Errorf("serve: unknown session %q", r.PathValue("id")))
 	}
 	var req predictRequest
-	if err := decodeJSON(r, &req); err != nil {
+	if err := s.decodeRequest(r, &req); err != nil {
 		return writeError(w, http.StatusBadRequest, err)
 	}
 	if req.Model != "" && req.Model != sess.model {
@@ -427,7 +489,7 @@ func (s *Server) handleMonitorStep(w http.ResponseWriter, r *http.Request) int {
 	if err != nil {
 		return writeError(w, http.StatusInternalServerError, err)
 	}
-	return writeJSON(w, http.StatusOK, map[string]any{
+	return s.encodeResponse(w, http.StatusOK, map[string]any{
 		"session":    sess.id,
 		"step":       step,
 		"prediction": y,

@@ -132,6 +132,15 @@ func (st *sessionStore) get(id string) (*monitorSession, bool) {
 	return s, ok
 }
 
+// count returns the number of live sessions (after expiring stale ones),
+// backing the specserve_monitor_sessions gauge.
+func (st *sessionStore) count() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.sweepLocked(time.Now())
+	return len(st.sessions)
+}
+
 // remove closes a session; it reports whether the ID existed.
 func (st *sessionStore) remove(id string) bool {
 	st.mu.Lock()

@@ -2,6 +2,8 @@
 
 package render
 
+import "os"
+
 // cpuid and xgetbv are implemented in lorentz_amd64.s.
 func cpuid(op, sub uint32) (eax, ebx, ecx, edx uint32)
 func xgetbv() (eax, edx uint32)
@@ -18,7 +20,10 @@ func lorentzAccumAVX2(dst []float64, d0, step, num, g2 float64)
 // bit-identity contract with lorentzPairAccumGeneric as the single kernel.
 func lorentzPairAccumAVX2(dst []float64, d01, g21, num1, d02, g22, num2, step float64)
 
-var hasAVX2 = detectAVX2()
+// SPECML_NOASM (any non-empty value) forces the portable scalar kernels
+// even on AVX2-capable hosts, so CI can prove the scalar/SIMD bit-identity
+// contract by running the same tests down both dispatch paths.
+var hasAVX2 = os.Getenv("SPECML_NOASM") == "" && detectAVX2()
 
 // detectAVX2 reports whether the CPU and OS support AVX2 (CPUID feature
 // flag plus OSXSAVE/XGETBV confirmation that YMM state is preserved).

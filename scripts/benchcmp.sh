@@ -12,14 +12,60 @@
 # the threshold (smoke mode).
 set -euo pipefail
 
+usage() {
+    cat <<'EOF'
+usage: scripts/benchcmp.sh [-h] [threshold_pct]
+
+Runs the render benchmarks (Fig7Augmentation*, Fig4CorpusRender*) and
+compares each ns/op against the committed baseline BENCH_render.json.
+Exits non-zero when any benchmark is more than threshold_pct (default 20)
+slower than its baseline.
+
+Environment:
+  BENCHCMP_SKIP=1   run the benchmarks but do not enforce the threshold
+                    (CI smoke mode for noisy shared runners)
+EOF
+}
+
+case "${1:-}" in
+-h | --help)
+    usage
+    exit 0
+    ;;
+-*)
+    echo "benchcmp: unknown option ${1}" >&2
+    usage >&2
+    exit 2
+    ;;
+esac
+if [ "$#" -gt 1 ]; then
+    echo "benchcmp: too many arguments" >&2
+    usage >&2
+    exit 2
+fi
+
 cd "$(dirname "$0")/.."
 
 THRESHOLD_PCT="${1:-20}"
+case "$THRESHOLD_PCT" in
+'' | *[!0-9]*)
+    echo "benchcmp: threshold_pct must be a non-negative integer, got '${THRESHOLD_PCT}'" >&2
+    usage >&2
+    exit 2
+    ;;
+esac
 BASELINE="BENCH_render.json"
 
+# A missing baseline is a repo-state error, never a pass: fail loudly even
+# in BENCHCMP_SKIP smoke mode, with a hint on how to regenerate it.
 if [ ! -f "$BASELINE" ]; then
-    echo "benchcmp: missing baseline $BASELINE" >&2
-    exit 1
+    {
+        echo "benchcmp: baseline $BASELINE not found in $(pwd)"
+        echo "benchcmp: regenerate it from a quiet machine with:"
+        echo "  go test -run '^\$' -bench 'Fig7Augmentation|Fig4CorpusRender' -benchtime 1s -cpu 1 ."
+        echo "  (then record each ns/op under \"benchmark\"/\"ns_per_op\" keys in $BASELINE)"
+    } >&2
+    exit 2
 fi
 
 out=$(go test -run '^$' -bench 'Fig7Augmentation|Fig4CorpusRender' -benchtime 1s -cpu 1 . 2>&1)
