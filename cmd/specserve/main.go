@@ -53,6 +53,7 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "with -train-demo: training seed")
 		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (e.g. localhost:6060); off when empty")
 		logFormat = flag.String("log-format", "text", "diagnostic log format: text or json")
+		drain     = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight batches on shutdown")
 	)
 	flag.Parse()
 
@@ -119,7 +120,7 @@ func main() {
 	case err := <-errc:
 		fatal(err)
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		logger.Error("http shutdown failed", "err", err)

@@ -1,0 +1,59 @@
+package front
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"specml/internal/serve"
+)
+
+// BenchmarkFleetPredict measures a full fleet hop: client -> front ->
+// routed backend -> back, over real loopback HTTP with 1 front and 3
+// specserve backends, for a dense 4096-point spectrum. The codec
+// sub-benchmarks compare the SPB1 binary hop (default) against JSON hops —
+// the end-to-end view of the decode/encode numbers in BenchmarkWireDecode4096.
+func BenchmarkFleetPredict(b *testing.B) {
+	for _, c := range []struct {
+		name     string
+		jsonHops bool
+	}{
+		{"hops=binary", false},
+		{"hops=json", true},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			f, _ := newFleet(b, 3, func(cfg *Config) { cfg.JSONHops = c.jsonHops })
+			fs := httptest.NewServer(f.Handler())
+			defer fs.Close()
+
+			x := rampN(4096, 3)
+			frame, err := serve.AppendPredictRequestBinary(nil, &serve.PredictRequest{Model: "test", Intensities: x})
+			if err != nil {
+				b.Fatal(err)
+			}
+			client := fs.Client()
+
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				req, err := http.NewRequest(http.MethodPost, fs.URL+"/v1/predict", bytes.NewReader(frame))
+				if err != nil {
+					b.Fatal(err)
+				}
+				req.Header.Set("Content-Type", serve.BinaryContentType)
+				req.Header.Set("Accept", serve.BinaryContentType)
+				resp, err := client.Do(req)
+				if err != nil {
+					b.Fatal(err)
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil || resp.StatusCode != http.StatusOK {
+					b.Fatalf("status %d: %s", resp.StatusCode, body)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,145 @@
+package front
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"specml/internal/obs"
+)
+
+// backend is one specserve instance behind the front: its address, its
+// health as seen by the prober, and the two load signals admission control
+// keys off — the front's own in-flight count (instant) and the
+// specserve_queue_depth gauges scraped from the backend's /metrics
+// (authoritative but at probe-interval freshness).
+type backend struct {
+	name string // host:port, the routing key and metric label
+	base string // URL base without trailing slash
+
+	healthy    atomic.Bool
+	consecFail atomic.Int64
+	inflight   atomic.Int64
+	queueDepth atomic.Int64 // scraped sum over the backend's models
+
+	// Resolved once at construction; recording is atomic-only.
+	reqs, errs *obs.Counter
+	hop        *obs.Histogram
+}
+
+// saturated reports whether this backend is over the shed threshold:
+// queued work it has reported plus work the front already has in flight
+// to it. shed < 0 disables shedding.
+func (b *backend) saturated(shed int) bool {
+	if shed < 0 {
+		return false
+	}
+	return b.inflight.Load()+b.queueDepth.Load() >= int64(shed)
+}
+
+// markFailed is the passive health signal: a transport-level hop failure
+// takes the backend out of rotation immediately instead of waiting for
+// the prober — this is what makes failover fast enough that a killed
+// backend causes retries, not an outage.
+func (b *backend) markFailed(threshold int64) {
+	if b.consecFail.Add(1) >= threshold {
+		b.healthy.Store(false)
+	}
+}
+
+// markAlive resets the failure streak.
+func (b *backend) markAlive() {
+	b.consecFail.Store(0)
+	b.healthy.Store(true)
+}
+
+// probe checks one backend: /healthz for liveness, then /metrics for the
+// queue-depth gauges. Called by the health loop and once synchronously at
+// startup.
+func (f *Front) probe(ctx context.Context, b *backend) {
+	ctx, cancel := context.WithTimeout(ctx, f.cfg.HealthTimeout)
+	defer cancel()
+	ok := func(path string) (string, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.base+path, nil)
+		if err != nil {
+			return "", err
+		}
+		resp, err := f.client.Do(req)
+		if err != nil {
+			return "", err
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		if err != nil {
+			return "", err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return "", fmt.Errorf("front: %s%s: status %d", b.name, path, resp.StatusCode)
+		}
+		return string(body), nil
+	}
+	if _, err := ok("/healthz"); err != nil {
+		wasHealthy := b.healthy.Load()
+		b.markFailed(int64(f.cfg.FailThreshold))
+		if wasHealthy && !b.healthy.Load() {
+			f.logger.Warn("backend unhealthy", "backend", b.name, "err", err)
+		}
+		return
+	}
+	if !b.healthy.Load() {
+		f.logger.Info("backend healthy", "backend", b.name)
+	}
+	b.markAlive()
+	if metrics, err := ok("/metrics"); err == nil {
+		b.queueDepth.Store(sumQueueDepth(metrics))
+	}
+}
+
+// healthLoop probes every backend at the configured interval until Close.
+func (f *Front) healthLoop() {
+	defer close(f.healthDone)
+	ticker := time.NewTicker(f.cfg.HealthInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-f.stop:
+			return
+		case <-ticker.C:
+		}
+		for _, b := range f.backends {
+			f.probe(context.Background(), b)
+		}
+	}
+}
+
+// sumQueueDepth extracts and sums the specserve_queue_depth gauge series
+// from a Prometheus text exposition — the backend's total queued requests
+// across its per-model micro-batchers.
+func sumQueueDepth(exposition string) int64 {
+	var sum float64
+	for _, line := range strings.Split(exposition, "\n") {
+		if !strings.HasPrefix(line, "specserve_queue_depth") {
+			continue
+		}
+		rest := line[len("specserve_queue_depth"):]
+		// Either "{labels} value" or " value"; both put the value last.
+		i := strings.LastIndexByte(rest, ' ')
+		if i < 0 {
+			continue
+		}
+		if rest != "" && rest[0] != '{' && rest[0] != ' ' {
+			continue // a different family sharing the prefix
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(rest[i+1:]), 64)
+		if err != nil {
+			continue
+		}
+		sum += v
+	}
+	return int64(sum)
+}

@@ -1,0 +1,137 @@
+// Package front is the fleet front door of the serving layer: a proxy
+// that routes inference traffic across N specserve backends by consistent
+// hashing — on model name for stateless predicts (so one model's traffic
+// concentrates on one backend and its micro-batcher actually coalesces),
+// and on session ID for stateful monitor sessions (so a session's
+// exponential-smoothing state lives on exactly one backend). Backends are
+// health-checked via their /healthz and /metrics endpoints; failed hops
+// retry with backoff against the next distinct backend on the ring, and
+// admission control sheds load with 429 + Retry-After when the fleet's
+// queue depth says it is saturated.
+package front
+
+import (
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// ringNode is one virtual node: a hash point owned by a backend.
+type ringNode struct {
+	hash    uint64
+	backend int // index into Ring.backends
+}
+
+// Ring is a consistent-hash ring with virtual nodes. A key maps to the
+// backend owning the first node clockwise of the key's hash; with V
+// virtual nodes per backend the keyspace splits into ~V*N arcs, which is
+// what bounds both the load imbalance and the fraction of keys that move
+// when a backend joins or leaves (only the arcs adjacent to the new or
+// dead backend's nodes change owners).
+type Ring struct {
+	vnodes int
+
+	mu       sync.RWMutex
+	backends []string
+	nodes    []ringNode // sorted by hash
+}
+
+// NewRing creates a ring with vnodes virtual nodes per backend
+// (<= 0 defaults to 64).
+func NewRing(vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = 64
+	}
+	return &Ring{vnodes: vnodes}
+}
+
+// Set replaces the backend set. The mapping depends only on the set's
+// contents, not the order given: backends are sorted before hashing, so
+// two fronts configured with the same fleet route identically.
+func (r *Ring) Set(backends []string) {
+	bs := append([]string(nil), backends...)
+	sort.Strings(bs)
+	nodes := make([]ringNode, 0, len(bs)*r.vnodes)
+	for bi, b := range bs {
+		for v := 0; v < r.vnodes; v++ {
+			nodes = append(nodes, ringNode{hash: hashKey(b + "#" + strconv.Itoa(v)), backend: bi})
+		}
+	}
+	sort.Slice(nodes, func(i, j int) bool {
+		if nodes[i].hash != nodes[j].hash {
+			return nodes[i].hash < nodes[j].hash
+		}
+		// A full 64-bit hash collision between two backends' nodes is
+		// vanishingly rare; break the tie deterministically anyway.
+		return nodes[i].backend < nodes[j].backend
+	})
+	r.mu.Lock()
+	r.backends, r.nodes = bs, nodes
+	r.mu.Unlock()
+}
+
+// Backends returns the current backend set (sorted).
+func (r *Ring) Backends() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]string(nil), r.backends...)
+}
+
+// Lookup returns the backend owning key, or "" on an empty ring.
+func (r *Ring) Lookup(key string) string {
+	reps := r.Replicas(key, 1)
+	if len(reps) == 0 {
+		return ""
+	}
+	return reps[0]
+}
+
+// Replicas returns up to n distinct backends in ring order starting at
+// key's owner — the retry/failover order for that key. Requesting more
+// backends than exist returns them all.
+func (r *Ring) Replicas(key string, n int) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.nodes) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.backends) {
+		n = len(r.backends)
+	}
+	h := hashKey(key)
+	start := sort.Search(len(r.nodes), func(i int) bool { return r.nodes[i].hash >= h })
+	out := make([]string, 0, n)
+	seen := make(map[int]struct{}, n)
+	for i := 0; i < len(r.nodes) && len(out) < n; i++ {
+		node := r.nodes[(start+i)%len(r.nodes)]
+		if _, dup := seen[node.backend]; dup {
+			continue
+		}
+		seen[node.backend] = struct{}{}
+		out = append(out, r.backends[node.backend])
+	}
+	return out
+}
+
+// hashKey is FNV-1a 64 with a murmur-style avalanche finalizer, inlined so
+// per-request routing never allocates. The finalizer matters: raw FNV on
+// the short, similar strings used here (vnode labels, model names, session
+// IDs) leaves most entropy in the low bits and clusters hash points badly
+// enough to skew ring ownership by >2x.
+func hashKey(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}

@@ -56,3 +56,54 @@ func FuzzPredictRequest(f *testing.F) {
 		}
 	})
 }
+
+// FuzzWirePredictRequest throws hostile bytes at the SPB1 binary decoder,
+// directly and through the HTTP handler. The contract: truncated frames,
+// bad magic and absurd length prefixes are 4xx — never a panic, never a
+// 5xx, and never an allocation larger than the frame itself justifies (an
+// oversized declared count must fail before the sample slice is made).
+func FuzzWirePredictRequest(f *testing.F) {
+	srv, _ := testServer(f, Config{BatchWindow: 0, RequestTimeout: 2 * time.Second})
+	h := srv.Handler()
+
+	if valid, err := AppendPredictRequestBinary(nil, &PredictRequest{Model: "test", Intensities: []float64{1, 2, 3}}); err == nil {
+		f.Add(valid)
+		f.Add(valid[:len(valid)-5])                     // truncated payload
+		f.Add(append(append([]byte(nil), valid...), 7)) // trailing byte
+	}
+	f.Add([]byte("SPB1"))
+	f.Add([]byte{'S', 'P', 'B', '1', 1, 1, 0, 0, 0, 0xff, 0xff, 0xff, 0x7f}) // absurd count
+	f.Add([]byte{'S', 'P', 'B', '1', 2, 1, 0, 0, 0})                         // wrong version
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		// Direct decoder: must not panic; on success the decoded slice is
+		// bounded by the input frame (8 bytes per sample), so a hostile
+		// length prefix cannot cause an oversized allocation.
+		if req, err := ParsePredictRequestBinary(body); err == nil {
+			if 8*len(req.Intensities) > len(body) {
+				t.Fatalf("decoded %d samples from a %d-byte frame", len(req.Intensities), len(body))
+			}
+		}
+		// The response parser shares the no-panic contract; arbitrary bytes
+		// may or may not decode, either outcome is fine.
+		_, _, _ = ParsePredictResponseBinary(body)
+
+		req := httptest.NewRequest(http.MethodPost, "/v1/predict", bytes.NewReader(body))
+		req.Header.Set("Content-Type", BinaryContentType)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code >= 500 {
+			t.Fatalf("5xx for frame %q: %d %s", body, rec.Code, rec.Body.String())
+		}
+		if rec.Code != http.StatusOK {
+			var parsed map[string]any
+			if err := json.Unmarshal(rec.Body.Bytes(), &parsed); err != nil {
+				t.Fatalf("non-JSON error response for frame %q: %q", body, rec.Body.String())
+			}
+			if _, ok := parsed["error"]; !ok {
+				t.Fatalf("%d without error envelope for frame %q", rec.Code, body)
+			}
+		}
+	})
+}

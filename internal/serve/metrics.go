@@ -7,13 +7,18 @@ import (
 // Stage labels of the specserve_stage_seconds histogram; one request
 // traverses decode -> preprocess -> batch_wait -> forward -> encode, so
 // the per-stage histograms decompose end-to-end latency into the phase
-// that actually costs it (queueing vs compute vs serialization).
+// that actually costs it (queueing vs compute vs serialization). The
+// decode and encode stages carry an extra codec label (json vs binary),
+// which is what makes the SPB1 wire-format win measurable on /metrics.
 const (
 	stageDecode     = "decode"
 	stagePreprocess = "preprocess"
 	stageBatchWait  = "batch_wait"
 	stageForward    = "forward"
 	stageEncode     = "encode"
+
+	codecJSON   = "json"
+	codecBinary = "binary"
 )
 
 // serveMetrics bundles one Server's obs instruments. Every field is
@@ -23,8 +28,12 @@ const (
 type serveMetrics struct {
 	reg *obs.Registry
 
-	// stage[...] are per-stage latency histograms sharing one family.
-	stDecode, stPreprocess, stBatchWait, stForward, stEncode *obs.Histogram
+	// stage[...] are per-stage latency histograms sharing one family; the
+	// serialization stages are split by codec.
+	stDecodeJSON, stDecodeBinary *obs.Histogram
+	stPreprocess                 *obs.Histogram
+	stBatchWait, stForward       *obs.Histogram
+	stEncodeJSON, stEncodeBinary *obs.Histogram
 
 	// batchSize is the coalesced-batch-size distribution of all batchers.
 	batchSize *obs.Histogram
@@ -39,13 +48,20 @@ func newServeMetrics(reg *obs.Registry) *serveMetrics {
 			"Per-stage request latency of the predict pipeline.",
 			obs.LatencyBuckets, obs.L("stage", name))
 	}
+	codecStage := func(name, codec string) *obs.Histogram {
+		return reg.Histogram("specserve_stage_seconds",
+			"Per-stage request latency of the predict pipeline.",
+			obs.LatencyBuckets, obs.L("stage", name), obs.L("codec", codec))
+	}
 	return &serveMetrics{
-		reg:          reg,
-		stDecode:     stage(stageDecode),
-		stPreprocess: stage(stagePreprocess),
-		stBatchWait:  stage(stageBatchWait),
-		stForward:    stage(stageForward),
-		stEncode:     stage(stageEncode),
+		reg:            reg,
+		stDecodeJSON:   codecStage(stageDecode, codecJSON),
+		stDecodeBinary: codecStage(stageDecode, codecBinary),
+		stPreprocess:   stage(stagePreprocess),
+		stBatchWait:    stage(stageBatchWait),
+		stForward:      stage(stageForward),
+		stEncodeJSON:   codecStage(stageEncode, codecJSON),
+		stEncodeBinary: codecStage(stageEncode, codecBinary),
 		batchSize: reg.Histogram("specserve_batch_size",
 			"Requests coalesced into one forward pass.", obs.SizeBuckets),
 		reloadsOK: reg.Counter("specserve_reloads_total",

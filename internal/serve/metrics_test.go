@@ -57,12 +57,15 @@ func TestMetricsEndpoint(t *testing.T) {
 
 	out := scrape(t, h)
 	for _, want := range []string{
-		// All five pipeline stages of the latency histogram family.
-		`specserve_stage_seconds_bucket{stage="decode",le="+Inf"}`,
+		// All five pipeline stages of the latency histogram family; the
+		// serialization stages are split by codec.
+		`specserve_stage_seconds_bucket{codec="json",stage="decode",le="+Inf"}`,
+		`specserve_stage_seconds_bucket{codec="binary",stage="decode",le="+Inf"}`,
 		`specserve_stage_seconds_bucket{stage="preprocess",le="+Inf"}`,
 		`specserve_stage_seconds_bucket{stage="batch_wait",le="+Inf"}`,
 		`specserve_stage_seconds_bucket{stage="forward",le="+Inf"}`,
-		`specserve_stage_seconds_bucket{stage="encode",le="+Inf"}`,
+		`specserve_stage_seconds_bucket{codec="json",stage="encode",le="+Inf"}`,
+		`specserve_stage_seconds_bucket{codec="binary",stage="encode",le="+Inf"}`,
 		"# TYPE specserve_stage_seconds histogram",
 		// Batch-size distribution and queue/session gauges.
 		"# TYPE specserve_batch_size histogram",
@@ -241,11 +244,13 @@ func TestMetricsRecordingAllocFree(t *testing.T) {
 	t0 := time.Now()
 	if n := testing.AllocsPerRun(200, func() {
 		e.reqs.Inc()
-		mx.stDecode.ObserveSince(t0)
+		mx.stDecodeJSON.ObserveSince(t0)
+		mx.stDecodeBinary.ObserveSince(t0)
 		mx.stPreprocess.ObserveSince(t0)
 		mx.stBatchWait.Observe(0.0001)
 		mx.stForward.ObserveSince(t0)
-		mx.stEncode.ObserveSince(t0)
+		mx.stEncodeJSON.ObserveSince(t0)
+		mx.stEncodeBinary.ObserveSince(t0)
 		mx.batchSize.Observe(4)
 	}); n != 0 {
 		t.Fatalf("hot-path metric recording allocates %.1f objects/op, want 0", n)

@@ -22,20 +22,13 @@ var inputPool pool.Pool
 // context-error return from Predict leaves the request queued).
 func putInput(buf []float64) { inputPool.Put(buf) }
 
-// axisSpec is the optional sampling axis of a request spectrum. N is
-// implied by the intensity count.
-type axisSpec struct {
-	Start float64 `json:"start"`
-	Step  float64 `json:"step"`
-}
-
 // preprocessInput turns raw request intensities into a network input of
 // exactly wantLen values: validate finiteness, resample onto the model's
 // input width (linear interpolation over the request's axis, or a unit
 // index axis when none is given), clip negative noise and normalize. It
 // mirrors the offline training preprocessing (msim.Preprocess), so served
 // predictions see the same input distribution the network was trained on.
-func preprocessInput(x []float64, axis *axisSpec, normalize string, wantLen int) ([]float64, error) {
+func preprocessInput(x []float64, axis *Axis, normalize string, wantLen int) ([]float64, error) {
 	switch {
 	case len(x) < 2:
 		return nil, fmt.Errorf("serve: need at least 2 intensity samples, got %d", len(x))

@@ -15,7 +15,7 @@ func TestPreprocessInputMatchesUnpooledPipeline(t *testing.T) {
 	for i := range x {
 		x[i] = math.Sin(0.2*float64(i)) - 0.3 // some negative samples to clip
 	}
-	ax := &axisSpec{Start: 10, Step: 0.5}
+	ax := &Axis{Start: 10, Step: 0.5}
 	const wantLen = 64
 	got, err := preprocessInput(x, ax, "sum", wantLen)
 	if err != nil {
@@ -82,15 +82,15 @@ func TestPreprocessInputValidationBeforePooling(t *testing.T) {
 	cases := []struct {
 		name string
 		x    []float64
-		axis *axisSpec
+		axis *Axis
 		norm string
 		want int
 	}{
 		{"too short", []float64{1}, nil, "", 4},
 		{"non-finite sample", []float64{1, math.NaN(), 3}, nil, "", 4},
 		{"bad normalize", good, nil, "zscore", 4},
-		{"bad axis", good, &axisSpec{Start: 0, Step: math.Inf(1)}, "", 4},
-		{"zero step", good, &axisSpec{Start: 0, Step: 0}, "", 8},
+		{"bad axis", good, &Axis{Start: 0, Step: math.Inf(1)}, "", 4},
+		{"zero step", good, &Axis{Start: 0, Step: 0}, "", 8},
 		{"bad width", good, nil, "", 0},
 	}
 	for _, c := range cases {

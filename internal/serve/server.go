@@ -35,9 +35,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"math"
 	"net/http"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -226,21 +228,6 @@ func (s *Server) instrument(label string, h func(http.ResponseWriter, *http.Requ
 	}
 }
 
-// predictRequest is the JSON body of /v1/predict and /v1/monitor/{id}/step.
-type predictRequest struct {
-	// Model names the registry entry; may be empty when exactly one model
-	// is registered. Ignored on monitor steps (the session pins the model).
-	Model string `json:"model,omitempty"`
-	// Axis optionally describes the sampling axis of Intensities; without
-	// it a unit index axis is assumed.
-	Axis *axisSpec `json:"axis,omitempty"`
-	// Intensities is the measured spectrum.
-	Intensities []float64 `json:"intensities"`
-	// Normalize selects the preprocessing normalization: "sum" (default,
-	// matches training), "max", "area" or "none".
-	Normalize string `json:"normalize,omitempty"`
-}
-
 // decodeJSON strictly decodes one JSON body; unknown fields and trailing
 // garbage are client errors.
 func decodeJSON(r *http.Request, v any) error {
@@ -257,7 +244,7 @@ func decodeJSON(r *http.Request, v any) error {
 
 // batchedPredict preprocesses one request spectrum for entry's model and
 // runs it through the entry's micro-batcher under the request timeout.
-func (s *Server) batchedPredict(ctx context.Context, e *modelEntry, req *predictRequest) (y []float64, status int, err error) {
+func (s *Server) batchedPredict(ctx context.Context, e *modelEntry, req *PredictRequest) (y []float64, status int, err error) {
 	if e.reqs != nil {
 		e.reqs.Inc()
 		defer func() {
@@ -315,40 +302,94 @@ func modelErrStatus(err error) int {
 	return http.StatusNotFound
 }
 
-// decodeRequest and encodeResponse wrap the JSON codec with the decode /
-// encode stage histograms, so serialization cost is visible next to the
-// compute stages it brackets.
-func (s *Server) decodeRequest(r *http.Request, v any) error {
-	t0 := time.Now()
-	err := decodeJSON(r, v)
-	s.mx.stDecode.ObserveSince(t0)
-	return err
+// isBinaryRequest reports whether the request body is an SPB1 frame, by
+// Content-Type (parameters such as charset are ignored).
+func isBinaryRequest(r *http.Request) bool {
+	ct := r.Header.Get("Content-Type")
+	if i := strings.IndexByte(ct, ';'); i >= 0 {
+		ct = ct[:i]
+	}
+	return strings.EqualFold(strings.TrimSpace(ct), BinaryContentType)
 }
 
+// wantsBinaryResponse reports whether the client asked for an SPB1 response
+// via the Accept header.
+func wantsBinaryResponse(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Accept"), BinaryContentType)
+}
+
+// readPredictRequest decodes the request body by its negotiated codec,
+// recording the decode stage into the per-codec histogram so the JSON/SPB1
+// cost difference is visible on /metrics.
+func (s *Server) readPredictRequest(r *http.Request) (*PredictRequest, error) {
+	if isBinaryRequest(r) {
+		t0 := time.Now()
+		data, err := io.ReadAll(r.Body)
+		if err != nil {
+			return nil, fmt.Errorf("serve: reading binary body: %w", err)
+		}
+		req, err := ParsePredictRequestBinary(data)
+		s.mx.stDecodeBinary.ObserveSince(t0)
+		if err != nil {
+			return nil, err
+		}
+		return &req, nil
+	}
+	var req PredictRequest
+	t0 := time.Now()
+	err := decodeJSON(r, &req)
+	s.mx.stDecodeJSON.ObserveSince(t0)
+	if err != nil {
+		return nil, err
+	}
+	return &req, nil
+}
+
+// encodeResponse wraps the JSON codec with the encode stage histogram, so
+// serialization cost is visible next to the compute stages it brackets.
 func (s *Server) encodeResponse(w http.ResponseWriter, status int, v any) int {
 	t0 := time.Now()
 	st := writeJSON(w, status, v)
-	s.mx.stEncode.ObserveSince(t0)
+	s.mx.stEncodeJSON.ObserveSince(t0)
 	return st
 }
 
+// encodeFractions writes a prediction result in the codec the client asked
+// for: an SPB1 kind-2 frame when Accept names BinaryContentType, the JSON
+// object otherwise. Errors always use the JSON envelope.
+func (s *Server) encodeFractions(w http.ResponseWriter, r *http.Request, model string, y []float64) int {
+	if !wantsBinaryResponse(r) {
+		return s.encodeResponse(w, http.StatusOK, map[string]any{
+			"model":     model,
+			"fractions": y,
+		})
+	}
+	t0 := time.Now()
+	frame, err := AppendPredictResponseBinary(nil, model, y)
+	if err != nil {
+		return writeError(w, http.StatusInternalServerError, err)
+	}
+	w.Header().Set("Content-Type", BinaryContentType)
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(frame)
+	s.mx.stEncodeBinary.ObserveSince(t0)
+	return http.StatusOK
+}
+
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) int {
-	var req predictRequest
-	if err := s.decodeRequest(r, &req); err != nil {
+	req, err := s.readPredictRequest(r)
+	if err != nil {
 		return writeError(w, http.StatusBadRequest, err)
 	}
 	e, err := s.reg.get(req.Model)
 	if err != nil {
 		return writeError(w, modelErrStatus(err), err)
 	}
-	y, status, err := s.batchedPredict(r.Context(), e, &req)
+	y, status, err := s.batchedPredict(r.Context(), e, req)
 	if err != nil {
 		return writeError(w, status, err)
 	}
-	return s.encodeResponse(w, http.StatusOK, map[string]any{
-		"model":     e.name,
-		"fractions": y,
-	})
+	return s.encodeFractions(w, r, e.name, y)
 }
 
 func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) int {
@@ -370,6 +411,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) int {
 // monitorCreateRequest opens a monitoring session.
 type monitorCreateRequest struct {
 	Model string `json:"model,omitempty"`
+	// Session optionally supplies the session ID instead of letting the
+	// server mint one — the hook that lets a fleet front door consistent-
+	// hash sessions onto backends by an ID it chose itself. A duplicate ID
+	// is refused with 409.
+	Session string `json:"session,omitempty"`
 	// Names labels the model outputs; defaults to out0..outN-1.
 	Names []string `json:"names,omitempty"`
 	// Limits are per-substance alarm bands.
@@ -429,10 +475,13 @@ func (s *Server) handleMonitorCreate(w http.ResponseWriter, r *http.Request) int
 	for i, l := range req.Limits {
 		limits[i] = core.Limit{Name: l.Name, Min: l.Min, Max: l.Max}
 	}
-	sess, err := s.sessions.create(e.name, names, limits, req.Smoothing)
+	sess, err := s.sessions.create(e.name, req.Session, names, limits, req.Smoothing)
 	if err != nil {
-		if errors.Is(err, errTooManySessions) {
+		switch {
+		case errors.Is(err, errTooManySessions):
 			return writeError(w, http.StatusTooManyRequests, err)
+		case errors.Is(err, errSessionExists):
+			return writeError(w, http.StatusConflict, err)
 		}
 		return writeError(w, http.StatusBadRequest, err)
 	}
@@ -468,8 +517,8 @@ func (s *Server) handleMonitorStep(w http.ResponseWriter, r *http.Request) int {
 	if !ok {
 		return writeError(w, http.StatusNotFound, fmt.Errorf("serve: unknown session %q", r.PathValue("id")))
 	}
-	var req predictRequest
-	if err := s.decodeRequest(r, &req); err != nil {
+	req, err := s.readPredictRequest(r)
+	if err != nil {
 		return writeError(w, http.StatusBadRequest, err)
 	}
 	if req.Model != "" && req.Model != sess.model {
@@ -481,7 +530,7 @@ func (s *Server) handleMonitorStep(w http.ResponseWriter, r *http.Request) int {
 		// The session's model was unloaded; the session is now orphaned.
 		return writeError(w, http.StatusConflict, err)
 	}
-	y, status, err := s.batchedPredict(r.Context(), e, &req)
+	y, status, err := s.batchedPredict(r.Context(), e, req)
 	if err != nil {
 		return writeError(w, status, err)
 	}

@@ -14,6 +14,10 @@ import (
 // an unauthenticated client cannot grow server memory without bound.
 var errTooManySessions = errors.New("serve: session limit reached")
 
+// errSessionExists refuses a client-supplied session ID that is already
+// live (409 at the HTTP layer — the caller picks another ID).
+var errSessionExists = errors.New("serve: session ID already exists")
+
 // monitorSession is one stateful process-monitoring stream: a core.Monitor
 // fed by predictions of one registered model. Steps are serialized per
 // session so the exponential smoothing sees a well-defined order even when
@@ -91,9 +95,36 @@ func (st *sessionStore) sweepLocked(now time.Time) {
 	}
 }
 
+// maxSessionIDLen bounds client-supplied session IDs.
+const maxSessionIDLen = 80
+
+// validSessionID accepts the IDs a front door may mint: short tokens of
+// letters, digits, '-', '_' and '.' — safe in URL paths and metric labels.
+func validSessionID(id string) error {
+	if id == "" || len(id) > maxSessionIDLen {
+		return fmt.Errorf("serve: session ID must be 1..%d bytes, got %d", maxSessionIDLen, len(id))
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		ok := c == '-' || c == '_' || c == '.' ||
+			(c >= '0' && c <= '9') || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+		if !ok {
+			return fmt.Errorf("serve: session ID byte %d (%q) outside [A-Za-z0-9._-]", i, c)
+		}
+	}
+	return nil
+}
+
 // create validates the monitor parameters and opens a session, refusing
-// once the cap is reached (expired sessions are evicted first).
-func (st *sessionStore) create(model string, names []string, limits []core.Limit, smoothing float64) (*monitorSession, error) {
+// once the cap is reached (expired sessions are evicted first). id may be
+// a client-supplied session ID (validated, duplicates refused); when empty
+// the store mints one.
+func (st *sessionStore) create(model, id string, names []string, limits []core.Limit, smoothing float64) (*monitorSession, error) {
+	if id != "" {
+		if err := validSessionID(id); err != nil {
+			return nil, err
+		}
+	}
 	m, err := core.NewMonitor(names, limits, smoothing)
 	if err != nil {
 		return nil, err
@@ -105,9 +136,14 @@ func (st *sessionStore) create(model string, names []string, limits []core.Limit
 	if st.maxSessions >= 0 && len(st.sessions) >= st.maxSessions {
 		return nil, fmt.Errorf("%w (%d live)", errTooManySessions, len(st.sessions))
 	}
-	st.nextID++
+	if id == "" {
+		st.nextID++
+		id = fmt.Sprintf("mon-%06d", st.nextID)
+	} else if _, ok := st.sessions[id]; ok {
+		return nil, fmt.Errorf("%w: %q", errSessionExists, id)
+	}
 	s := &monitorSession{
-		id:       fmt.Sprintf("mon-%06d", st.nextID),
+		id:       id,
 		model:    model,
 		names:    names,
 		created:  now,

@@ -1,0 +1,295 @@
+package serve
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// This file is the binary wire format for spectra ("SPB1"). JSON carries a
+// 4096-point spectrum as ~50 KB of text that the decoder has to parse one
+// float at a time; the per-stage /metrics histograms show that decode cost
+// sitting directly on the serving hot path. SPB1 ships the same payload as
+// length-prefixed float64 little-endian frames that decode with a bounds
+// check and a bit copy per sample.
+//
+// Frame layout (all integers little-endian):
+//
+//	offset  size  field
+//	0       4     magic "SPB1"
+//	4       1     version (1)
+//	5       1     kind: 1 = predict request, 2 = fractions response
+//
+// kind 1 (predict request), after the header:
+//
+//	1     normalize code: 0 default(sum), 1 sum, 2 max, 3 area, 4 none
+//	1     flags: bit0 = axis present (other bits must be zero)
+//	1     M = model name length in bytes
+//	M     model name (UTF-8)
+//	[16]  axis start, step as float64 LE (iff flags bit0)
+//	4     N = intensity count (uint32)
+//	8*N   intensities as float64 LE
+//
+// kind 2 (fractions response), after the header:
+//
+//	1     M = model name length in bytes
+//	M     model name (UTF-8)
+//	4     N = fraction count (uint32)
+//	8*N   fractions as float64 LE
+//
+// A frame is exactly its declared size: trailing bytes are an error, and a
+// declared count is validated against both maxInputLen and the remaining
+// frame length before any allocation, so a hostile length prefix cannot
+// make the decoder over-allocate.
+//
+// Content negotiation: a request whose Content-Type is BinaryContentType
+// carries a kind-1 frame; a request whose Accept header names
+// BinaryContentType gets its fractions back as a kind-2 frame. Error
+// responses are always the JSON error envelope regardless of codec.
+
+// BinaryContentType is the media type of SPB1 binary spectrum frames, used
+// as the request Content-Type and (via Accept) to request binary responses.
+const BinaryContentType = "application/x-specml-spb1"
+
+const (
+	wireVersion       = 1
+	frameKindPredict  = 1
+	frameKindFraction = 2
+	wireHeaderLen     = 6 // magic + version + kind
+	axisFlagPresent   = 1
+)
+
+var wireMagic = [4]byte{'S', 'P', 'B', '1'}
+
+// Axis is the optional sampling axis of a request spectrum. The sample
+// count is implied by the intensity count.
+type Axis struct {
+	Start float64 `json:"start"`
+	Step  float64 `json:"step"`
+}
+
+// PredictRequest is the wire-level body of POST /v1/predict and
+// POST /v1/monitor/{id}/step, shared by the JSON and SPB1 binary codecs
+// (and by the specfront proxy, which transcodes between them).
+type PredictRequest struct {
+	// Model names the registry entry; may be empty when exactly one model
+	// is registered. Ignored on monitor steps (the session pins the model).
+	Model string `json:"model,omitempty"`
+	// Axis optionally describes the sampling axis of Intensities; without
+	// it a unit index axis is assumed.
+	Axis *Axis `json:"axis,omitempty"`
+	// Intensities is the measured spectrum.
+	Intensities []float64 `json:"intensities"`
+	// Normalize selects the preprocessing normalization: "sum" (default,
+	// matches training), "max", "area" or "none".
+	Normalize string `json:"normalize,omitempty"`
+}
+
+// normalizeCode maps the Normalize field onto its wire byte and back.
+func normalizeCode(s string) (byte, error) {
+	switch s {
+	case "":
+		return 0, nil
+	case "sum":
+		return 1, nil
+	case "max":
+		return 2, nil
+	case "area":
+		return 3, nil
+	case "none":
+		return 4, nil
+	}
+	return 0, fmt.Errorf("serve: unknown normalize mode %q (want sum, max, area or none)", s)
+}
+
+func normalizeName(c byte) (string, error) {
+	switch c {
+	case 0:
+		return "", nil
+	case 1:
+		return "sum", nil
+	case 2:
+		return "max", nil
+	case 3:
+		return "area", nil
+	case 4:
+		return "none", nil
+	}
+	return "", fmt.Errorf("serve: unknown normalize code %d", c)
+}
+
+func appendWireHeader(dst []byte, kind byte) []byte {
+	dst = append(dst, wireMagic[:]...)
+	return append(dst, wireVersion, kind)
+}
+
+// AppendPredictRequestBinary appends req as one SPB1 kind-1 frame to dst
+// and returns the extended slice.
+func AppendPredictRequestBinary(dst []byte, req *PredictRequest) ([]byte, error) {
+	if len(req.Model) > math.MaxUint8 {
+		return nil, fmt.Errorf("serve: model name %d bytes exceeds the wire limit of %d", len(req.Model), math.MaxUint8)
+	}
+	if len(req.Intensities) > maxInputLen {
+		return nil, fmt.Errorf("serve: %d intensity samples exceed the limit of %d", len(req.Intensities), maxInputLen)
+	}
+	norm, err := normalizeCode(req.Normalize)
+	if err != nil {
+		return nil, err
+	}
+	dst = appendWireHeader(dst, frameKindPredict)
+	var flags byte
+	if req.Axis != nil {
+		flags |= axisFlagPresent
+	}
+	dst = append(dst, norm, flags, byte(len(req.Model)))
+	dst = append(dst, req.Model...)
+	if req.Axis != nil {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(req.Axis.Start))
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(req.Axis.Step))
+	}
+	return appendFloatBlock(dst, req.Intensities), nil
+}
+
+// ParsePredictRequestBinary decodes one SPB1 kind-1 frame. Malformed input
+// (bad magic, truncated frame, oversized or short length prefix, trailing
+// bytes) is a client error; the decoder never allocates more than the frame
+// it was handed can justify.
+func ParsePredictRequestBinary(data []byte) (PredictRequest, error) {
+	var req PredictRequest
+	rest, err := parseWireHeader(data, frameKindPredict)
+	if err != nil {
+		return req, err
+	}
+	if len(rest) < 3 {
+		return req, fmt.Errorf("serve: binary frame truncated before request fields")
+	}
+	norm, flags, modelLen := rest[0], rest[1], int(rest[2])
+	rest = rest[3:]
+	if flags&^axisFlagPresent != 0 {
+		return req, fmt.Errorf("serve: unknown binary frame flags %#x", flags)
+	}
+	if req.Normalize, err = normalizeName(norm); err != nil {
+		return req, err
+	}
+	if len(rest) < modelLen {
+		return req, fmt.Errorf("serve: binary frame truncated inside model name")
+	}
+	req.Model, rest = string(rest[:modelLen]), rest[modelLen:]
+	if flags&axisFlagPresent != 0 {
+		if len(rest) < 16 {
+			return req, fmt.Errorf("serve: binary frame truncated inside axis")
+		}
+		req.Axis = &Axis{
+			Start: math.Float64frombits(binary.LittleEndian.Uint64(rest[0:8])),
+			Step:  math.Float64frombits(binary.LittleEndian.Uint64(rest[8:16])),
+		}
+		rest = rest[16:]
+	}
+	if req.Intensities, err = parseFloatBlock(rest); err != nil {
+		return req, err
+	}
+	return req, nil
+}
+
+// BinaryRequestModel extracts the model name from a kind-1 frame without
+// decoding the spectrum — the routing peek of the specfront proxy.
+func BinaryRequestModel(data []byte) (string, error) {
+	rest, err := parseWireHeader(data, frameKindPredict)
+	if err != nil {
+		return "", err
+	}
+	if len(rest) < 3 {
+		return "", fmt.Errorf("serve: binary frame truncated before request fields")
+	}
+	modelLen := int(rest[2])
+	if len(rest) < 3+modelLen {
+		return "", fmt.Errorf("serve: binary frame truncated inside model name")
+	}
+	return string(rest[3 : 3+modelLen]), nil
+}
+
+// AppendPredictResponseBinary appends a kind-2 fractions frame to dst.
+func AppendPredictResponseBinary(dst []byte, model string, fractions []float64) ([]byte, error) {
+	if len(model) > math.MaxUint8 {
+		return nil, fmt.Errorf("serve: model name %d bytes exceeds the wire limit of %d", len(model), math.MaxUint8)
+	}
+	if len(fractions) > maxInputLen {
+		return nil, fmt.Errorf("serve: %d fractions exceed the limit of %d", len(fractions), maxInputLen)
+	}
+	dst = appendWireHeader(dst, frameKindFraction)
+	dst = append(dst, byte(len(model)))
+	dst = append(dst, model...)
+	return appendFloatBlock(dst, fractions), nil
+}
+
+// ParsePredictResponseBinary decodes one kind-2 fractions frame.
+func ParsePredictResponseBinary(data []byte) (model string, fractions []float64, err error) {
+	rest, err := parseWireHeader(data, frameKindFraction)
+	if err != nil {
+		return "", nil, err
+	}
+	if len(rest) < 1 {
+		return "", nil, fmt.Errorf("serve: binary frame truncated before model name")
+	}
+	modelLen := int(rest[0])
+	rest = rest[1:]
+	if len(rest) < modelLen {
+		return "", nil, fmt.Errorf("serve: binary frame truncated inside model name")
+	}
+	model, rest = string(rest[:modelLen]), rest[modelLen:]
+	fractions, err = parseFloatBlock(rest)
+	if err != nil {
+		return "", nil, err
+	}
+	return model, fractions, nil
+}
+
+// parseWireHeader validates magic, version and frame kind and returns the
+// frame body.
+func parseWireHeader(data []byte, kind byte) ([]byte, error) {
+	if len(data) < wireHeaderLen {
+		return nil, fmt.Errorf("serve: binary frame of %d bytes is shorter than the %d-byte header", len(data), wireHeaderLen)
+	}
+	if data[0] != wireMagic[0] || data[1] != wireMagic[1] || data[2] != wireMagic[2] || data[3] != wireMagic[3] {
+		return nil, fmt.Errorf("serve: binary frame magic %q is not %q", data[:4], wireMagic[:])
+	}
+	if data[4] != wireVersion {
+		return nil, fmt.Errorf("serve: unsupported binary frame version %d (want %d)", data[4], wireVersion)
+	}
+	if data[5] != kind {
+		return nil, fmt.Errorf("serve: binary frame kind %d, want %d", data[5], kind)
+	}
+	return data[wireHeaderLen:], nil
+}
+
+// appendFloatBlock appends a count-prefixed float64 LE block.
+func appendFloatBlock(dst []byte, vals []float64) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(vals)))
+	for _, v := range vals {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+	}
+	return dst
+}
+
+// parseFloatBlock decodes a count-prefixed float64 LE block that must span
+// exactly the remaining frame. The count is checked against maxInputLen and
+// the actual byte count before the slice is allocated: an absurd length
+// prefix fails without allocating.
+func parseFloatBlock(rest []byte) ([]float64, error) {
+	if len(rest) < 4 {
+		return nil, fmt.Errorf("serve: binary frame truncated before sample count")
+	}
+	n := int(binary.LittleEndian.Uint32(rest))
+	rest = rest[4:]
+	if n > maxInputLen {
+		return nil, fmt.Errorf("serve: %d samples exceed the limit of %d", n, maxInputLen)
+	}
+	if len(rest) != 8*n {
+		return nil, fmt.Errorf("serve: binary frame declares %d samples (%d bytes) but carries %d bytes", n, 8*n, len(rest))
+	}
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(rest[8*i:]))
+	}
+	return vals, nil
+}

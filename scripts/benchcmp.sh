@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
-# benchcmp.sh — guard against render-path performance regressions.
+# benchcmp.sh — guard against performance regressions on the hot paths.
 #
-# Runs the Fig. 7 / Fig. 4 render benchmarks and compares each ns/op
-# against the committed baseline in BENCH_render.json. Fails if any
-# benchmark is more than THRESHOLD_PCT slower than its baseline.
+# Runs one benchmark suite and compares each ns/op against its committed
+# baseline file. Fails if any benchmark is more than THRESHOLD_PCT slower
+# than its baseline.
 #
-# Usage: scripts/benchcmp.sh [threshold_pct]   (default 20)
+#   render  Fig. 7 / Fig. 4 render engine        vs BENCH_render.json
+#   serve   SPB1 wire codec + fleet proxy hop    vs BENCH_serve.json
+#
+# Usage: scripts/benchcmp.sh [-s render|serve] [threshold_pct]  (default: render, 20)
 #
 # CI shares hardware, so the baseline is only meaningful on comparable
 # machines; set BENCHCMP_SKIP=1 to run the benchmarks without enforcing
@@ -14,12 +17,21 @@ set -euo pipefail
 
 usage() {
     cat <<'EOF'
-usage: scripts/benchcmp.sh [-h] [threshold_pct]
+usage: scripts/benchcmp.sh [-h] [-s render|serve] [threshold_pct]
 
-Runs the render benchmarks (Fig7Augmentation*, Fig4CorpusRender*) and
-compares each ns/op against the committed baseline BENCH_render.json.
-Exits non-zero when any benchmark is more than threshold_pct (default 20)
-slower than its baseline.
+Runs a benchmark suite and compares each ns/op against its committed
+baseline. Exits non-zero when any benchmark is more than threshold_pct
+(default 20) slower than its baseline.
+
+Suites:
+  render  Fig7Augmentation*, Fig4CorpusRender*     -> BENCH_render.json
+  serve   WireDecode4096, WireEncode4096 (binary   -> BENCH_serve.json
+          vs JSON spectrum codec) and FleetPredict
+          (1 front + 3 backends over loopback)
+
+Benchmarks are compared by their exact emitted name, including any
+-GOMAXPROCS suffix, so a -cpu variant can never be scored against a
+different variant's baseline.
 
 Environment:
   BENCHCMP_SKIP=1   run the benchmarks but do not enforce the threshold
@@ -27,17 +39,31 @@ Environment:
 EOF
 }
 
-case "${1:-}" in
--h | --help)
-    usage
-    exit 0
-    ;;
--*)
-    echo "benchcmp: unknown option ${1}" >&2
-    usage >&2
-    exit 2
-    ;;
-esac
+SUITE="render"
+while [ "$#" -gt 0 ]; do
+    case "$1" in
+    -h | --help)
+        usage
+        exit 0
+        ;;
+    -s | --suite)
+        if [ "$#" -lt 2 ]; then
+            echo "benchcmp: -s requires an argument" >&2
+            exit 2
+        fi
+        SUITE="$2"
+        shift 2
+        ;;
+    -*)
+        echo "benchcmp: unknown option ${1}" >&2
+        usage >&2
+        exit 2
+        ;;
+    *)
+        break
+        ;;
+    esac
+done
 if [ "$#" -gt 1 ]; then
     echo "benchcmp: too many arguments" >&2
     usage >&2
@@ -54,7 +80,35 @@ case "$THRESHOLD_PCT" in
     exit 2
     ;;
 esac
-BASELINE="BENCH_render.json"
+
+# Suite table: the baseline file, the go test invocations, the benchmark
+# names to gate, and the regeneration hint. Names are the exact strings
+# `go test -bench` emits under `-cpu 1` (no -GOMAXPROCS suffix).
+case "$SUITE" in
+render)
+    BASELINE="BENCH_render.json"
+    BENCH_CMDS=("go test -run ^\$ -bench Fig7Augmentation|Fig4CorpusRender -benchtime 1s -cpu 1 .")
+    NAMES="BenchmarkFig7AugmentationExact BenchmarkFig7AugmentationCached \
+           BenchmarkFig4CorpusRenderExact BenchmarkFig4CorpusRenderCached"
+    REGEN="go test -run '^\$' -bench 'Fig7Augmentation|Fig4CorpusRender' -benchtime 3s -cpu 1 ."
+    ;;
+serve)
+    BASELINE="BENCH_serve.json"
+    BENCH_CMDS=(
+        "go test -run ^\$ -bench WireDecode4096|WireEncode4096 -benchtime 1s -cpu 1 ./internal/serve"
+        "go test -run ^\$ -bench FleetPredict -benchtime 1s -cpu 1 ./internal/front"
+    )
+    NAMES="BenchmarkWireDecode4096/codec=json BenchmarkWireDecode4096/codec=binary \
+           BenchmarkWireEncode4096/codec=json BenchmarkWireEncode4096/codec=binary \
+           BenchmarkFleetPredict/hops=binary BenchmarkFleetPredict/hops=json"
+    REGEN="go test -run '^\$' -bench 'WireDecode4096|WireEncode4096' -benchtime 2s -cpu 1 ./internal/serve && go test -run '^\$' -bench FleetPredict -benchtime 2s -cpu 1 ./internal/front"
+    ;;
+*)
+    echo "benchcmp: unknown suite '${SUITE}' (want render or serve)" >&2
+    usage >&2
+    exit 2
+    ;;
+esac
 
 # A missing baseline is a repo-state error, never a pass: fail loudly even
 # in BENCHCMP_SKIP smoke mode, with a hint on how to regenerate it.
@@ -62,26 +116,35 @@ if [ ! -f "$BASELINE" ]; then
     {
         echo "benchcmp: baseline $BASELINE not found in $(pwd)"
         echo "benchcmp: regenerate it from a quiet machine with:"
-        echo "  go test -run '^\$' -bench 'Fig7Augmentation|Fig4CorpusRender' -benchtime 1s -cpu 1 ."
+        echo "  $REGEN"
         echo "  (then record each ns/op under \"benchmark\"/\"ns_per_op\" keys in $BASELINE)"
     } >&2
     exit 2
 fi
 
-out=$(go test -run '^$' -bench 'Fig7Augmentation|Fig4CorpusRender' -benchtime 1s -cpu 1 . 2>&1)
-echo "$out"
+out=""
+for cmd in "${BENCH_CMDS[@]}"; do
+    # shellcheck disable=SC2086 — the table entries are word-split on purpose.
+    chunk=$($cmd 2>&1)
+    echo "$chunk"
+    out="$out
+$chunk"
+done
 
 fail=0
-for name in BenchmarkFig7AugmentationExact BenchmarkFig7AugmentationCached \
-            BenchmarkFig4CorpusRenderExact BenchmarkFig4CorpusRenderCached; do
-    got=$(echo "$out" | awk -v n="$name" '$1 ~ "^"n"($|\\s)" {print $3; exit}')
+for name in $NAMES; do
+    # Exact-name match: the emitted name (field 1) must equal the baseline
+    # name byte for byte. Under -cpu 1 no -GOMAXPROCS suffix is emitted; a
+    # suffixed variant (BenchmarkFoo-8) is a different measurement and is
+    # deliberately NOT matched against the suffix-free baseline.
+    got=$(echo "$out" | awk -v n="$name" '$1 == n {print $3; exit}')
     if [ -z "$got" ]; then
         echo "benchcmp: $name missing from benchmark output" >&2
         fail=1
         continue
     fi
-    base=$(awk -v n="$name" '
-        $0 ~ "\"benchmark\": \""n"\"" {found=1}
+    base=$(awk -v n="\"benchmark\": \"$name\"" '
+        index($0, n) {found=1}
         found && /"ns_per_op"/ {gsub(/[^0-9]/, ""); print; exit}
     ' "$BASELINE")
     if [ -z "$base" ]; then
@@ -91,13 +154,13 @@ for name in BenchmarkFig7AugmentationExact BenchmarkFig7AugmentationCached \
     fi
     # integer arithmetic: got > base * (100 + threshold) / 100 ?
     limit=$(( base * (100 + THRESHOLD_PCT) / 100 ))
-    pct=$(( (got - base) * 100 / base ))
+    pct=$(( ("${got%.*}" - base) * 100 / base ))
     status="ok"
     if [ "${got%.*}" -gt "$limit" ]; then
         status="REGRESSION"
         fail=1
     fi
-    printf '%-34s baseline %12d ns/op  now %12d ns/op  (%+d%%)  %s\n' \
+    printf '%-42s baseline %12d ns/op  now %12d ns/op  (%+d%%)  %s\n' \
         "$name" "$base" "${got%.*}" "$pct" "$status"
 done
 
@@ -106,7 +169,7 @@ if [ "${BENCHCMP_SKIP:-0}" = "1" ]; then
     exit 0
 fi
 if [ "$fail" -ne 0 ]; then
-    echo "benchcmp: render benchmarks regressed more than ${THRESHOLD_PCT}% vs $BASELINE" >&2
+    echo "benchcmp: ${SUITE} benchmarks regressed more than ${THRESHOLD_PCT}% vs $BASELINE" >&2
     exit 1
 fi
-echo "benchcmp: all render benchmarks within ${THRESHOLD_PCT}% of baseline"
+echo "benchcmp: all ${SUITE} benchmarks within ${THRESHOLD_PCT}% of baseline"
