@@ -45,6 +45,7 @@ func main() {
 		maxBatch  = flag.Int("max-batch", 32, "max requests coalesced into one forward pass")
 		window    = flag.Duration("batch-window", 5*time.Millisecond, "how long a batch waits for co-travellers")
 		workers   = flag.Int("workers", 0, "forward-pass worker count (0 = all cores); results are identical for any value")
+		quantize  = flag.Bool("quantize", false, "serve int8-quantized engines (faster forward passes, bounded accuracy drift; responses carry X-Specml-Precision)")
 		timeout   = flag.Duration("timeout", 10*time.Second, "per-request dispatcher timeout")
 		maxSess   = flag.Int("max-sessions", 256, "max live monitor sessions (-1 = unlimited)")
 		sessIdle  = flag.Duration("session-idle-timeout", 30*time.Minute, "expire monitor sessions idle this long (-1s = never)")
@@ -77,6 +78,7 @@ func main() {
 		MaxBatch:           *maxBatch,
 		BatchWindow:        *window,
 		Workers:            *workers,
+		Quantize:           *quantize,
 		RequestTimeout:     *timeout,
 		ModelDir:           *models,
 		MaxSessions:        *maxSess,
@@ -87,7 +89,8 @@ func main() {
 		fatal(err)
 	}
 	for _, m := range srv.Registry().List() {
-		logger.Info("loaded model", "model", m.Name, "in", m.InputLen, "out", m.OutputLen, "params", m.Params)
+		logger.Info("loaded model", "model", m.Name, "in", m.InputLen, "out", m.OutputLen,
+			"params", m.Params, "precision", m.Precision)
 	}
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

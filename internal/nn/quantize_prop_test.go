@@ -1,0 +1,129 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"specml/internal/rng"
+)
+
+// Property tests for the QuantizeParams/QuantizationError round trip: the
+// reported maxRel must upper-bound every observed per-element error, the
+// grid must be symmetric (no zero-point: zeros survive exactly, sign flips
+// commute with quantization), and every dequantized value must sit on an
+// integer multiple of the per-tensor scale. Table-driven across the bit
+// widths the embedded-deployment story cares about.
+
+func propModel(t *testing.T, seed uint64) *Model {
+	t.Helper()
+	m := NewModel().
+		Add(NewReshape(30, 1)).
+		Add(NewConv1D(4, 5, 2)).
+		Add(NewActivation(ReLU)).
+		Add(NewFlatten()).
+		Add(NewDense(7)).
+		Add(NewDense(3))
+	if err := m.Build(rng.New(seed), 30); err != nil {
+		t.Fatal(err)
+	}
+	// Inject exact zeros and a ±v pair into every tensor so the symmetry
+	// properties are exercised on every trial, not just by luck.
+	for _, p := range m.Params() {
+		if len(p.Data) >= 4 {
+			p.Data[0] = 0
+			p.Data[2] = -p.Data[1]
+		}
+	}
+	return m
+}
+
+func TestQuantizeParamsProperties(t *testing.T) {
+	for _, bits := range []int{4, 8} {
+		levels := float64(int64(1)<<(bits-1)) - 1
+		for seed := uint64(40); seed < 45; seed++ {
+			m := propModel(t, seed)
+			q, err := QuantizeParams(m, bits)
+			if err != nil {
+				t.Fatal(err)
+			}
+			maxRel, rms, err := QuantizationError(m, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Round-to-nearest on a symmetric grid cannot exceed half a
+			// step relative to the tensor max.
+			if halfStep := 0.5 / levels; maxRel > halfStep*(1+1e-12) {
+				t.Fatalf("bits=%d seed=%d: maxRel %g exceeds half-step bound %g",
+					bits, seed, maxRel, halfStep)
+			}
+			if rms > maxRel {
+				t.Fatalf("bits=%d seed=%d: rms %g exceeds maxRel %g", bits, seed, rms, maxRel)
+			}
+
+			mp, qp := m.Params(), q.Params()
+			observedMax := 0.0
+			for ti := range mp {
+				a, b := mp[ti].Data, qp[ti].Data
+				maxAbs := 0.0
+				for _, v := range a {
+					if x := math.Abs(v); x > maxAbs {
+						maxAbs = x
+					}
+				}
+				if maxAbs == 0 {
+					continue
+				}
+				scale := maxAbs / levels
+				for i := range a {
+					// maxRel upper-bounds every observed per-element error.
+					rel := math.Abs(a[i]-b[i]) / maxAbs
+					if rel > maxRel*(1+1e-12) {
+						t.Fatalf("bits=%d seed=%d tensor %d elem %d: error %g above reported maxRel %g",
+							bits, seed, ti, i, rel, maxRel)
+					}
+					if rel > observedMax {
+						observedMax = rel
+					}
+					// Symmetric grid: zero maps to zero (no zero-point drift)...
+					if a[i] == 0 && b[i] != 0 {
+						t.Fatalf("bits=%d seed=%d tensor %d elem %d: zero drifted to %g",
+							bits, seed, ti, i, b[i])
+					}
+					// ...every value lands on an integer multiple of the scale...
+					steps := b[i] / scale
+					if math.Abs(steps-math.Round(steps)) > 1e-9 {
+						t.Fatalf("bits=%d seed=%d tensor %d elem %d: %g is not on the %g grid",
+							bits, seed, ti, i, b[i], scale)
+					}
+					// ...within the representable code range.
+					if math.Abs(math.Round(steps)) > levels {
+						t.Fatalf("bits=%d seed=%d tensor %d elem %d: code %g outside ±%g",
+							bits, seed, ti, i, math.Round(steps), levels)
+					}
+				}
+				// Sign symmetry: quantize(-v) == -quantize(v) for the
+				// injected ± pair (math.Round rounds half away from zero,
+				// which is sign-symmetric).
+				if len(a) >= 4 && a[2] == -a[1] && b[2] != -b[1] {
+					t.Fatalf("bits=%d seed=%d tensor %d: quantization not sign-symmetric (%g vs %g)",
+						bits, seed, ti, b[1], b[2])
+				}
+			}
+			// maxRel is tight: it equals the worst observed error.
+			if math.Abs(observedMax-maxRel) > 1e-12 {
+				t.Fatalf("bits=%d seed=%d: reported maxRel %g != observed max %g",
+					bits, seed, maxRel, observedMax)
+			}
+		}
+	}
+}
+
+func TestQuantizeParamsRejectsBadBits(t *testing.T) {
+	m := propModel(t, 1)
+	for _, bits := range []int{1, 0, -3, 33} {
+		if _, err := QuantizeParams(m, bits); err == nil {
+			t.Fatalf("QuantizeParams accepted bits=%d", bits)
+		}
+	}
+}

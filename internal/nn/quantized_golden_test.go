@@ -1,0 +1,85 @@
+package nn
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"specml/internal/rng"
+)
+
+// goldenQuantModel mixes quantized layers (Conv1D, Dense) with a float
+// fallback that owns parameters (LocallyConnected1D), so the golden file
+// pins the int8 code block, the per-channel scales AND the FloatWeights
+// section of the qmodel format.
+func goldenQuantModel(t *testing.T) *Model {
+	t.Helper()
+	m := NewModel()
+	m.Add(&Conv1D{Filters: 2, Kernel: 3, Stride: 2})
+	act, err := ActivationByName("selu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Add(&ActivationLayer{Act: act})
+	m.Add(&LocallyConnected1D{Filters: 3, Kernel: 2, Stride: 1})
+	m.Add(&Flatten{})
+	m.Add(&Dense{Out: 4})
+	m.Add(&SoftmaxLayer{})
+	if err := m.Build(rng.New(20260805), 12, 1); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestQuantizedSaveGolden pins the exact bytes of the quantized model
+// format: deployed int8 engines depend on this layout, so any drift must
+// be a deliberate, versioned format change.
+func TestQuantizedSaveGolden(t *testing.T) {
+	q, err := Quantize(goldenQuantModel(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := q.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "qmodel_v1.golden.json", buf.Bytes())
+}
+
+// TestQuantizedGoldenRoundTrip loads the committed artifact and re-saves
+// it: the bytes must survive unchanged, and the loaded engine must
+// predict bit-identically to one quantized fresh from the golden model
+// (same codes + same scales -> exact int32 accumulation -> same floats).
+func TestQuantizedGoldenRoundTrip(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "qmodel_v1.golden.json"))
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update-golden)", err)
+	}
+	loaded, err := LoadQuantized(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := loaded.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), data) {
+		t.Fatal("LoadQuantized+Save is not byte-stable on the golden engine")
+	}
+	ref, err := Quantize(goldenQuantModel(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, ref.InputLen())
+	for i := range x {
+		x[i] = float64(i%5)*0.2 - 0.3
+	}
+	want, got := ref.Predict(x), loaded.Predict(x)
+	for i := range want {
+		if math.Float64bits(want[i]) != math.Float64bits(got[i]) {
+			t.Fatalf("golden engine predicts differently after round trip: %v vs %v", got, want)
+		}
+	}
+}

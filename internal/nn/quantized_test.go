@@ -1,0 +1,269 @@
+package nn
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"specml/internal/rng"
+)
+
+func quantTestInput(seed uint64, n int) []float64 {
+	src := rng.New(seed)
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = src.Uniform(-1, 1)
+	}
+	return x
+}
+
+func TestQuantizeRequiresBuild(t *testing.T) {
+	m := NewModel().Add(NewDense(3))
+	if _, err := Quantize(m); err == nil {
+		t.Fatal("Quantize before Build must error")
+	}
+}
+
+func TestQuantizeIndependentOfSource(t *testing.T) {
+	m := NewModel().Add(NewDense(4))
+	if err := m.Build(rng.New(7), 6); err != nil {
+		t.Fatal(err)
+	}
+	q, err := Quantize(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := quantTestInput(1, 6)
+	before := q.Predict(x)
+	for _, p := range m.Params() { // mutate the source after quantizing
+		for i := range p.Data {
+			p.Data[i] *= -3
+		}
+	}
+	after := q.Predict(x)
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatal("quantized engine must deep-copy the source model")
+		}
+	}
+}
+
+// A single linear Dense layer admits the same analytic bound the tensor
+// fuzz harness asserts: with per-sample input scale sx and per-output
+// weight scales ws[o], each output is within
+// k·(sx/2·Wmax_o + ws_o/2·Xmax + sx·ws_o/4) of the float pre-activation.
+func TestQuantizedDenseWithinAnalyticBound(t *testing.T) {
+	const in, out = 37, 9
+	m := NewModel().Add(NewDense(out))
+	if err := m.Build(rng.New(8), in); err != nil {
+		t.Fatal(err)
+	}
+	q, err := Quantize(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := m.layers[0].(*Dense)
+	for trial := uint64(0); trial < 10; trial++ {
+		x := quantTestInput(100+trial, in)
+		want := m.Predict(x)
+		got := q.Predict(x)
+		xmax := 0.0
+		for _, v := range x {
+			if a := math.Abs(v); a > xmax {
+				xmax = a
+			}
+		}
+		sx := xmax / 127
+		for o := 0; o < out; o++ {
+			wmax := 0.0
+			for _, v := range d.w.Data[o*in : (o+1)*in] {
+				if a := math.Abs(v); a > wmax {
+					wmax = a
+				}
+			}
+			ws := wmax / 127
+			bound := float64(in) * (sx/2*wmax + ws/2*xmax + sx*ws/4)
+			slack := 1e-9 * (math.Abs(want[o]) + bound)
+			if diff := math.Abs(got[o] - want[o]); diff > bound*(1+1e-9)+slack {
+				t.Fatalf("trial %d output %d: |%g - %g| = %g exceeds bound %g",
+					trial, o, got[o], want[o], diff, bound)
+			}
+		}
+	}
+}
+
+// Per-sample activation scales make batching invisible: a sample's
+// quantized prediction must not depend on its batch neighbours — the same
+// contract the serve dispatcher relies on for the float path.
+func TestQuantizedBatchInvariance(t *testing.T) {
+	m := NewModel().
+		Add(NewReshape(40, 1)).
+		Add(NewConv1D(4, 5, 2)).
+		Add(NewActivation(ReLU)).
+		Add(NewFlatten()).
+		Add(NewDense(6)).
+		Add(NewSoftmax())
+	if err := m.Build(rng.New(9), 40); err != nil {
+		t.Fatal(err)
+	}
+	q, err := Quantize(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := make([][]float64, 17)
+	for i := range rows {
+		rows[i] = quantTestInput(uint64(200+i), 40)
+	}
+	batched, err := q.PredictBatch(rows, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range rows {
+		solo := q.Predict(row)
+		for j := range solo {
+			if math.Float64bits(solo[j]) != math.Float64bits(batched[i][j]) {
+				t.Fatalf("row %d element %d: solo %g vs batched %g (batching must be invisible)",
+					i, j, solo[j], batched[i][j])
+			}
+		}
+	}
+}
+
+// With no Dense/Conv1D in the stack every step is a float fallback, so
+// the quantized engine must reproduce the float model bit for bit.
+func TestQuantizedFallbackOnlyIsBitIdentical(t *testing.T) {
+	m := NewModel().
+		Add(NewReshape(10, 1)).
+		Add(&LocallyConnected1D{Filters: 3, Kernel: 3, Stride: 1}).
+		Add(NewActivation(Sigmoid)).
+		Add(NewMaxPool1D(2, 2)).
+		Add(NewFlatten())
+	if err := m.Build(rng.New(10), 10); err != nil {
+		t.Fatal(err)
+	}
+	q, err := Quantize(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.QuantizedLayers() != 0 {
+		t.Fatalf("QuantizedLayers = %d, want 0", q.QuantizedLayers())
+	}
+	x := quantTestInput(3, 10)
+	want := m.Predict(x)
+	got := q.Predict(x)
+	for i := range want {
+		if math.Float64bits(want[i]) != math.Float64bits(got[i]) {
+			t.Fatalf("element %d: %g vs %g (fallback-only engine must match float path)",
+				i, got[i], want[i])
+		}
+	}
+}
+
+func TestQuantizedLayerCountAndShapes(t *testing.T) {
+	m := NewModel().
+		Add(NewReshape(30, 1)).
+		Add(NewConv1D(4, 5, 2)).
+		Add(NewActivation(ReLU)).
+		Add(NewFlatten()).
+		Add(NewDense(5)).
+		Add(NewSoftmax())
+	if err := m.Build(rng.New(11), 30); err != nil {
+		t.Fatal(err)
+	}
+	q, err := Quantize(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.QuantizedLayers() != 2 {
+		t.Fatalf("QuantizedLayers = %d, want 2 (conv + dense)", q.QuantizedLayers())
+	}
+	if q.InputLen() != m.InputLen() || q.OutputLen() != m.OutputLen() || q.NumParams() != m.NumParams() {
+		t.Fatal("quantized engine must report the source model's shapes and parameter count")
+	}
+}
+
+func TestQuantizedPredictBatchWidthPanics(t *testing.T) {
+	m := NewModel().Add(NewDense(2))
+	if err := m.Build(rng.New(12), 4); err != nil {
+		t.Fatal(err)
+	}
+	q, err := Quantize(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on wrong input width (serve batcher depends on it)")
+		}
+	}()
+	_, _ = q.PredictBatch([][]float64{{1, 2, 3}}, 1)
+}
+
+func TestQuantizedSerializeRoundTrip(t *testing.T) {
+	m := NewModel().
+		Add(NewReshape(24, 1)).
+		Add(NewConv1D(3, 5, 2)).
+		Add(NewActivation(ReLU)).
+		Add(&LocallyConnected1D{Filters: 2, Kernel: 2, Stride: 1}). // pins FloatWeights
+		Add(NewFlatten()).
+		Add(NewDense(4)).
+		Add(NewSoftmax())
+	if err := m.Build(rng.New(13), 24); err != nil {
+		t.Fatal(err)
+	}
+	q, err := Quantize(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := q.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadQuantized(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.QuantizedLayers() != q.QuantizedLayers() {
+		t.Fatalf("loaded QuantizedLayers = %d, want %d", loaded.QuantizedLayers(), q.QuantizedLayers())
+	}
+	// Same codes, scales and fallback weights -> bit-identical inference.
+	for trial := uint64(0); trial < 5; trial++ {
+		x := quantTestInput(300+trial, 24)
+		want := q.Predict(x)
+		got := loaded.Predict(x)
+		for i := range want {
+			if math.Float64bits(want[i]) != math.Float64bits(got[i]) {
+				t.Fatalf("trial %d element %d: loaded engine predicts %g, want %g",
+					trial, i, got[i], want[i])
+			}
+		}
+	}
+	// Save of the loaded engine reproduces the bytes (stability).
+	var buf2 bytes.Buffer
+	if err := loaded.Save(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("Load+Save is not byte-stable for the quantized format")
+	}
+}
+
+func TestLoadQuantizedRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"garbage":      "{",
+		"wrong format": `{"format":"specml/model/v1"}`,
+		"bad layer index": `{"format":"specml/qmodel/v1","inputShape":[2],` +
+			`"layers":[{"type":"dense","out":1}],"quant":[{"layer":5,"kind":"dense"}]}`,
+		"missing quant entry": `{"format":"specml/qmodel/v1","inputShape":[2],` +
+			`"layers":[{"type":"dense","out":1}]}`,
+		"size mismatch": `{"format":"specml/qmodel/v1","inputShape":[2],` +
+			`"layers":[{"type":"dense","out":1}],` +
+			`"quant":[{"layer":0,"kind":"dense","scales":[1],"weights":"AA==","bias":[0]}]}`,
+	}
+	for name, raw := range cases {
+		if _, err := LoadQuantized(strings.NewReader(raw)); err == nil {
+			t.Fatalf("%s: LoadQuantized accepted invalid input", name)
+		}
+	}
+}

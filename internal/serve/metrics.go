@@ -19,6 +19,9 @@ const (
 
 	codecJSON   = "json"
 	codecBinary = "binary"
+
+	precisionFP64 = "fp64"
+	precisionInt8 = "int8"
 )
 
 // serveMetrics bundles one Server's obs instruments. Every field is
@@ -29,11 +32,18 @@ type serveMetrics struct {
 	reg *obs.Registry
 
 	// stage[...] are per-stage latency histograms sharing one family; the
-	// serialization stages are split by codec.
+	// serialization stages are split by codec and the forward stage by
+	// numeric precision (fp64 vs the opt-in int8 engine).
 	stDecodeJSON, stDecodeBinary *obs.Histogram
 	stPreprocess                 *obs.Histogram
-	stBatchWait, stForward       *obs.Histogram
+	stBatchWait                  *obs.Histogram
+	stForwardFP64, stForwardInt8 *obs.Histogram
 	stEncodeJSON, stEncodeBinary *obs.Histogram
+
+	// stForward aliases the forward-stage series of the engine this server
+	// actually runs (precision is a server-wide choice), so the batcher's
+	// hot path records with one pointer dereference and no branching.
+	stForward *obs.Histogram
 
 	// batchSize is the coalesced-batch-size distribution of all batchers.
 	batchSize *obs.Histogram
@@ -42,7 +52,11 @@ type serveMetrics struct {
 	reloadsOK, reloadsFailed *obs.Counter
 }
 
-func newServeMetrics(reg *obs.Registry) *serveMetrics {
+// newServeMetrics registers every instrument; quantized selects which
+// precision's forward-stage series the hot path records into. Both series
+// are registered either way, so dashboards see a stable family shape and
+// a zero series for the engine that is not running.
+func newServeMetrics(reg *obs.Registry, quantized bool) *serveMetrics {
 	stage := func(name string) *obs.Histogram {
 		return reg.Histogram("specserve_stage_seconds",
 			"Per-stage request latency of the predict pipeline.",
@@ -53,13 +67,19 @@ func newServeMetrics(reg *obs.Registry) *serveMetrics {
 			"Per-stage request latency of the predict pipeline.",
 			obs.LatencyBuckets, obs.L("stage", name), obs.L("codec", codec))
 	}
-	return &serveMetrics{
+	precStage := func(name, precision string) *obs.Histogram {
+		return reg.Histogram("specserve_stage_seconds",
+			"Per-stage request latency of the predict pipeline.",
+			obs.LatencyBuckets, obs.L("stage", name), obs.L("precision", precision))
+	}
+	m := &serveMetrics{
 		reg:            reg,
 		stDecodeJSON:   codecStage(stageDecode, codecJSON),
 		stDecodeBinary: codecStage(stageDecode, codecBinary),
 		stPreprocess:   stage(stagePreprocess),
 		stBatchWait:    stage(stageBatchWait),
-		stForward:      stage(stageForward),
+		stForwardFP64:  precStage(stageForward, precisionFP64),
+		stForwardInt8:  precStage(stageForward, precisionInt8),
 		stEncodeJSON:   codecStage(stageEncode, codecJSON),
 		stEncodeBinary: codecStage(stageEncode, codecBinary),
 		batchSize: reg.Histogram("specserve_batch_size",
@@ -69,6 +89,11 @@ func newServeMetrics(reg *obs.Registry) *serveMetrics {
 		reloadsFailed: reg.Counter("specserve_reloads_total",
 			"Hot reloads by outcome.", obs.L("result", "error")),
 	}
+	m.stForward = m.stForwardFP64
+	if quantized {
+		m.stForward = m.stForwardInt8
+	}
+	return m
 }
 
 // endpointCounters returns the request/error counters of one HTTP

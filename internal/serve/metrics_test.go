@@ -63,7 +63,8 @@ func TestMetricsEndpoint(t *testing.T) {
 		`specserve_stage_seconds_bucket{codec="binary",stage="decode",le="+Inf"}`,
 		`specserve_stage_seconds_bucket{stage="preprocess",le="+Inf"}`,
 		`specserve_stage_seconds_bucket{stage="batch_wait",le="+Inf"}`,
-		`specserve_stage_seconds_bucket{stage="forward",le="+Inf"}`,
+		`specserve_stage_seconds_bucket{precision="fp64",stage="forward",le="+Inf"}`,
+		`specserve_stage_seconds_bucket{precision="int8",stage="forward",le="+Inf"}`,
 		`specserve_stage_seconds_bucket{codec="json",stage="encode",le="+Inf"}`,
 		`specserve_stage_seconds_bucket{codec="binary",stage="encode",le="+Inf"}`,
 		"# TYPE specserve_stage_seconds histogram",
@@ -85,7 +86,7 @@ func TestMetricsEndpoint(t *testing.T) {
 	// The three successful predictions must be visible in the forward-stage
 	// count and the batch-size histogram (batches <= requests).
 	var forwardCount int
-	fmt.Sscanf(line(t, out, `specserve_stage_seconds_count{stage="forward"}`), "%d", &forwardCount)
+	fmt.Sscanf(line(t, out, `specserve_stage_seconds_count{precision="fp64",stage="forward"}`), "%d", &forwardCount)
 	if forwardCount < 1 || forwardCount > 3 {
 		t.Fatalf("forward stage count %d, want 1..3 batches for 3 requests", forwardCount)
 	}

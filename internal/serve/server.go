@@ -64,6 +64,12 @@ type Config struct {
 	// ModelDir, when set, is loaded at startup and re-scanned by
 	// POST /v1/models/reload.
 	ModelDir string
+	// Quantize serves every model through its int8 engine (nn.Quantize):
+	// per-output-channel weight codes, per-sample activation scales, int32
+	// accumulation. Predictions carry an X-Specml-Precision header and the
+	// forward-stage histogram is labeled precision="int8". The accuracy
+	// contract is bounded drift, not bit-exactness — see DESIGN.md §5e.
+	Quantize bool
 	// MaxBodyBytes caps request bodies (default 32 MiB).
 	MaxBodyBytes int64
 	// MaxSessions caps live monitor sessions; creation beyond the cap is
@@ -131,12 +137,12 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:      cfg,
 		stats:    NewStats(),
-		mx:       newServeMetrics(cfg.Metrics),
+		mx:       newServeMetrics(cfg.Metrics, cfg.Quantize),
 		logger:   cfg.Logger,
 		sessions: newSessionStore(cfg.MaxSessions, cfg.SessionIdleTimeout),
 		mux:      http.NewServeMux(),
 	}
-	s.reg = newRegistry(cfg.MaxBatch, cfg.BatchWindow, cfg.Workers, s.stats, s.mx, s.logger)
+	s.reg = newRegistry(cfg.MaxBatch, cfg.BatchWindow, cfg.Workers, cfg.Quantize, s.stats, s.mx, s.logger)
 	cfg.Metrics.GaugeFunc("specserve_monitor_sessions",
 		"Live monitor sessions.", func() float64 { return float64(s.sessions.count()) })
 	if cfg.ModelDir != "" {
@@ -376,6 +382,12 @@ func (s *Server) encodeFractions(w http.ResponseWriter, r *http.Request, model s
 	return http.StatusOK
 }
 
+// precisionHeader is the response header naming the numeric engine that
+// produced a prediction ("fp64" or "int8"), so clients of a quantized
+// deployment can see they are under the bounded-drift accuracy contract
+// rather than exact float inference.
+const precisionHeader = "X-Specml-Precision"
+
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) int {
 	req, err := s.readPredictRequest(r)
 	if err != nil {
@@ -389,6 +401,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) int {
 	if err != nil {
 		return writeError(w, status, err)
 	}
+	w.Header().Set(precisionHeader, e.precision())
 	return s.encodeFractions(w, r, e.name, y)
 }
 
@@ -538,6 +551,7 @@ func (s *Server) handleMonitorStep(w http.ResponseWriter, r *http.Request) int {
 	if err != nil {
 		return writeError(w, http.StatusInternalServerError, err)
 	}
+	w.Header().Set(precisionHeader, e.precision())
 	return s.encodeResponse(w, http.StatusOK, map[string]any{
 		"session":    sess.id,
 		"step":       step,

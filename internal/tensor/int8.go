@@ -1,0 +1,127 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Packed int8 GEMM kernels and quantize/dequantize helpers for the
+// quantized inference path (internal/nn.QuantizedModel). The design
+// mirrors the float kernels: weights are packed row-major [out][k] like
+// GemmNT's B operand, activations stream row by row, and an AVX2 variant
+// sits behind the same CPUID/SPECML_NOASM gating as the render kernels
+// with a bit-identical scalar fallback.
+//
+// Numerics contract: products and sums are exact in int32 (see
+// MaxGemmInt8K), so — unlike the float kernels — any summation order
+// yields the same accumulator and the scalar and SIMD paths agree bit for
+// bit by construction. Quantization itself rounds to nearest, ties to
+// even (math.RoundToEven in the scalar kernel, VCVTPD2DQ under the
+// default MXCSR rounding mode in the AVX2 kernel), so the two dispatch
+// paths also produce identical int8 codes for every finite input with
+// |v·invScale| < 2³¹; behaviour outside that range (never produced by the
+// nn quantizers, which bound |v·invScale| ≤ 127 by construction) is
+// unspecified.
+
+// MaxGemmInt8K is the largest contraction length GemmInt8NT accepts:
+// k·127·127 must stay below 2³¹ so the int32 accumulator cannot overflow
+// (131072·16129 = 2 114 060 288 < 2 147 483 647). Every layer shape in
+// this repo is orders of magnitude below the limit.
+const MaxGemmInt8K = 1 << 17
+
+// KPad16 rounds a contraction length up to the next multiple of 16, the
+// panel granularity of the AVX2 int8 kernel. Rows padded with zero int8s
+// contribute nothing to the dot products, so callers quantize into
+// KPad16-strided rows once and every GEMM over them takes the fast path.
+func KPad16(k int) int { return (k + 15) &^ 15 }
+
+// GemmInt8NT computes C += A·Bᵀ with int32 accumulation for row-major
+// int8 A (m x k), B (n x k) and int32 C (m x n): C[i][j] gains the exact
+// integer dot product of A's row i with B's row j. This is the same
+// operand layout as the float GemmNT (weights pre-transposed row-major
+// [out][in]) and the layout Im2ColInt8 produces for convolutions.
+//
+// The AVX2 variant engages when k is a positive multiple of 16 (use
+// KPad16 and zero-pad); other shapes run the scalar kernel. Both paths
+// return identical results — int32 addition is associative.
+func GemmInt8NT(c []int32, a, b []int8, m, n, k int) {
+	if len(a) != m*k || len(b) != n*k || len(c) != m*n {
+		panic(fmt.Sprintf("tensor: GemmInt8NT dimension mismatch (a %d, b %d, c %d for m=%d n=%d k=%d)",
+			len(a), len(b), len(c), m, n, k))
+	}
+	if k > MaxGemmInt8K {
+		panic(fmt.Sprintf("tensor: GemmInt8NT k=%d exceeds MaxGemmInt8K=%d (int32 accumulator could overflow)",
+			k, MaxGemmInt8K))
+	}
+	if m == 0 || n == 0 || k == 0 {
+		return
+	}
+	gemmInt8NT(c, a, b, m, n, k)
+}
+
+// QuantizeInt8 writes round-to-nearest-even int8 codes of src[i]*invScale
+// into dst, clamping to [-127, 127] (symmetric: -128 is never produced,
+// so negation of a code is always representable). len(dst) must equal
+// len(src).
+func QuantizeInt8(dst []int8, src []float64, invScale float64) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("tensor: QuantizeInt8 length mismatch (dst %d, src %d)", len(dst), len(src)))
+	}
+	quantizeInt8(dst, src, invScale)
+}
+
+// QuantizeRowInt8 quantizes one row symmetrically: the scale is
+// maxAbs(x)/127 (no zero point — zero always maps to code 0), codes go to
+// dst[:len(x)], and dst[len(x):] is zero-filled so KPad16-padded rows
+// feed the GEMM directly. It returns the scale; dequantize with
+// value ≈ scale·code. An all-zero (or empty) row zero-fills dst and
+// returns scale 0. len(dst) must be at least len(x); inputs are expected
+// finite (the nn layers and the serve preprocessing both guarantee it).
+func QuantizeRowInt8(dst []int8, x []float64) float64 {
+	if len(dst) < len(x) {
+		panic(fmt.Sprintf("tensor: QuantizeRowInt8 dst %d shorter than row %d", len(dst), len(x)))
+	}
+	m := maxAbs(x)
+	if m == 0 || math.IsInf(m, 0) || math.IsNaN(m) {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return 0
+	}
+	quantizeInt8(dst[:len(x)], x, 127/m)
+	for i := len(x); i < len(dst); i++ {
+		dst[i] = 0
+	}
+	return m / 127
+}
+
+// Im2ColInt8 is Im2Col for quantized sequences with padded rows: x is
+// [inLen, inCh] row-major int8, dst becomes [outLen, rowStride] row-major
+// where each row holds the kernel*inCh window codes followed by zero
+// padding up to rowStride (pass KPad16(kernel*inCh) so the lowered matrix
+// feeds the AVX2 GEMM directly; rowStride == kernel*inCh reproduces the
+// unpadded float layout). After it, the convolution is exactly
+// GemmInt8NT(acc, dst, w, outLen, filters, rowStride) with w packed to
+// the same rowStride.
+func Im2ColInt8(dst, x []int8, inLen, inCh, kernel, stride, outLen, rowStride int) {
+	fanIn := kernel * inCh
+	if rowStride < fanIn {
+		panic(fmt.Sprintf("tensor: Im2ColInt8 rowStride %d below fan-in %d", rowStride, fanIn))
+	}
+	if len(x) != inLen*inCh || len(dst) != outLen*rowStride {
+		panic(fmt.Sprintf("tensor: Im2ColInt8 dimension mismatch (x %d, dst %d for inLen=%d inCh=%d kernel=%d outLen=%d rowStride=%d)",
+			len(x), len(dst), inLen, inCh, kernel, outLen, rowStride))
+	}
+	if (outLen-1)*stride+kernel > inLen {
+		panic(fmt.Sprintf("tensor: Im2ColInt8 window overrun (inLen=%d kernel=%d stride=%d outLen=%d)",
+			inLen, kernel, stride, outLen))
+	}
+	step := stride * inCh
+	for p := 0; p < outLen; p++ {
+		row := dst[p*rowStride : (p+1)*rowStride]
+		copy(row[:fanIn], x[p*step:p*step+fanIn])
+		for i := fanIn; i < rowStride; i++ {
+			row[i] = 0
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package tensor
+
+import (
+	"testing"
+
+	"specml/internal/rng"
+)
+
+// Int8 counterparts of the float kernel benchmarks: the conv-lowered
+// shape matches BenchmarkGemmNTConvLowered with k padded to the AVX2
+// panel (25 -> 32), and the quantize benchmark covers the per-sample
+// activation quantization the QuantizedModel performs before every GEMM.
+
+func BenchmarkGemmInt8NTConvLowered(b *testing.B) {
+	// batch 32 x outLen 976 rows, fanIn 25 padded to 32, 20 filters.
+	m, n, k := 32*976, 20, KPad16(25)
+	src := rng.New(103)
+	am := make([]int8, m*k)
+	bm := make([]int8, n*k)
+	cm := make([]int32, m*n)
+	fillCodes(src, am)
+	fillCodes(src, bm)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GemmInt8NT(cm, am, bm, m, n, k)
+	}
+}
+
+func BenchmarkQuantizeRowInt8(b *testing.B) {
+	// One 2000-point spectrum row -> padded int8 codes (maxAbs + quantize).
+	n := 2000
+	src := rng.New(104)
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = src.Uniform(-3, 3)
+	}
+	dst := make([]int8, KPad16(n))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		QuantizeRowInt8(dst, x)
+	}
+}

@@ -1,0 +1,90 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+
+	"specml/internal/rng"
+)
+
+// FuzzGemmInt8 is the differential harness for the quantized GEMM: random
+// shapes and float matrices are quantized row-wise, multiplied in int8,
+// and checked two ways.
+//
+//  1. Exactness over the codes: int32 accumulation has no rounding, so
+//     the kernel output must EQUAL the float64 dot product of the code
+//     values (|acc| ≤ k·127² < 2²³ ≪ 2⁵³, so the float64 reference is
+//     itself exact). This catches overflow, panel mis-indexing, and any
+//     scalar/SIMD divergence regardless of which path dispatch picks.
+//  2. The analytic quantization bound against the float reference:
+//     per-row symmetric rounding puts each element within scale/2·(1+ε)
+//     of its code, so the dequantized dot differs from the float dot by
+//     at most k·(sa/2·Bmax + sb/2·Amax + sa·sb/4) up to fp slack.
+func FuzzGemmInt8(f *testing.F) {
+	f.Add(uint64(1), uint8(1), uint8(1), uint8(1))
+	f.Add(uint64(2), uint8(4), uint8(4), uint8(16))
+	f.Add(uint64(3), uint8(7), uint8(3), uint8(40))
+	f.Add(uint64(42), uint8(8), uint8(8), uint8(64))
+	f.Add(uint64(99), uint8(2), uint8(5), uint8(17))
+
+	f.Fuzz(func(t *testing.T, seed uint64, mm, nn, kk uint8) {
+		m := 1 + int(mm)%8
+		n := 1 + int(nn)%8
+		k := 1 + int(kk)%64
+		kp := KPad16(k)
+		src := rng.New(seed)
+
+		amp := math.Exp(src.Uniform(-3, 3)) // span tiny to large dynamic ranges
+		a := make([]float64, m*k)
+		b := make([]float64, n*k)
+		for i := range a {
+			a[i] = src.Uniform(-amp, amp)
+		}
+		for i := range b {
+			b[i] = src.Uniform(-amp, amp)
+		}
+
+		qa := make([]int8, m*kp)
+		qb := make([]int8, n*kp)
+		sa := make([]float64, m)
+		sb := make([]float64, n)
+		for i := 0; i < m; i++ {
+			sa[i] = QuantizeRowInt8(qa[i*kp:(i+1)*kp], a[i*k:(i+1)*k])
+		}
+		for j := 0; j < n; j++ {
+			sb[j] = QuantizeRowInt8(qb[j*kp:(j+1)*kp], b[j*k:(j+1)*k])
+		}
+
+		acc := make([]int32, m*n)
+		GemmInt8NT(acc, qa, qb, m, n, kp)
+
+		for i := 0; i < m; i++ {
+			amax := maxAbsGeneric(a[i*k : (i+1)*k])
+			for j := 0; j < n; j++ {
+				// (1) exact over the codes.
+				exact := 0.0
+				for p := 0; p < kp; p++ {
+					exact += float64(qa[i*kp+p]) * float64(qb[j*kp+p])
+				}
+				if float64(acc[i*n+j]) != exact {
+					t.Fatalf("m=%d n=%d k=%d cell (%d,%d): int gemm %d != code dot %g",
+						m, n, k, i, j, acc[i*n+j], exact)
+				}
+
+				// (2) analytic bound vs the float reference.
+				ref := 0.0
+				for p := 0; p < k; p++ {
+					ref += a[i*k+p] * b[j*k+p]
+				}
+				got := sa[i] * sb[j] * float64(acc[i*n+j])
+				bmax := maxAbsGeneric(b[j*k : (j+1)*k])
+				bound := float64(k) * (sa[i]/2*bmax + sb[j]/2*amax + sa[i]*sb[j]/4)
+				slack := 1e-9 * (math.Abs(ref) + math.Abs(got) + bound)
+				if diff := math.Abs(got - ref); diff > bound*(1+1e-9)+slack {
+					t.Fatalf("m=%d n=%d k=%d cell (%d,%d): |%g - %g| = %g exceeds bound %g",
+						m, n, k, i, j, got, ref, diff, bound)
+				}
+			}
+		}
+	})
+}

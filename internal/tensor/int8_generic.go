@@ -1,0 +1,76 @@
+package tensor
+
+import "math"
+
+// Portable scalar kernels of the int8 path. They are the only
+// implementation off amd64 and the SPECML_NOASM fallback on it; the AVX2
+// variants are bit-identical (integer sums are exact, and the rounding
+// convention matches — see the package comment in int8.go).
+
+// gemmInt8NTGeneric mirrors GemmNT's register blocking: B rows four at a
+// time so each loaded A code feeds four int32 accumulators.
+func gemmInt8NTGeneric(c []int32, a, b []int8, m, n, k int) {
+	for i := 0; i < m; i++ {
+		arow := a[i*k : (i+1)*k]
+		crow := c[i*n : (i+1)*n]
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			b0 := b[(j+0)*k : (j+1)*k]
+			b1 := b[(j+1)*k : (j+2)*k]
+			b2 := b[(j+2)*k : (j+3)*k]
+			b3 := b[(j+3)*k : (j+4)*k]
+			var acc0, acc1, acc2, acc3 int32
+			for p, av := range arow {
+				va := int32(av)
+				acc0 += va * int32(b0[p])
+				acc1 += va * int32(b1[p])
+				acc2 += va * int32(b2[p])
+				acc3 += va * int32(b3[p])
+			}
+			crow[j] += acc0
+			crow[j+1] += acc1
+			crow[j+2] += acc2
+			crow[j+3] += acc3
+		}
+		for ; j < n; j++ {
+			brow := b[j*k : (j+1)*k]
+			var acc int32
+			for p, av := range arow {
+				acc += int32(av) * int32(brow[p])
+			}
+			crow[j] += acc
+		}
+	}
+}
+
+// quantizeInt8Generic rounds src[i]*inv to the nearest int8, ties to
+// even, clamped to ±127. The pre-conversion clamp keeps the float→int
+// conversion in range (Go leaves out-of-range conversions implementation-
+// defined); NaN products map to -127, matching the AVX2 kernel's
+// convert-then-clamp of the 0x80000000 indefinite value.
+func quantizeInt8Generic(dst []int8, src []float64, inv float64) {
+	for i, v := range src {
+		f := v * inv
+		switch {
+		case f >= 127:
+			dst[i] = 127
+		case f <= -127:
+			dst[i] = -127
+		case f != f: // NaN
+			dst[i] = -127
+		default:
+			dst[i] = int8(math.RoundToEven(f))
+		}
+	}
+}
+
+// maxAbsGeneric returns max(|x[i]|), 0 for an empty slice.
+func maxAbsGeneric(x []float64) float64 {
+	m := 0.0
+	for _, v := range x {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}

@@ -1,0 +1,15 @@
+//go:build !amd64
+
+package tensor
+
+func gemmInt8NT(c []int32, a, b []int8, m, n, k int) {
+	gemmInt8NTGeneric(c, a, b, m, n, k)
+}
+
+func quantizeInt8(dst []int8, src []float64, inv float64) {
+	quantizeInt8Generic(dst, src, inv)
+}
+
+func maxAbs(x []float64) float64 {
+	return maxAbsGeneric(x)
+}

@@ -1,0 +1,244 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+
+	"specml/internal/rng"
+)
+
+// refGemmInt8 is the obvious triple loop both dispatch paths must match
+// exactly (integer accumulation leaves no rounding freedom).
+func refGemmInt8(c []int32, a, b []int8, m, n, k int) {
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			acc := c[i*n+j]
+			for p := 0; p < k; p++ {
+				acc += int32(a[i*k+p]) * int32(b[j*k+p])
+			}
+			c[i*n+j] = acc
+		}
+	}
+}
+
+func fillCodes(src *rng.Source, s []int8) {
+	for i := range s {
+		s[i] = int8(src.Intn(255) - 127)
+	}
+}
+
+func TestKPad16(t *testing.T) {
+	cases := map[int]int{0: 0, 1: 16, 15: 16, 16: 16, 17: 32, 100: 112, 512: 512}
+	for k, want := range cases {
+		if got := KPad16(k); got != want {
+			t.Fatalf("KPad16(%d) = %d, want %d", k, got, want)
+		}
+	}
+}
+
+func TestGemmInt8NTMatchesReference(t *testing.T) {
+	src := rng.New(21)
+	shapes := []struct{ m, n, k int }{
+		{1, 1, 1}, {1, 7, 3}, {3, 1, 5}, {4, 4, 16}, // k=16: smallest AVX2 shape
+		{7, 5, 9}, {5, 3, 32}, {32, 8, 199}, {6, 20, 512},
+		{2, 4, 17}, // k just past a panel: scalar path on amd64 too
+	}
+	for _, s := range shapes {
+		a := make([]int8, s.m*s.k)
+		b := make([]int8, s.n*s.k)
+		c := make([]int32, s.m*s.n)
+		fillCodes(src, a)
+		fillCodes(src, b)
+		for i := range c { // non-zero C checks the += contract
+			c[i] = int32(src.Intn(100) - 50)
+		}
+		want := append([]int32(nil), c...)
+		refGemmInt8(want, a, b, s.m, s.n, s.k)
+		GemmInt8NT(c, a, b, s.m, s.n, s.k)
+		for i := range c {
+			if c[i] != want[i] {
+				t.Fatalf("shape %+v element %d: got %d want %d", s, i, c[i], want[i])
+			}
+		}
+	}
+}
+
+func TestGemmInt8NTWorstCaseNoOverflow(t *testing.T) {
+	// All-(-127) codes at a large k: the accumulator reaches k*127*127,
+	// the magnitude MaxGemmInt8K is sized against.
+	k := 4096
+	a := make([]int8, k)
+	b := make([]int8, k)
+	for i := range a {
+		a[i] = -127
+		b[i] = -127
+	}
+	c := make([]int32, 1)
+	GemmInt8NT(c, a, b, 1, 1, k)
+	if want := int32(k) * 127 * 127; c[0] != want {
+		t.Fatalf("worst-case accumulation: got %d want %d", c[0], want)
+	}
+}
+
+func TestGemmInt8NTZeroDims(t *testing.T) {
+	GemmInt8NT(nil, nil, nil, 0, 0, 0)
+	GemmInt8NT(nil, nil, nil, 0, 3, 0)
+}
+
+func TestGemmInt8NTPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("dims", func() {
+		GemmInt8NT(make([]int32, 4), make([]int8, 3), make([]int8, 4), 2, 2, 2)
+	})
+	mustPanic("maxk", func() {
+		k := MaxGemmInt8K + 16
+		GemmInt8NT(make([]int32, 1), make([]int8, k), make([]int8, k), 1, 1, k)
+	})
+}
+
+func TestQuantizeInt8Rounding(t *testing.T) {
+	src := []float64{0, 0.4, 0.5, 0.6, 1.5, 2.5, -0.5, -1.5, -2.5, 126.4, 126.5, 127.4,
+		127.6, 300, -300, math.NaN()}
+	want := []int8{0, 0, 0, 1, 2, 2, 0, -2, -2, 126, 126, 127,
+		127, 127, -127, -127} // ties to even; clamp at ±127; NaN -> -127
+	dst := make([]int8, len(src))
+	QuantizeInt8(dst, src, 1)
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("QuantizeInt8(%g): got %d want %d", src[i], dst[i], want[i])
+		}
+	}
+}
+
+func TestQuantizeRowInt8(t *testing.T) {
+	x := []float64{-2, 0.5, 1, 0}
+	dst := make([]int8, KPad16(len(x)))
+	for i := range dst {
+		dst[i] = 99 // stale codes must be overwritten, padding zeroed
+	}
+	scale := QuantizeRowInt8(dst, x)
+	if want := 2.0 / 127; scale != want {
+		t.Fatalf("scale = %g, want %g", scale, want)
+	}
+	inv := 127 / 2.0
+	for i, v := range x {
+		want := int8(math.RoundToEven(v * inv))
+		if dst[i] != want {
+			t.Fatalf("code[%d] = %d, want %d", i, dst[i], want)
+		}
+	}
+	if dst[0] != -127 {
+		t.Fatalf("max-magnitude element must map to ±127, got %d", dst[0])
+	}
+	for i := len(x); i < len(dst); i++ {
+		if dst[i] != 0 {
+			t.Fatalf("padding code %d = %d, want 0", i, dst[i])
+		}
+	}
+}
+
+func TestQuantizeRowInt8ZeroAndNonFinite(t *testing.T) {
+	for name, row := range map[string][]float64{
+		"zero": {0, 0, 0},
+		"inf":  {1, math.Inf(1), 2},
+		"nan":  {math.NaN(), math.NaN()}, // all-NaN row: maxAbs stays 0
+		"none": {},
+	} {
+		dst := []int8{9, 9, 9, 9}
+		if s := QuantizeRowInt8(dst, row); s != 0 {
+			t.Fatalf("%s row: scale = %g, want 0", name, s)
+		}
+		for i, c := range dst {
+			if c != 0 {
+				t.Fatalf("%s row: code %d = %d, want 0", name, i, c)
+			}
+		}
+	}
+}
+
+func TestQuantizeRowRoundTripBound(t *testing.T) {
+	// Symmetric per-row quantization bounds the per-element error by
+	// scale/2 = maxAbs/254.
+	src := rng.New(22)
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + src.Intn(200)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = src.Uniform(-5, 5)
+		}
+		dst := make([]int8, KPad16(n))
+		scale := QuantizeRowInt8(dst, x)
+		for i, v := range x {
+			back := scale * float64(dst[i])
+			if math.Abs(back-v) > scale/2*(1+1e-12) {
+				t.Fatalf("trial %d element %d: |%g - %g| exceeds scale/2 = %g",
+					trial, i, back, v, scale/2)
+			}
+		}
+	}
+}
+
+func TestIm2ColInt8MatchesFloatLowering(t *testing.T) {
+	// The padded int8 lowering must place the same window codes as the
+	// float Im2Col places window values, with zero padding after fanIn.
+	inLen, inCh, kernel, stride := 11, 2, 3, 2
+	outLen := (inLen-kernel)/stride + 1
+	fanIn := kernel * inCh
+	rowStride := KPad16(fanIn)
+
+	x := make([]int8, inLen*inCh)
+	for i := range x {
+		x[i] = int8(i - 10)
+	}
+	dst := make([]int8, outLen*rowStride)
+	for i := range dst {
+		dst[i] = 99
+	}
+	Im2ColInt8(dst, x, inLen, inCh, kernel, stride, outLen, rowStride)
+
+	xf := make([]float64, len(x))
+	for i, c := range x {
+		xf[i] = float64(c)
+	}
+	ref := make([]float64, outLen*fanIn)
+	Im2Col(ref, xf, inLen, inCh, kernel, stride, outLen)
+
+	for p := 0; p < outLen; p++ {
+		for i := 0; i < rowStride; i++ {
+			got := dst[p*rowStride+i]
+			var want int8
+			if i < fanIn {
+				want = int8(ref[p*fanIn+i])
+			}
+			if got != want {
+				t.Fatalf("row %d col %d: got %d want %d", p, i, got, want)
+			}
+		}
+	}
+}
+
+func TestIm2ColInt8Panics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("stride below fan-in", func() {
+		Im2ColInt8(make([]int8, 8), make([]int8, 8), 8, 1, 4, 1, 2, 3)
+	})
+	mustPanic("window overrun", func() {
+		Im2ColInt8(make([]int8, 12), make([]int8, 8), 8, 1, 4, 3, 3, 4)
+	})
+}

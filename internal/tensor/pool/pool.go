@@ -28,6 +28,23 @@ func GrowInts(buf []int, n int) []int {
 	return make([]int, n, roundUp(n))
 }
 
+// Grow8 is Grow for int8 code panels (quantized activations and packed
+// weights in the int8 inference path).
+func Grow8(buf []int8, n int) []int8 {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]int8, n, roundUp(n))
+}
+
+// Grow32 is Grow for int32 accumulator scratch (quantized GEMM outputs).
+func Grow32(buf []int32, n int) []int32 {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]int32, n, roundUp(n))
+}
+
 // roundUp pads an allocation to the next power of two so a slowly growing
 // batch size settles after O(log n) allocations instead of reallocating on
 // every new high-water mark.

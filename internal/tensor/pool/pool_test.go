@@ -32,6 +32,29 @@ func TestGrowInts(t *testing.T) {
 	}
 }
 
+func TestGrow8(t *testing.T) {
+	b := Grow8(nil, 10)
+	if len(b) != 10 || cap(b) != 16 {
+		t.Fatalf("Grow8(nil, 10): len=%d cap=%d", len(b), cap(b))
+	}
+	if c := Grow8(b, 16); &c[0] != &b[0] {
+		t.Fatalf("Grow8 within capacity must reuse the array")
+	}
+	if d := Grow8(b, 17); cap(d) != 32 {
+		t.Fatalf("Grow8 past cap: cap=%d, want 32", cap(d))
+	}
+}
+
+func TestGrow32(t *testing.T) {
+	b := Grow32(nil, 5)
+	if len(b) != 5 || cap(b) != 8 {
+		t.Fatalf("Grow32(nil, 5): len=%d cap=%d", len(b), cap(b))
+	}
+	if c := Grow32(b, 8); &c[0] != &b[0] {
+		t.Fatalf("Grow32 within capacity must reuse the array")
+	}
+}
+
 func TestPoolRecycles(t *testing.T) {
 	var p Pool
 	a := p.Get(100)

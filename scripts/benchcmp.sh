@@ -5,10 +5,11 @@
 # baseline file. Fails if any benchmark is more than THRESHOLD_PCT slower
 # than its baseline.
 #
-#   render  Fig. 7 / Fig. 4 render engine        vs BENCH_render.json
-#   serve   SPB1 wire codec + fleet proxy hop    vs BENCH_serve.json
+#   render   Fig. 7 / Fig. 4 render engine        vs BENCH_render.json
+#   serve    SPB1 wire codec + fleet proxy hop    vs BENCH_serve.json
+#   kernels  int8 + float GEMM / forward kernels  vs BENCH_kernels.json
 #
-# Usage: scripts/benchcmp.sh [-s render|serve] [threshold_pct]  (default: render, 20)
+# Usage: scripts/benchcmp.sh [-s render|serve|kernels] [threshold_pct]  (default: render, 20)
 #
 # CI shares hardware, so the baseline is only meaningful on comparable
 # machines; set BENCHCMP_SKIP=1 to run the benchmarks without enforcing
@@ -17,17 +18,21 @@ set -euo pipefail
 
 usage() {
     cat <<'EOF'
-usage: scripts/benchcmp.sh [-h] [-s render|serve] [threshold_pct]
+usage: scripts/benchcmp.sh [-h] [-s render|serve|kernels] [threshold_pct]
 
 Runs a benchmark suite and compares each ns/op against its committed
 baseline. Exits non-zero when any benchmark is more than threshold_pct
 (default 20) slower than its baseline.
 
 Suites:
-  render  Fig7Augmentation*, Fig4CorpusRender*     -> BENCH_render.json
-  serve   WireDecode4096, WireEncode4096 (binary   -> BENCH_serve.json
-          vs JSON spectrum codec) and FleetPredict
-          (1 front + 3 backends over loopback)
+  render   Fig7Augmentation*, Fig4CorpusRender*     -> BENCH_render.json
+  serve    WireDecode4096, WireEncode4096 (binary   -> BENCH_serve.json
+           vs JSON spectrum codec) and FleetPredict
+           (1 front + 3 backends over loopback)
+  kernels  GemmInt8NTConvLowered and the int8-vs-   -> BENCH_kernels.json
+           float batch-32 forward pairs (QuantForward*
+           vs BatchForward*); gates both the int8 kernel
+           and the float path it is compared against
 
 Benchmarks are compared by their exact emitted name, including any
 -GOMAXPROCS suffix, so a -cpu variant can never be scored against a
@@ -103,8 +108,19 @@ serve)
            BenchmarkFleetPredict/hops=binary BenchmarkFleetPredict/hops=json"
     REGEN="go test -run '^\$' -bench 'WireDecode4096|WireEncode4096' -benchtime 2s -cpu 1 ./internal/serve && go test -run '^\$' -bench FleetPredict -benchtime 2s -cpu 1 ./internal/front"
     ;;
+kernels)
+    BASELINE="BENCH_kernels.json"
+    BENCH_CMDS=(
+        "go test -run ^\$ -bench GemmInt8NTConvLowered -benchtime 1s -cpu 1 ./internal/tensor"
+        "go test -run ^\$ -bench QuantForwardDense32|QuantForwardConv32|BatchForwardDense32\$|BatchForwardConv32\$ -benchtime 1s -cpu 1 ./internal/nn"
+    )
+    NAMES="BenchmarkGemmInt8NTConvLowered \
+           BenchmarkQuantForwardDense32 BenchmarkQuantForwardConv32 \
+           BenchmarkBatchForwardDense32 BenchmarkBatchForwardConv32"
+    REGEN="go test -run '^\$' -bench 'Gemm|Im2Col|Quantize' -benchtime 2s -cpu 1 ./internal/tensor && go test -run '^\$' -bench 'BatchForward|QuantForward|PredictBatch32|FitEpoch' -benchtime 2s -cpu 1 ./internal/nn"
+    ;;
 *)
-    echo "benchcmp: unknown suite '${SUITE}' (want render or serve)" >&2
+    echo "benchcmp: unknown suite '${SUITE}' (want render, serve or kernels)" >&2
     usage >&2
     exit 2
     ;;
