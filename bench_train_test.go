@@ -1,0 +1,156 @@
+// Streamed-vs-materialized training benchmarks (BENCH_train.json): the same
+// Table-1 training run executed the classic way — generate the full corpus,
+// then Fit — and through the fused streaming path, where samples render on
+// demand inside the nn prefetch pipeline and the corpus never materializes.
+// The trained networks are bit-identical by construction (pinned by
+// TestFitSourceBitIdenticalToFit and the layer tests above it); these
+// benchmarks measure only wall clock and peak heap.
+package specml
+
+import (
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"specml/internal/dataset"
+	"specml/internal/msim"
+	"specml/internal/rng"
+	"specml/internal/toolflow"
+)
+
+// trainBenchCorpusSize scales the corpus with SPECML_BENCH_SCALE; "paper" is
+// the published 100 000-spectrum MS corpus.
+func trainBenchCorpusSize() int {
+	switch os.Getenv("SPECML_BENCH_SCALE") {
+	case "laptop":
+		return 10000
+	case "paper":
+		return 100000
+	}
+	return 2000
+}
+
+// peakHeapDuring runs f while sampling the heap, returning the peak observed
+// live-heap footprint in MiB. The corpus (or its absence) dominates the
+// profile for seconds, so millisecond-scale sampling resolves it fully.
+func peakHeapDuring(f func()) float64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	var peak uint64
+	sample := func() {
+		runtime.ReadMemStats(&ms)
+		if ms.HeapAlloc > peak {
+			peak = ms.HeapAlloc
+		}
+	}
+	sample()
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t := time.NewTicker(10 * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				sample()
+			}
+		}
+	}()
+	f()
+	close(stop)
+	<-done
+	sample()
+	return float64(peak) / (1 << 20)
+}
+
+// trainBenchWorld builds the shared fixtures: simulator, true instrument
+// model and the one-epoch Table-1 training spec.
+func trainBenchWorld(b *testing.B) (*msim.LineSimulator, toolflow.TopologySpec) {
+	b.Helper()
+	comps, err := msim.Compounds(msim.DefaultTask...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim, err := msim.NewLineSimulator(comps)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec, err := toolflow.MSTable1Spec(msim.DefaultAxis().N, sim.NumCompounds(),
+		"selu", "softmax", "softmax", 1, 32, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec.LR = 0.005
+	spec.Workers = benchWorkers()
+	return sim, spec
+}
+
+// BenchmarkTrainCorpusMaterialized is the classic two-phase baseline:
+// generate the full corpus in memory, shuffle, split, Fit. Peak heap carries
+// the whole corpus for the entire run.
+func BenchmarkTrainCorpusMaterialized(b *testing.B) {
+	sim, spec := trainBenchWorld(b)
+	model, axis := msim.DefaultTrueModel(), msim.DefaultAxis()
+	n := trainBenchCorpusSize()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		peak := peakHeapDuring(func() {
+			d, err := msim.GenerateTrainingWith(sim, model, axis, n, 1.0, 1, benchWorkers(), msim.TrainingOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			d.Shuffle(rng.New(2))
+			train, val, err := d.Split(0.98)
+			if err != nil {
+				b.Fatal(err)
+			}
+			runner := &toolflow.Runner{}
+			if _, err := runner.Train(spec, train, val); err != nil {
+				b.Fatal(err)
+			}
+		})
+		b.ReportMetric(peak, "peakHeapMiB")
+	}
+	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "samples/s")
+}
+
+// BenchmarkTrainCorpusStreamed is the fused pipeline on the identical
+// workload: the same samples (same seeds, same shuffle-then-split) render on
+// demand inside FitSource's prefetch pipeline; only the 2% validation split
+// ever materializes. The trained network is bit-identical to the baseline.
+func BenchmarkTrainCorpusStreamed(b *testing.B) {
+	sim, spec := trainBenchWorld(b)
+	model, axis := msim.DefaultTrueModel(), msim.DefaultAxis()
+	n := trainBenchCorpusSize()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		peak := peakHeapDuring(func() {
+			src, _, err := msim.NewTrainingStream(sim, model, axis, n, 1.0, 1, msim.TrainingOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			trainIdx, valIdx, err := dataset.SplitIndices(n, 0.98, rng.New(2))
+			if err != nil {
+				b.Fatal(err)
+			}
+			train, err := dataset.Select(src, trainIdx)
+			if err != nil {
+				b.Fatal(err)
+			}
+			val, err := dataset.Materialize(src, valIdx)
+			if err != nil {
+				b.Fatal(err)
+			}
+			runner := &toolflow.Runner{}
+			if _, err := runner.TrainSource(spec, train, val); err != nil {
+				b.Fatal(err)
+			}
+		})
+		b.ReportMetric(peak, "peakHeapMiB")
+	}
+	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "samples/s")
+}

@@ -37,6 +37,8 @@ func main() {
 		scale     = flag.String("scale", "laptop", "workload scale: quick | laptop | paper")
 		seed      = flag.Uint64("seed", 1, "experiment seed")
 		workers   = flag.Int("workers", 0, "generation/training worker count (0 = all cores); results are identical for any value")
+		stream    = flag.Bool("stream", false, "render training corpora on demand instead of materializing them (bit-identical networks, bounded memory)")
+		ckpt      = flag.String("checkpoint", "", "with -stream: checkpoint path prefix; each network writes (and resumes from) <prefix>-<name>.ckpt every epoch")
 		verbose   = flag.Bool("v", false, "per-epoch training logs")
 		export    = flag.String("export", "", "with -fig7: write the trained network JSON to this file")
 		logFormat = flag.String("log-format", "text", "diagnostic log format: text or json")
@@ -53,7 +55,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	cfg := experiments.Config{Scale: sc, Seed: *seed, Workers: *workers}
+	if *ckpt != "" && !*stream {
+		fatal(fmt.Errorf("-checkpoint requires -stream"))
+	}
+	cfg := experiments.Config{Scale: sc, Seed: *seed, Workers: *workers,
+		Stream: *stream, Checkpoint: *ckpt}
 	if *verbose {
 		cfg.Verbose = os.Stderr
 	}

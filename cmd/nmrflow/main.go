@@ -33,6 +33,8 @@ func main() {
 		workers   = flag.Int("workers", 0, "generation/training worker count (0 = all cores); results are identical for any value")
 		exact     = flag.Bool("exact-render", false, "force the legacy analytic peak renderer for corpus generation (slower, bit-identical to pre-render-engine corpora)")
 		oversamp  = flag.Int("render-oversample", 0, "render-engine master-grid oversampling factor (0 = automatic)")
+		stream    = flag.Bool("stream", false, "render the CNN training corpus on demand instead of materializing it (bit-identical network, bounded memory)")
+		ckpt      = flag.String("checkpoint", "", "with -stream: checkpoint path prefix; the CNN writes (and resumes from) <prefix>-nmr-cnn.ckpt every epoch")
 		verbose   = flag.Bool("v", false, "per-epoch training logs")
 		logFormat = flag.String("log-format", "text", "diagnostic log format: text or json")
 	)
@@ -48,8 +50,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *ckpt != "" && !*stream {
+		fatal(fmt.Errorf("-checkpoint requires -stream"))
+	}
 	cfg := experiments.Config{Scale: sc, Seed: *seed, Workers: *workers,
-		ExactRender: *exact, RenderOversample: *oversamp}
+		ExactRender: *exact, RenderOversample: *oversamp,
+		Stream: *stream, Checkpoint: *ckpt}
 	if *verbose {
 		cfg.Verbose = os.Stderr
 	}

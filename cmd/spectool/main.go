@@ -12,15 +12,20 @@ import (
 	"fmt"
 	"log/slog"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
+	"sync"
+	"time"
 
 	"specml/internal/core"
+	"specml/internal/dataset"
 	"specml/internal/experiments"
 	"specml/internal/msim"
 	"specml/internal/obs"
 	"specml/internal/rng"
 	"specml/internal/store"
+	"specml/internal/toolflow"
 )
 
 // logger carries the command's diagnostics; data tables stay on stdout.
@@ -35,6 +40,9 @@ func main() {
 		storePath = flag.String("store", "", "path of a saved provenance store to inspect")
 		lineage   = flag.String("lineage", "", "with -store: print the lineage of a document ID")
 		demoStore = flag.String("demo-store", "", "run a mini pipeline and save its provenance store to this path")
+		streamN   = flag.Int("stream-demo", 0, "train a small MS network from an N-sample streamed corpus that is never materialized; prints throughput and peak heap")
+		maxHeapMB = flag.Int("max-heap-mb", 0, "with -stream-demo: exit non-zero if peak heap exceeds this many MiB")
+		ckpt      = flag.String("checkpoint", "", "with -stream-demo: checkpoint path written every epoch and resumed from when it exists")
 		seed      = flag.Uint64("seed", 1, "simulation seed")
 		workers   = flag.Int("workers", 0, "generation/training worker count (0 = all cores); results are identical for any value")
 		exact     = flag.Bool("exact-render", false, "force the legacy analytic peak renderer for corpus generation (slower, bit-identical to pre-render-engine corpora)")
@@ -84,6 +92,12 @@ func main() {
 	if *storePath != "" {
 		ran = true
 		if err := inspectStore(*storePath, *lineage); err != nil {
+			fatal(err)
+		}
+	}
+	if *streamN > 0 {
+		ran = true
+		if err := runStreamDemo(*streamN, *seed, *workers, *exact, *maxHeapMB, *ckpt); err != nil {
 			fatal(err)
 		}
 	}
@@ -210,6 +224,99 @@ func buildDemoStore(path string, seed uint64, workers int, exactRender bool) err
 	for _, d := range st.Find("networks", nil) {
 		logger.Info("network recorded", "trace_with",
 			fmt.Sprintf("spectool -store %s -lineage %s", path, d.ID))
+	}
+	return nil
+}
+
+// runStreamDemo trains the Table-1 network from an n-sample streamed corpus
+// that is never materialized: samples render on demand inside the nn
+// prefetch pipeline, so peak heap stays bounded by the in-flight
+// mini-batches and the 2% validation split regardless of n. A background
+// sampler tracks peak heap; with a positive limit the demo fails when
+// training memory exceeds it — the regression gate the CI small-heap job
+// runs under GOMEMLIMIT.
+func runStreamDemo(n int, seed uint64, workers int, exactRender bool, maxHeapMB int, checkpoint string) error {
+	comps, err := msim.Compounds(msim.DefaultTask...)
+	if err != nil {
+		return err
+	}
+	sim, err := msim.NewLineSimulator(comps)
+	if err != nil {
+		return err
+	}
+	axis := msim.DefaultAxis()
+	src, _, err := msim.NewTrainingStream(sim, msim.DefaultTrueModel(), axis, n, 1.0, seed,
+		msim.TrainingOptions{ExactRender: exactRender})
+	if err != nil {
+		return err
+	}
+	trainIdx, valIdx, err := dataset.SplitIndices(n, 0.98, rng.New(seed+1))
+	if err != nil {
+		return err
+	}
+	train, err := dataset.Select(src, trainIdx)
+	if err != nil {
+		return err
+	}
+	val, err := dataset.Materialize(src, valIdx)
+	if err != nil {
+		return err
+	}
+	spec, err := toolflow.MSTable1Spec(axis.N, sim.NumCompounds(),
+		"selu", "softmax", "softmax", 2, 32, seed)
+	if err != nil {
+		return err
+	}
+	spec.LR = 0.005
+	spec.Workers = workers
+	spec.Checkpoint = checkpoint
+
+	var (
+		mu   sync.Mutex
+		peak uint64
+		ms   runtime.MemStats
+	)
+	sample := func() {
+		runtime.ReadMemStats(&ms)
+		mu.Lock()
+		if ms.HeapAlloc > peak {
+			peak = ms.HeapAlloc
+		}
+		mu.Unlock()
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t := time.NewTicker(20 * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				sample()
+			}
+		}
+	}()
+
+	start := time.Now()
+	runner := &toolflow.Runner{Verbose: os.Stderr}
+	res, err := runner.TrainSource(spec, train, val)
+	elapsed := time.Since(start)
+	close(stop)
+	<-done
+	sample()
+	if err != nil {
+		return err
+	}
+	peakMiB := float64(peak) / (1 << 20)
+	rate := float64(len(trainIdx)*spec.Epochs) / elapsed.Seconds()
+	fmt.Printf("stream-demo: %d samples streamed (never materialized), val MAE %.4f\n", n, res.ValMAE)
+	fmt.Printf("stream-demo: %.0f samples/s over %d epochs, peak heap %.1f MiB\n",
+		rate, spec.Epochs, peakMiB)
+	if maxHeapMB > 0 && peakMiB > float64(maxHeapMB) {
+		return fmt.Errorf("peak heap %.1f MiB exceeds the %d MiB limit", peakMiB, maxHeapMB)
 	}
 	return nil
 }

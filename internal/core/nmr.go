@@ -43,6 +43,16 @@ type NMRConfig struct {
 	// RenderOversample overrides the render engine's automatic master-grid
 	// oversampling factor (0 = automatic).
 	RenderOversample int
+	// Stream renders the CNN training corpus on demand through the nn
+	// prefetch pipeline instead of materializing it. The trained network is
+	// bit-identical to the materialized path; peak memory holds only the
+	// in-flight mini-batches. (The LSTM corpus is order-dependent rolling
+	// windows and stays materialized.)
+	Stream bool
+	// Checkpoint, when non-empty, is the specml/ckpt/v1 path streamed CNN
+	// training writes after every epoch and resumes from when it already
+	// exists. Requires Stream.
+	Checkpoint string
 }
 
 func (c *NMRConfig) withDefaults() *NMRConfig {
@@ -147,15 +157,35 @@ func (p *NMRPipeline) TrainCNN(val *dataset.Dataset, verbose io.Writer) (*toolfl
 	if p.augmenter == nil {
 		return nil, fmt.Errorf("core: FitComponents before TrainCNN")
 	}
+	spec := toolflow.NMRCNNSpec(p.LowField.Axis.N, nmrsim.NumComponents,
+		p.cfg.Epochs, p.cfg.BatchSize, p.cfg.Seed)
+	spec.Workers = p.cfg.Workers
+	runner := &toolflow.Runner{Verbose: verbose}
+	if p.cfg.Stream {
+		src, err := p.augmenter.TrainingStream(p.cfg.TrainSamples, p.cfg.Seed+20)
+		if err != nil {
+			return nil, err
+		}
+		// Replay d.Shuffle(rng.New(Seed+21)) as an index permutation so the
+		// streamed epoch order matches the materialized path bit for bit.
+		perm := dataset.ShuffledIndices(p.cfg.TrainSamples, rng.New(p.cfg.Seed+21))
+		train, err := dataset.Select(src, perm)
+		if err != nil {
+			return nil, err
+		}
+		spec.Checkpoint = p.cfg.Checkpoint
+		res, err := runner.TrainSource(spec, train, val)
+		if err != nil {
+			return nil, err
+		}
+		p.cnn = res
+		return res, nil
+	}
 	d, err := p.augmenter.Generate(p.cfg.TrainSamples, p.cfg.Seed+20)
 	if err != nil {
 		return nil, err
 	}
 	d.Shuffle(rng.New(p.cfg.Seed + 21))
-	spec := toolflow.NMRCNNSpec(p.LowField.Axis.N, nmrsim.NumComponents,
-		p.cfg.Epochs, p.cfg.BatchSize, p.cfg.Seed)
-	spec.Workers = p.cfg.Workers
-	runner := &toolflow.Runner{Verbose: verbose}
 	res, err := runner.Train(spec, d, val)
 	if err != nil {
 		return nil, err

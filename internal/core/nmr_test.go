@@ -6,6 +6,7 @@ import (
 
 	"specml/internal/dataset"
 	"specml/internal/nmrsim"
+	"specml/internal/toolflow"
 )
 
 func TestNMRPipelineRequiresOrder(t *testing.T) {
@@ -87,6 +88,55 @@ func TestNMRPipelineEndToEnd(t *testing.T) {
 		if math.Abs(conc[j]-labels[0][j]) > 0.1 {
 			t.Fatalf("IHM concentration %d = %v, label %v", j, conc[j], labels[0][j])
 		}
+	}
+}
+
+// TestNMRPipelineStreamedCNNBitIdentical pins the pipeline-level streaming
+// guarantee: TrainCNN with Stream renders the corpus on demand yet produces
+// the bit-identical network of the materialized path.
+func TestNMRPipelineStreamedCNNBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains the CNN twice")
+	}
+	reactor := nmrsim.NewReactor()
+	train := func(stream bool) *toolflow.Result {
+		p := NewNMRPipeline(NMRConfig{
+			TrainSamples: 80,
+			Epochs:       2,
+			BatchSize:    16,
+			Seed:         3,
+			Stream:       stream,
+		})
+		if err := p.FitComponents(); err != nil {
+			t.Fatal(err)
+		}
+		plateaus, err := nmrsim.Campaign(reactor, p.LowField, nmrsim.DoE(2, 1), 3, 0.002, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spectra, labels := nmrsim.FlattenCampaign(plateaus)
+		val := dataset.New(len(spectra))
+		for i := range spectra {
+			val.Append(spectra[i].Intensities, labels[i])
+		}
+		res, err := p.TrainCNN(val, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	want := train(false)
+	got := train(true)
+	wp, gp := want.Model.Params(), got.Model.Params()
+	for i := range wp {
+		for j := range wp[i].Data {
+			if math.Float64bits(wp[i].Data[j]) != math.Float64bits(gp[i].Data[j]) {
+				t.Fatalf("streamed param %d[%d] = %v, materialized %v", i, j, gp[i].Data[j], wp[i].Data[j])
+			}
+		}
+	}
+	if got.ValMAE != want.ValMAE {
+		t.Fatalf("streamed val MAE %v, materialized %v", got.ValMAE, want.ValMAE)
 	}
 }
 

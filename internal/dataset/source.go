@@ -1,0 +1,257 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"specml/internal/rng"
+)
+
+// Source supplies training samples at mini-batch granularity without
+// prescribing how (or when) they come to exist. A materialized dataset is a
+// Source; so is a streaming corpus that renders sample i on demand from its
+// own deterministic rng stream. nn.Model.FitSource consumes a Source through
+// a prefetch pipeline, so Batch is called from worker goroutines: it must be
+// safe for concurrent calls with disjoint destination buffers.
+//
+// The contract streaming training depends on: sample i is a pure function of
+// i (and, for sources that choose to vary per pass, the epoch) — never of the
+// order, grouping or concurrency of Batch calls. Sources in this repository
+// ignore epoch, so every pass observes identical bytes and a streamed fit is
+// bit-identical to a materialized one.
+type Source interface {
+	// Len returns the per-epoch sample count.
+	Len() int
+	// Widths returns the feature and label row widths.
+	Widths() (xWidth, yWidth int)
+	// Batch fills dstX[j], dstY[j] with sample indices[j] for every j. The
+	// destination rows are caller-owned and sized to Widths. indices must be
+	// in [0, Len()).
+	Batch(epoch int, indices []int, dstX, dstY [][]float64) error
+}
+
+// InMemory adapts materialized [][]float64 rows to the Source interface —
+// the trivial source the classic Fit(x, y) path wraps itself in. Batch
+// copies rows into the destination buffers.
+type InMemory struct {
+	x, y [][]float64
+}
+
+// NewInMemory wraps materialized feature and label rows. The rows are
+// retained, not copied, and must be rectangular.
+func NewInMemory(x, y [][]float64) (*InMemory, error) {
+	if len(x) == 0 || len(x) != len(y) {
+		return nil, fmt.Errorf("dataset: source needs equal, non-zero sample counts (%d, %d)", len(x), len(y))
+	}
+	xw, yw := len(x[0]), len(y[0])
+	for i := range x {
+		if len(x[i]) != xw {
+			return nil, fmt.Errorf("dataset: feature row %d has width %d, want %d", i, len(x[i]), xw)
+		}
+		if len(y[i]) != yw {
+			return nil, fmt.Errorf("dataset: label row %d has width %d, want %d", i, len(y[i]), yw)
+		}
+	}
+	return &InMemory{x: x, y: y}, nil
+}
+
+// FromDataset wraps a dataset's rows as a Source.
+func FromDataset(d *Dataset) (*InMemory, error) {
+	return NewInMemory(d.X, d.Y)
+}
+
+// Len implements Source.
+func (s *InMemory) Len() int { return len(s.x) }
+
+// Widths implements Source.
+func (s *InMemory) Widths() (int, int) { return len(s.x[0]), len(s.y[0]) }
+
+// Batch implements Source.
+func (s *InMemory) Batch(_ int, indices []int, dstX, dstY [][]float64) error {
+	for j, i := range indices {
+		if i < 0 || i >= len(s.x) {
+			return fmt.Errorf("dataset: sample index %d out of range [0, %d)", i, len(s.x))
+		}
+		copy(dstX[j], s.x[i])
+		copy(dstY[j], s.y[i])
+	}
+	return nil
+}
+
+// RenderFunc renders one sample into caller-owned x and y rows. src is the
+// sample's private stream, already reseeded so the draw sequence depends
+// only on the sample index — never on scheduling.
+type RenderFunc func(i int, src *rng.Source, x, y []float64) error
+
+// Stream is a deterministic streaming corpus: sample i is rendered on
+// demand from its own child stream, seeded the same way the materialized
+// generators seed theirs (seeds drawn sequentially from one root), so a
+// Stream built from the same (seed, n) as a materialized corpus yields
+// bit-identical rows. Batch is safe for concurrent calls; per-call rng
+// scratch comes from a sync.Pool so steady-state rendering stays
+// allocation-free.
+type Stream struct {
+	n      int
+	xw, yw int
+	seeds  []uint64
+	render RenderFunc
+	srcs   sync.Pool
+	// OnBatch, when non-nil, is called with the sample count after every
+	// successful Batch (generator throughput counters). It must be safe for
+	// concurrent calls.
+	OnBatch func(rendered int)
+}
+
+// NewStream builds a streaming corpus of n samples with the given row
+// widths. The per-sample child seeds are drawn sequentially from
+// rng.New(seed) — the same Split construction the materialized generators
+// use — which costs 8 bytes per sample and fixes every sample's stream up
+// front.
+func NewStream(n, xWidth, yWidth int, seed uint64, render RenderFunc) (*Stream, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("dataset: need a positive sample count, got %d", n)
+	}
+	if xWidth <= 0 || yWidth <= 0 {
+		return nil, fmt.Errorf("dataset: need positive row widths, got (%d, %d)", xWidth, yWidth)
+	}
+	if render == nil {
+		return nil, fmt.Errorf("dataset: stream needs a render function")
+	}
+	root := rng.New(seed)
+	seeds := make([]uint64, n)
+	for i := range seeds {
+		seeds[i] = root.Uint64()
+	}
+	s := &Stream{n: n, xw: xWidth, yw: yWidth, seeds: seeds, render: render}
+	s.srcs.New = func() any { return rng.New(0) }
+	return s, nil
+}
+
+// Len implements Source.
+func (s *Stream) Len() int { return s.n }
+
+// Widths implements Source.
+func (s *Stream) Widths() (int, int) { return s.xw, s.yw }
+
+// Batch implements Source.
+func (s *Stream) Batch(_ int, indices []int, dstX, dstY [][]float64) error {
+	src := s.srcs.Get().(*rng.Source)
+	defer s.srcs.Put(src)
+	for j, i := range indices {
+		if i < 0 || i >= s.n {
+			return fmt.Errorf("dataset: sample index %d out of range [0, %d)", i, s.n)
+		}
+		src.Reseed(s.seeds[i])
+		if err := s.render(i, src, dstX[j], dstY[j]); err != nil {
+			return fmt.Errorf("dataset: rendering sample %d: %w", i, err)
+		}
+	}
+	if s.OnBatch != nil {
+		s.OnBatch(len(indices))
+	}
+	return nil
+}
+
+// view exposes a subset (or permutation) of a base source under remapped
+// indices: sample j of the view is sample idx[j] of the base.
+type view struct {
+	base Source
+	idx  []int
+	tr   sync.Pool // *[]int translation scratch
+}
+
+// Select returns a Source view of the given base samples: view sample j is
+// base sample indices[j]. The index slice is copied. Combined with a seeded
+// permutation this reproduces the materialized shuffle-then-split flow
+// without materializing anything: train on Select(src, perm[:k]), hold out
+// perm[k:].
+func Select(base Source, indices []int) (Source, error) {
+	if base == nil {
+		return nil, fmt.Errorf("dataset: Select needs a base source")
+	}
+	if len(indices) == 0 {
+		return nil, fmt.Errorf("dataset: Select needs at least one index")
+	}
+	n := base.Len()
+	idx := make([]int, len(indices))
+	for j, i := range indices {
+		if i < 0 || i >= n {
+			return nil, fmt.Errorf("dataset: Select index %d out of range [0, %d)", i, n)
+		}
+		idx[j] = i
+	}
+	v := &view{base: base, idx: idx}
+	v.tr.New = func() any { b := make([]int, 0, 64); return &b }
+	return v, nil
+}
+
+// Len implements Source.
+func (v *view) Len() int { return len(v.idx) }
+
+// Widths implements Source.
+func (v *view) Widths() (int, int) { return v.base.Widths() }
+
+// Batch implements Source.
+func (v *view) Batch(epoch int, indices []int, dstX, dstY [][]float64) error {
+	bp := v.tr.Get().(*[]int)
+	defer v.tr.Put(bp)
+	tr := (*bp)[:0]
+	for _, j := range indices {
+		if j < 0 || j >= len(v.idx) {
+			return fmt.Errorf("dataset: sample index %d out of range [0, %d)", j, len(v.idx))
+		}
+		tr = append(tr, v.idx[j])
+	}
+	*bp = tr
+	return v.base.Batch(epoch, tr, dstX, dstY)
+}
+
+// Materialize renders the given source samples into a fresh Dataset — the
+// bridge back to APIs that need [][]float64 rows (held-out validation
+// splits, evaluation helpers).
+func Materialize(src Source, indices []int) (*Dataset, error) {
+	if len(indices) == 0 {
+		return nil, fmt.Errorf("dataset: Materialize needs at least one index")
+	}
+	xw, yw := src.Widths()
+	d := New(len(indices))
+	d.Resize(len(indices), xw, yw)
+	if err := src.Batch(0, indices, d.X, d.Y); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// ShuffledIndices reproduces a materialized Dataset.Shuffle as an index
+// permutation: shuffled row j is original row perm[j]. Combined with Select
+// it replays a shuffle without touching any rows.
+func ShuffledIndices(n int, src *rng.Source) []int {
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	// The same Fisher-Yates swap sequence Dataset.Shuffle applies to rows,
+	// applied to indices.
+	src.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+	return perm
+}
+
+// SplitIndices reproduces the materialized Shuffle-then-Split flow as index
+// sets: the returned train/test index slices select exactly the rows that
+// d.Shuffle(rng.New(seed)) followed by d.Split(trainFraction) would place in
+// each side, without touching any rows.
+func SplitIndices(n int, trainFraction float64, src *rng.Source) (train, test []int, err error) {
+	if n <= 0 {
+		return nil, nil, fmt.Errorf("dataset: need a positive sample count, got %d", n)
+	}
+	if trainFraction <= 0 || trainFraction >= 1 {
+		return nil, nil, fmt.Errorf("dataset: train fraction must be in (0,1), got %g", trainFraction)
+	}
+	k := int(math.Round(float64(n) * trainFraction))
+	if k == 0 || k == n {
+		return nil, nil, fmt.Errorf("dataset: split of %d samples at %g leaves an empty side", n, trainFraction)
+	}
+	perm := ShuffledIndices(n, src)
+	return perm[:k], perm[k:], nil
+}

@@ -1,0 +1,306 @@
+package dataset
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"specml/internal/rng"
+)
+
+// testStream builds a small deterministic stream: sample i's rows are pure
+// functions of its private rng stream, like the real corpus generators.
+func testStream(t *testing.T, n int, seed uint64) *Stream {
+	t.Helper()
+	s, err := NewStream(n, 3, 2, seed, func(i int, src *rng.Source, x, y []float64) error {
+		for j := range x {
+			x[j] = src.Normal(0, 1)
+		}
+		src.Dirichlet(1, y)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// renderAll materializes every sample of a source one batch at a time.
+func renderAll(t *testing.T, src Source, batch int) (x, y [][]float64) {
+	t.Helper()
+	n := src.Len()
+	xw, yw := src.Widths()
+	x = make([][]float64, n)
+	y = make([][]float64, n)
+	for i := range x {
+		x[i] = make([]float64, xw)
+		y[i] = make([]float64, yw)
+	}
+	for start := 0; start < n; start += batch {
+		end := start + batch
+		if end > n {
+			end = n
+		}
+		idx := make([]int, 0, end-start)
+		for i := start; i < end; i++ {
+			idx = append(idx, i)
+		}
+		if err := src.Batch(0, idx, x[start:end], y[start:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return x, y
+}
+
+// TestStreamDeterministic pins the core streaming contract: sample i's bytes
+// depend only on (seed, i) — not on batch grouping, call order, or epoch.
+func TestStreamDeterministic(t *testing.T) {
+	refX, refY := renderAll(t, testStream(t, 20, 42), 20)
+	for _, batch := range []int{1, 3, 7, 20} {
+		gotX, gotY := renderAll(t, testStream(t, 20, 42), batch)
+		for i := range refX {
+			for j := range refX[i] {
+				if gotX[i][j] != refX[i][j] {
+					t.Fatalf("batch=%d: x[%d][%d] = %x, want %x", batch, i, j, gotX[i][j], refX[i][j])
+				}
+			}
+			for j := range refY[i] {
+				if gotY[i][j] != refY[i][j] {
+					t.Fatalf("batch=%d: y[%d][%d] differs bitwise", batch, i, j)
+				}
+			}
+		}
+	}
+	// Reversed order, repeated indices, and a different epoch all replay the
+	// same bytes.
+	s := testStream(t, 20, 42)
+	x := [][]float64{make([]float64, 3), make([]float64, 3)}
+	y := [][]float64{make([]float64, 2), make([]float64, 2)}
+	if err := s.Batch(5, []int{13, 13}, x, y); err != nil {
+		t.Fatal(err)
+	}
+	for j := range x[0] {
+		if x[0][j] != refX[13][j] || x[1][j] != refX[13][j] {
+			t.Fatalf("repeated render of sample 13 differs from reference")
+		}
+	}
+}
+
+// TestStreamConcurrentBatches renders disjoint batches from many goroutines;
+// the pooled rng scratch must keep every sample bit-identical (run under
+// -race in CI).
+func TestStreamConcurrentBatches(t *testing.T) {
+	const n, gor = 64, 8
+	refX, _ := renderAll(t, testStream(t, n, 9), n)
+	s := testStream(t, n, 9)
+	gotX := make([][]float64, n)
+	gotY := make([][]float64, n)
+	for i := range gotX {
+		gotX[i] = make([]float64, 3)
+		gotY[i] = make([]float64, 2)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, gor)
+	per := n / gor
+	for g := 0; g < gor; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			idx := make([]int, 0, per)
+			for i := g * per; i < (g+1)*per; i++ {
+				idx = append(idx, i)
+			}
+			errs[g] = s.Batch(0, idx, gotX[g*per:(g+1)*per], gotY[g*per:(g+1)*per])
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range refX {
+		for j := range refX[i] {
+			if gotX[i][j] != refX[i][j] {
+				t.Fatalf("concurrent render: x[%d][%d] differs bitwise", i, j)
+			}
+		}
+	}
+}
+
+func TestStreamOnBatch(t *testing.T) {
+	s := testStream(t, 10, 1)
+	total := 0
+	s.OnBatch = func(rendered int) { total += rendered }
+	renderAll(t, s, 4)
+	if total != 10 {
+		t.Fatalf("OnBatch counted %d samples, want 10", total)
+	}
+}
+
+func TestInMemoryMatchesRows(t *testing.T) {
+	x := [][]float64{{1, 2}, {3, 4}, {5, 6}}
+	y := [][]float64{{0.1}, {0.2}, {0.3}}
+	src, err := NewInMemory(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", src.Len())
+	}
+	xw, yw := src.Widths()
+	if xw != 2 || yw != 1 {
+		t.Fatalf("Widths = (%d, %d), want (2, 1)", xw, yw)
+	}
+	gx, gy := renderAll(t, src, 2)
+	for i := range x {
+		for j := range x[i] {
+			if gx[i][j] != x[i][j] {
+				t.Fatalf("x[%d][%d] = %g, want %g", i, j, gx[i][j], x[i][j])
+			}
+		}
+		if gy[i][0] != y[i][0] {
+			t.Fatalf("y[%d] = %g, want %g", i, gy[i][0], y[i][0])
+		}
+	}
+}
+
+func TestSourceValidation(t *testing.T) {
+	if _, err := NewInMemory(nil, nil); err == nil {
+		t.Fatal("empty rows accepted")
+	}
+	if _, err := NewInMemory([][]float64{{1}}, [][]float64{{1}, {2}}); err == nil {
+		t.Fatal("mismatched counts accepted")
+	}
+	if _, err := NewInMemory([][]float64{{1}, {2, 3}}, [][]float64{{1}, {2}}); err == nil {
+		t.Fatal("ragged features accepted")
+	}
+	if _, err := NewStream(0, 1, 1, 0, nil); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+	if _, err := NewStream(5, 1, 1, 0, nil); err == nil {
+		t.Fatal("nil render accepted")
+	}
+	s := testStream(t, 5, 0)
+	x := [][]float64{make([]float64, 3)}
+	y := [][]float64{make([]float64, 2)}
+	if err := s.Batch(0, []int{5}, x, y); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+	failing, err := NewStream(2, 1, 1, 0, func(i int, _ *rng.Source, _, _ []float64) error {
+		return fmt.Errorf("boom %d", i)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = failing.Batch(0, []int{1}, [][]float64{{0}}, [][]float64{{0}})
+	if err == nil || !strings.Contains(err.Error(), "rendering sample 1") {
+		t.Fatalf("render error not wrapped with sample index: %v", err)
+	}
+}
+
+// TestSelectRemapsIndices checks view sample j is base sample indices[j].
+func TestSelectRemapsIndices(t *testing.T) {
+	base := testStream(t, 10, 3)
+	refX, refY := renderAll(t, base, 10)
+	pick := []int{7, 2, 9}
+	v, err := Select(testStream(t, 10, 3), pick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Len() != 3 {
+		t.Fatalf("view Len = %d, want 3", v.Len())
+	}
+	gx, gy := renderAll(t, v, 2)
+	for j, i := range pick {
+		for c := range gx[j] {
+			if gx[j][c] != refX[i][c] {
+				t.Fatalf("view sample %d != base sample %d (x)", j, i)
+			}
+		}
+		for c := range gy[j] {
+			if gy[j][c] != refY[i][c] {
+				t.Fatalf("view sample %d != base sample %d (y)", j, i)
+			}
+		}
+	}
+	if _, err := Select(base, nil); err == nil {
+		t.Fatal("empty selection accepted")
+	}
+	if _, err := Select(base, []int{10}); err == nil {
+		t.Fatal("out-of-range selection accepted")
+	}
+}
+
+// TestSplitIndicesMatchesShuffleSplit pins the replication contract:
+// SplitIndices selects exactly the rows Shuffle-then-Split would place in
+// each side.
+func TestSplitIndicesMatchesShuffleSplit(t *testing.T) {
+	const n = 25
+	d := New(n)
+	for i := 0; i < n; i++ {
+		d.Append([]float64{float64(i), float64(i) * 2}, []float64{float64(i)})
+	}
+	d.Shuffle(rng.New(77))
+	train, test, err := d.Split(0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	trainIdx, testIdx, err := SplitIndices(n, 0.8, rng.New(77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trainIdx) != train.Len() || len(testIdx) != test.Len() {
+		t.Fatalf("split sizes (%d, %d), want (%d, %d)", len(trainIdx), len(testIdx), train.Len(), test.Len())
+	}
+	for j, i := range trainIdx {
+		if train.Y[j][0] != float64(i) {
+			t.Fatalf("train row %d selects original %g, want %d", j, train.Y[j][0], i)
+		}
+	}
+	for j, i := range testIdx {
+		if test.Y[j][0] != float64(i) {
+			t.Fatalf("test row %d selects original %g, want %d", j, test.Y[j][0], i)
+		}
+	}
+
+	if _, _, err := SplitIndices(0, 0.8, rng.New(1)); err == nil {
+		t.Fatal("zero samples accepted")
+	}
+	if _, _, err := SplitIndices(10, 1.0, rng.New(1)); err == nil {
+		t.Fatal("fraction 1.0 accepted")
+	}
+	if _, _, err := SplitIndices(1, 0.5, rng.New(1)); err == nil {
+		t.Fatal("empty-side split accepted")
+	}
+}
+
+// TestMaterializeRendersSelection checks the bridge back to Dataset rows.
+func TestMaterializeRendersSelection(t *testing.T) {
+	s := testStream(t, 8, 5)
+	refX, refY := renderAll(t, s, 8)
+	d, err := Materialize(testStream(t, 8, 5), []int{6, 0, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 3 {
+		t.Fatalf("materialized %d rows, want 3", d.Len())
+	}
+	for j, i := range []int{6, 0, 3} {
+		for c := range d.X[j] {
+			if d.X[j][c] != refX[i][c] {
+				t.Fatalf("row %d != stream sample %d", j, i)
+			}
+		}
+		for c := range d.Y[j] {
+			if d.Y[j][c] != refY[i][c] {
+				t.Fatalf("label %d != stream sample %d", j, i)
+			}
+		}
+	}
+	if _, err := Materialize(s, nil); err == nil {
+		t.Fatal("empty materialization accepted")
+	}
+}

@@ -60,6 +60,15 @@ type Config struct {
 	// RenderOversample overrides the render engine's automatic master-grid
 	// oversampling factor (0 = automatic).
 	RenderOversample int
+	// Stream renders training corpora on demand through the nn prefetch
+	// pipeline instead of materializing them first. Trained networks are
+	// bit-identical to the materialized path; peak memory holds only the
+	// in-flight mini-batches and the (small) validation split.
+	Stream bool
+	// Checkpoint, when non-empty, is a checkpoint path prefix for streamed
+	// training: each trained network writes (and resumes from)
+	// "<prefix>-<specname>.ckpt" after every epoch. Requires Stream.
+	Checkpoint string
 	// Verbose, when non-nil, receives per-epoch training logs.
 	Verbose io.Writer
 }
@@ -103,6 +112,15 @@ func (c Config) nmrSizes() (int, int, int, int) {
 		// a large corpus; the LSTM dominates the budget
 		return 8000, 700, 24, 24
 	}
+}
+
+// cnnCheckpoint derives the NMR CNN checkpoint path from the configured
+// prefix (empty when checkpointing is off).
+func cnnCheckpoint(c Config) string {
+	if c.Checkpoint == "" {
+		return ""
+	}
+	return c.Checkpoint + "-nmr-cnn.ckpt"
 }
 
 // line prints a horizontal rule.

@@ -57,12 +57,46 @@ func (w *msWorld) evalData(perMixture int) (*dataset.Dataset, error) {
 }
 
 // trainVariant trains one Table-1 variant on a fresh simulated corpus,
-// generating and training on `workers` goroutines (0 = all cores).
+// generating and training on `workers` goroutines (0 = all cores). With
+// cfg.Stream the corpus is never materialized: training samples render on
+// demand through the nn prefetch pipeline, with an index split replicating
+// the materialized shuffle-then-split exactly, so the trained network is
+// bit-identical either way.
 func (w *msWorld) trainVariant(spec toolflow.TopologySpec, model *msim.InstrumentModel,
 	trainSamples int, seed uint64, cfg Config) (*toolflow.Result, *dataset.Dataset, error) {
 	workers, verbose := cfg.Workers, cfg.Verbose
-	d, err := msim.GenerateTrainingWith(w.sim, model, w.axis, trainSamples, 1.0, seed, workers,
-		msim.TrainingOptions{ExactRender: cfg.ExactRender})
+	spec.Workers = workers
+	runner := &toolflow.Runner{Verbose: verbose}
+	opts := msim.TrainingOptions{ExactRender: cfg.ExactRender}
+	if cfg.Stream {
+		src, names, err := msim.NewTrainingStream(w.sim, model, w.axis, trainSamples, 1.0, seed, opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		trainIdx, valIdx, err := dataset.SplitIndices(trainSamples, 0.8, rng.New(seed+1))
+		if err != nil {
+			return nil, nil, err
+		}
+		train, err := dataset.Select(src, trainIdx)
+		if err != nil {
+			return nil, nil, err
+		}
+		// Only the (small) validation split materializes.
+		val, err := dataset.Materialize(src, valIdx)
+		if err != nil {
+			return nil, nil, err
+		}
+		val.Names = names
+		if cfg.Checkpoint != "" {
+			spec.Checkpoint = fmt.Sprintf("%s-%s.ckpt", cfg.Checkpoint, spec.Name)
+		}
+		res, err := runner.TrainSource(spec, train, val)
+		if err != nil {
+			return nil, nil, err
+		}
+		return res, val, nil
+	}
+	d, err := msim.GenerateTrainingWith(w.sim, model, w.axis, trainSamples, 1.0, seed, workers, opts)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -71,8 +105,6 @@ func (w *msWorld) trainVariant(spec toolflow.TopologySpec, model *msim.Instrumen
 	if err != nil {
 		return nil, nil, err
 	}
-	spec.Workers = workers
-	runner := &toolflow.Runner{Verbose: verbose}
 	res, err := runner.Train(spec, train, val)
 	if err != nil {
 		return nil, nil, err

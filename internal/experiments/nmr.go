@@ -56,6 +56,8 @@ func NMR(cfg Config, w io.Writer) (*NMRResult, error) {
 		Workers:          cfg.Workers,
 		ExactRender:      cfg.ExactRender,
 		RenderOversample: cfg.RenderOversample,
+		Stream:           cfg.Stream,
+		Checkpoint:       cnnCheckpoint(cfg),
 	})
 	if err := p.FitComponents(); err != nil {
 		return nil, err

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+)
+
+// TestTrainVariantStreamBitIdentical pins the experiment-level streaming
+// guarantee: trainVariant with cfg.Stream renders the corpus on demand
+// (materializing only the validation split) yet trains the bit-identical
+// network, with the identical validation split, of the materialized path.
+func TestTrainVariantStreamBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a variant twice")
+	}
+	world, err := newMSWorld(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := world.characterize(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := world.msSpec("selu", "softmax", "softmax", 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Config{Scale: Quick, Seed: 2}
+	want, wantVal, err := world.trainVariant(spec, model, 100, 13, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed := base
+	streamed.Stream = true
+	streamed.Checkpoint = filepath.Join(t.TempDir(), "variant")
+	got, gotVal, err := world.trainVariant(spec, model, 100, 13, streamed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotVal.X) != len(wantVal.X) {
+		t.Fatalf("val split %d rows, want %d", len(gotVal.X), len(wantVal.X))
+	}
+	for i := range wantVal.X {
+		for j := range wantVal.X[i] {
+			if math.Float64bits(gotVal.X[i][j]) != math.Float64bits(wantVal.X[i][j]) {
+				t.Fatalf("val row %d[%d] differs", i, j)
+			}
+		}
+	}
+	wp, gp := want.Model.Params(), got.Model.Params()
+	for i := range wp {
+		for j := range wp[i].Data {
+			if math.Float64bits(wp[i].Data[j]) != math.Float64bits(gp[i].Data[j]) {
+				t.Fatalf("streamed param %d[%d] = %v, materialized %v", i, j, gp[i].Data[j], wp[i].Data[j])
+			}
+		}
+	}
+	if got.ValMAE != want.ValMAE {
+		t.Fatalf("streamed val MAE %v, materialized %v", got.ValMAE, want.ValMAE)
+	}
+}

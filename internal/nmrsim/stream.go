@@ -1,0 +1,42 @@
+package nmrsim
+
+import (
+	"specml/internal/dataset"
+	"specml/internal/obs"
+	"specml/internal/rng"
+)
+
+// TrainingStream is the streaming counterpart of Generate: a dataset.Source
+// that renders sample i on demand instead of materializing the corpus. The
+// per-sample child seeds come from the same sequential-draw construction as
+// GenerateInto, so a stream built from equal (augmenter, n, seed) yields
+// rows bit-identical to the generated dataset — feeding it to
+// nn.Model.FitSource trains the exact model a materialize-then-Fit run
+// would, while holding only the in-flight mini-batches in memory.
+//
+// The render templates are built (deterministically) before the stream is
+// returned and the per-call rng scratch is pooled inside dataset.Stream, so
+// Batch is safe for concurrent calls even though the Augmenter itself is
+// not — the stream only reads the templates. Reconfiguring the Augmenter
+// after TrainingStream returns is not supported.
+func (a *Augmenter) TrainingStream(n int, seed uint64) (*dataset.Stream, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	if err := a.prepare(); err != nil {
+		return nil, err
+	}
+	s, err := dataset.NewStream(n, a.Axis.N, len(a.Components), seed,
+		func(_ int, src *rng.Source, x, y []float64) error {
+			return a.sampleInto(x, y, src)
+		})
+	if err != nil {
+		return nil, err
+	}
+	if a.Metrics != nil {
+		c := a.Metrics.Counter("specml_corpus_samples_total",
+			"Simulated training samples generated.", obs.L("source", "nmrsim"))
+		s.OnBatch = func(rendered int) { c.Add(uint64(rendered)) }
+	}
+	return s, nil
+}

@@ -1,0 +1,97 @@
+package nmrsim
+
+import (
+	"testing"
+
+	"specml/internal/obs"
+)
+
+// TestTrainingStreamMatchesGenerate pins the streaming equivalence: the
+// stream's rows must be bit-identical to Generate's for equal (augmenter,
+// n, seed) and any batch grouping — so FitSource on the stream trains the
+// exact model a materialize-then-Fit run would.
+func TestTrainingStreamMatchesGenerate(t *testing.T) {
+	for _, exact := range []bool{false, true} {
+		a := defaultAugmenter()
+		a.ExactRender = exact
+		d, err := a.Generate(10, 23)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := defaultAugmenter()
+		b.ExactRender = exact
+		s, err := b.TrainingStream(10, 23)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Len() != 10 {
+			t.Fatalf("stream Len = %d, want 10", s.Len())
+		}
+		for _, batch := range []int{1, 4, 10} {
+			n := s.Len()
+			xw, yw := s.Widths()
+			x := make([][]float64, n)
+			y := make([][]float64, n)
+			for i := range x {
+				x[i] = make([]float64, xw)
+				y[i] = make([]float64, yw)
+			}
+			for start := 0; start < n; start += batch {
+				end := start + batch
+				if end > n {
+					end = n
+				}
+				idx := make([]int, 0, end-start)
+				for i := start; i < end; i++ {
+					idx = append(idx, i)
+				}
+				if err := s.Batch(0, idx, x[start:end], y[start:end]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for i := range d.X {
+				for j := range d.X[i] {
+					if x[i][j] != d.X[i][j] {
+						t.Fatalf("exact=%v batch=%d: x[%d][%d] = %x, want %x (bitwise)",
+							exact, batch, i, j, x[i][j], d.X[i][j])
+					}
+				}
+				for j := range d.Y[i] {
+					if y[i][j] != d.Y[i][j] {
+						t.Fatalf("exact=%v batch=%d: y[%d][%d] differs bitwise", exact, batch, i, j)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestTrainingStreamValidation(t *testing.T) {
+	a := defaultAugmenter()
+	if _, err := a.TrainingStream(0, 1); err == nil {
+		t.Fatal("zero samples accepted")
+	}
+	bad := defaultAugmenter()
+	bad.IntensityScale = 0
+	if _, err := bad.TrainingStream(4, 1); err == nil {
+		t.Fatal("invalid augmenter accepted")
+	}
+}
+
+func TestTrainingStreamMetrics(t *testing.T) {
+	a := defaultAugmenter()
+	a.Metrics = obs.NewRegistry()
+	s, err := a.TrainingStream(6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := [][]float64{make([]float64, a.Axis.N), make([]float64, a.Axis.N)}
+	y := [][]float64{make([]float64, len(a.Components)), make([]float64, len(a.Components))}
+	if err := s.Batch(0, []int{0, 1}, x, y); err != nil {
+		t.Fatal(err)
+	}
+	got := a.Metrics.Counter("specml_corpus_samples_total", "", obs.L("source", "nmrsim")).Value()
+	if got != 2 {
+		t.Fatalf("corpus counter = %d, want 2", got)
+	}
+}

@@ -1,0 +1,233 @@
+package nn
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"specml/internal/dataset"
+)
+
+// materializeAll renders every sample of a stream into [][]float64 rows.
+func materializeAll(t *testing.T, src *dataset.Stream) (x, y [][]float64) {
+	t.Helper()
+	idx := make([]int, src.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	d, err := dataset.Materialize(src, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d.X, d.Y
+}
+
+// TestCheckpointResumeEquivalence is the resume guarantee: 5 epochs straight
+// vs 3 epochs + checkpoint to disk + load + resume 2 more must produce
+// bit-identical weights, optimizer trajectory included.
+func TestCheckpointResumeEquivalence(t *testing.T) {
+	x, y := materializeAll(t, streamCorpus(t, 40, 3))
+	cfg := FitConfig{
+		Epochs:    5,
+		BatchSize: 8,
+		Seed:      11,
+		ValX:      x[:10],
+		ValY:      y[:10],
+		KeepBest:  true,
+		Optimizer: NewAdam(0),
+	}
+
+	straight := dropNet(t)
+	straightHist, err := straight.Fit(x, y, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := flatParams(straight)
+
+	// First leg: 3 epochs, checkpointing every epoch.
+	path := filepath.Join(t.TempDir(), "fit.ckpt")
+	first := dropNet(t)
+	c1 := cfg
+	c1.Epochs = 3
+	c1.Optimizer = NewAdam(0)
+	c1.CheckpointPath = path
+	if _, err := first.Fit(x, y, c1); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := LoadCheckpointFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Epoch != 3 {
+		t.Fatalf("checkpoint cursor at epoch %d, want 3", ck.Epoch)
+	}
+
+	// Second leg: a fresh model and optimizer resume to epoch 5.
+	second := dropNet(t)
+	c2 := cfg
+	c2.Optimizer = NewAdam(0)
+	c2.Resume = ck
+	hist, err := second.Fit(x, y, c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := flatParams(second)
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("resumed param %d = %x, want %x (bitwise)", i, got[i], want[i])
+		}
+	}
+	if len(hist.TrainLoss) != len(straightHist.TrainLoss) {
+		t.Fatalf("resumed history has %d epochs, want %d", len(hist.TrainLoss), len(straightHist.TrainLoss))
+	}
+	for e := range straightHist.TrainLoss {
+		if hist.TrainLoss[e] != straightHist.TrainLoss[e] {
+			t.Fatalf("epoch %d train loss differs bitwise after resume", e)
+		}
+		if hist.ValLoss[e] != straightHist.ValLoss[e] {
+			t.Fatalf("epoch %d val loss differs bitwise after resume", e)
+		}
+	}
+	if hist.BestEpoch != straightHist.BestEpoch {
+		t.Fatalf("resumed best epoch %d, want %d", hist.BestEpoch, straightHist.BestEpoch)
+	}
+}
+
+// TestCheckpointResumeStreamed runs the same equivalence through FitSource,
+// the path a long streamed run would actually resume on.
+func TestCheckpointResumeStreamed(t *testing.T) {
+	cfg := FitConfig{Epochs: 4, BatchSize: 8, Seed: 7, Optimizer: NewAdam(0)}
+	straight := dropNet(t)
+	if _, err := straight.FitSource(streamCorpus(t, 32, 9), cfg); err != nil {
+		t.Fatal(err)
+	}
+	want := flatParams(straight)
+
+	path := filepath.Join(t.TempDir(), "fit.ckpt")
+	first := dropNet(t)
+	c1 := cfg
+	c1.Epochs = 2
+	c1.Optimizer = NewAdam(0)
+	c1.CheckpointPath = path
+	if _, err := first.FitSource(streamCorpus(t, 32, 9), c1); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := LoadCheckpointFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second := dropNet(t)
+	c2 := cfg
+	c2.Optimizer = NewAdam(0)
+	c2.Resume = ck
+	if _, err := second.FitSource(streamCorpus(t, 32, 9), c2); err != nil {
+		t.Fatal(err)
+	}
+	got := flatParams(second)
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("streamed resume: param %d differs bitwise", i)
+		}
+	}
+}
+
+// statelessOpt is an optimizer without checkpoint support (it implements
+// Optimizer but not StatefulOptimizer).
+type statelessOpt struct{}
+
+func (*statelessOpt) Name() string    { return "custom" }
+func (*statelessOpt) Step(_ []*Param) {}
+
+// TestCheckpointValidation covers the mismatch error paths.
+func TestCheckpointValidation(t *testing.T) {
+	src := streamCorpus(t, 16, 1)
+	path := filepath.Join(t.TempDir(), "fit.ckpt")
+	m := dropNet(t)
+	if _, err := m.FitSource(src, FitConfig{
+		Epochs: 1, BatchSize: 8, Seed: 5, Optimizer: NewAdam(0), CheckpointPath: path,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := LoadCheckpointFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(name string, mutate func(cfg *FitConfig), wantSub string) {
+		t.Helper()
+		cfg := FitConfig{Epochs: 2, BatchSize: 8, Seed: 5, Optimizer: NewAdam(0), Resume: ck}
+		mutate(&cfg)
+		if _, err := dropNet(t).FitSource(streamCorpus(t, 16, 1), cfg); err == nil {
+			t.Fatalf("%s: mismatch accepted", name)
+		} else if wantSub != "" && !bytes.Contains([]byte(err.Error()), []byte(wantSub)) {
+			t.Fatalf("%s: error %q does not mention %q", name, err, wantSub)
+		}
+	}
+	check("seed", func(cfg *FitConfig) { cfg.Seed = 6 }, "seed")
+	check("batch", func(cfg *FitConfig) { cfg.BatchSize = 4 }, "batch size")
+	check("optimizer", func(cfg *FitConfig) { cfg.Optimizer = &SGD{LR: 0.1} }, "optimizer")
+	check("stateless", func(cfg *FitConfig) { cfg.Optimizer = &statelessOpt{} }, "checkpointing")
+
+	// Sample-count mismatch.
+	cfg := FitConfig{Epochs: 2, BatchSize: 8, Seed: 5, Optimizer: NewAdam(0), Resume: ck}
+	if _, err := dropNet(t).FitSource(streamCorpus(t, 24, 1), cfg); err == nil {
+		t.Fatal("sample-count mismatch accepted")
+	}
+
+	// CheckpointPath with an optimizer that cannot capture state.
+	if _, err := dropNet(t).FitSource(src, FitConfig{
+		Epochs: 1, BatchSize: 8, Optimizer: &statelessOpt{}, CheckpointPath: path,
+	}); err == nil {
+		t.Fatal("checkpointing with a stateless optimizer accepted")
+	}
+}
+
+// TestCheckpointFormatRejected checks format gating on load.
+func TestCheckpointFormatRejected(t *testing.T) {
+	if _, err := LoadCheckpoint(bytes.NewReader([]byte(`{"format":"specml/ckpt/v0"}`))); err == nil {
+		t.Fatal("unknown checkpoint format accepted")
+	}
+	if _, err := LoadCheckpoint(bytes.NewReader([]byte(`not json`))); err == nil {
+		t.Fatal("malformed checkpoint accepted")
+	}
+}
+
+// TestCheckpointGolden pins the exact bytes of specml/ckpt/v1: resumable
+// long runs depend on this layout, so drift must be a deliberate, versioned
+// format change.
+func TestCheckpointGolden(t *testing.T) {
+	x, y := materializeAll(t, streamCorpus(t, 16, 13))
+	path := filepath.Join(t.TempDir(), "fit.ckpt")
+	m := dropNet(t)
+	if _, err := m.Fit(x, y, FitConfig{
+		Epochs:         2,
+		BatchSize:      8,
+		Seed:           17,
+		Optimizer:      NewAdam(0),
+		ValX:           x[:4],
+		ValY:           y[:4],
+		KeepBest:       true,
+		CheckpointPath: path,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "ckpt_v1.golden.json", got)
+
+	// Load + save must be byte-stable.
+	ck, err := LoadCheckpoint(bytes.NewReader(got))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveCheckpoint(&buf, ck); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), got) {
+		t.Fatal("LoadCheckpoint+SaveCheckpoint is not byte-stable")
+	}
+}

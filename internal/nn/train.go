@@ -4,11 +4,10 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"time"
 
+	"specml/internal/dataset"
 	"specml/internal/obs"
 	"specml/internal/parallel"
-	"specml/internal/rng"
 )
 
 // FitConfig configures Model.Fit.
@@ -43,11 +42,31 @@ type FitConfig struct {
 	// so the fit is bit-identical for any worker count: equal seeds and
 	// data produce equal models regardless of Workers or GOMAXPROCS.
 	Workers int
-	// Metrics, when non-nil, receives training progress: epoch and sample
-	// throughput counters, an epoch-duration histogram and the latest
-	// train/validation losses as gauges. Recording is off the per-sample
-	// hot path (once per epoch), so instrumented fits are not slower.
+	// Metrics, when non-nil, receives training progress: epoch, sample and
+	// batch throughput counters, epoch-duration, render-wait and
+	// compute-time histograms, and the latest train/validation losses as
+	// gauges. Recording is off the per-sample hot path (per batch at most),
+	// so instrumented fits are not slower.
 	Metrics *obs.Registry
+	// Prefetch is the streamed-fit pipeline depth: how many mini-batch
+	// buffers may be rendered ahead of training (default 2 — double
+	// buffering; 1 disables overlap). It also caps the number of concurrent
+	// render workers. The fitted model does not depend on it.
+	Prefetch int
+	// CheckpointPath, when non-empty, writes a specml/ckpt/v1 training
+	// checkpoint (weights + optimizer state + epoch/permutation cursor)
+	// there after every CheckpointEvery epochs, atomically (tmp + rename).
+	// The optimizer must implement StatefulOptimizer.
+	CheckpointPath string
+	// CheckpointEvery is the checkpoint cadence in epochs (default 1). The
+	// final epoch and an early stop always checkpoint.
+	CheckpointEvery int
+	// Resume, when non-nil, restores the checkpointed weights, optimizer
+	// state and best-epoch bookkeeping, then continues training at the
+	// checkpoint's epoch cursor. The seed, sample count, batch size and
+	// optimizer must match the original fit; the continuation is then
+	// bit-identical to an uninterrupted fit.
+	Resume *Checkpoint
 }
 
 // fitMetrics bundles the instruments Fit records into, resolved once per
@@ -55,7 +74,10 @@ type FitConfig struct {
 type fitMetrics struct {
 	epochs       *obs.Counter
 	samples      *obs.Counter
+	batches      *obs.Counter
 	epochSeconds *obs.Histogram
+	renderWait   *obs.Histogram
+	computeSecs  *obs.Histogram
 	trainLoss    *obs.Gauge
 	valLoss      *obs.Gauge
 }
@@ -64,11 +86,20 @@ type fitMetrics struct {
 // epochs.
 var fitEpochBuckets = obs.ExponentialBuckets(1e-3, 2, 18)
 
+// fitBatchBuckets spans 1µs..~4s of per-batch render-wait and compute time.
+// Render wait near zero means generation hides behind training compute;
+// wait comparable to compute means the fit is render-bound (raise Prefetch
+// or Workers).
+var fitBatchBuckets = obs.ExponentialBuckets(1e-6, 2, 22)
+
 func newFitMetrics(reg *obs.Registry) *fitMetrics {
 	return &fitMetrics{
 		epochs:       reg.Counter("specml_fit_epochs_total", "Training epochs completed."),
 		samples:      reg.Counter("specml_fit_samples_total", "Training samples processed (epochs x dataset size)."),
+		batches:      reg.Counter("specml_fit_batches_total", "Training mini-batches processed."),
 		epochSeconds: reg.Histogram("specml_fit_epoch_seconds", "Wall-clock duration of one training epoch.", fitEpochBuckets),
+		renderWait:   reg.Histogram("specml_fit_render_wait_seconds", "Time the training loop waited for the next mini-batch from the data source.", fitBatchBuckets),
+		computeSecs:  reg.Histogram("specml_fit_compute_seconds", "Forward/backward/optimizer time of one mini-batch.", fitBatchBuckets),
 		trainLoss:    reg.Gauge("specml_fit_train_loss", "Training loss of the most recent epoch."),
 		valLoss:      reg.Gauge("specml_fit_val_loss", "Validation loss of the most recent epoch."),
 	}
@@ -76,16 +107,19 @@ func newFitMetrics(reg *obs.Registry) *fitMetrics {
 
 // History records per-epoch training metrics.
 type History struct {
-	TrainLoss []float64
-	ValLoss   []float64
-	BestEpoch int  // index into the loss slices; -1 when no validation data
-	Stopped   bool // true when early stopping triggered
+	TrainLoss []float64 `json:"trainLoss,omitempty"`
+	ValLoss   []float64 `json:"valLoss,omitempty"`
+	BestEpoch int       `json:"bestEpoch"`         // index into the loss slices; -1 when no validation data
+	Stopped   bool      `json:"stopped,omitempty"` // true when early stopping triggered
 }
 
 // Fit trains the model with mini-batch gradient descent. X and Y hold one
-// flat sample per row. The whole fit runs under a pprof "fit" stage label
-// (inherited by the data-parallel workers), so CPU profiles attribute
-// training time even when a fit shares its process with serving.
+// flat sample per row. Internally the rows are wrapped in a trivial
+// in-memory dataset.Source and trained through the same prefetch pipeline
+// as FitSource, bit-identically to the historical materialized loop. The
+// whole fit runs under a pprof "fit" stage label (inherited by the
+// data-parallel workers), so CPU profiles attribute training time even when
+// a fit shares its process with serving.
 func (m *Model) Fit(x, y [][]float64, cfg FitConfig) (*History, error) {
 	var hist *History
 	err := obs.WithStage("fit", func() error {
@@ -128,269 +162,12 @@ func (m *Model) fit(x, y [][]float64, cfg FitConfig) (*History, error) {
 			}
 		}
 	}
-	if cfg.Epochs <= 0 {
-		cfg.Epochs = 10
+	src, err := dataset.NewInMemory(x, y)
+	if err != nil {
+		return nil, fmt.Errorf("nn: %w", err)
 	}
-	if cfg.BatchSize <= 0 {
-		cfg.BatchSize = 32
-	}
-	if cfg.Loss == nil {
-		cfg.Loss = MAE
-	}
-	if cfg.Optimizer == nil {
-		cfg.Optimizer = NewAdam(0)
-	}
-
-	src := rng.New(cfg.Seed)
-	// Dropout masks must not depend on worker scheduling, so each sample
-	// gets a fresh per-sample stream seeded in sample order from a root
-	// split off the fit source. The split is taken only when the model has
-	// dropout, keeping the shuffle stream of dropout-free models unchanged.
-	hasDrop := m.hasDropout()
-	var dropRoot *rng.Source
-	if hasDrop {
-		dropRoot = src.Split()
-	}
-
-	// One replica per worker: weights alias the master (the optimizer step
-	// updates them in place for everyone), gradients and caches private.
-	workers := parallel.Resolve(cfg.Workers)
-	if workers > cfg.BatchSize {
-		workers = cfg.BatchSize
-	}
-	if workers > len(x) {
-		workers = len(x)
-	}
-	masterParams := m.Params()
-	// A fully batchable stack trains through the blocked-GEMM kernels on
-	// the master model itself: one forward/backward per mini-batch instead
-	// of one per sample. The kernels keep the per-sample accumulation
-	// order, and the path involves no worker scheduling at all, so the fit
-	// stays bit-identical for any Workers value. Stacks with recurrent
-	// layers keep the wave-parallel per-sample path.
-	batched := m.batchable()
-	var (
-		replicas      []*Model
-		replicaParams [][]*Param
-		gradBufs      [][]float64
-		waveLoss      []float64
-		dropSeeds     []uint64
-
-		xblock, gblock []float64
-		batchSeeds     []uint64
-	)
-	if batched {
-		maxB := cfg.BatchSize
-		if maxB > len(x) {
-			maxB = len(x)
-		}
-		xblock = make([]float64, maxB*inLen)
-		gblock = make([]float64, maxB*outLen)
-		if hasDrop {
-			batchSeeds = make([]uint64, maxB)
-		}
-	} else {
-		var err error
-		replicas, err = m.replicaPool(workers)
-		if err != nil {
-			return nil, err
-		}
-		replicaParams = make([][]*Param, workers)
-		gradBufs = make([][]float64, workers)
-		for i, r := range replicas {
-			replicaParams[i] = r.Params()
-			gradBufs[i] = make([]float64, outLen)
-		}
-		waveLoss = make([]float64, workers)
-		dropSeeds = make([]uint64, workers)
-	}
-
-	idx := make([]int, len(x))
-	for i := range idx {
-		idx[i] = i
-	}
-	hist := &History{BestEpoch: -1}
-	bestVal := math.Inf(1)
-	var bestModel *Model
-	sinceBest := 0
-
-	if cfg.LRSchedule != nil {
-		if _, ok := cfg.Optimizer.(LRSettable); !ok {
-			return nil, fmt.Errorf("nn: optimizer %s does not support LR scheduling", cfg.Optimizer.Name())
-		}
-	}
-
-	var mx *fitMetrics
-	if cfg.Metrics != nil {
-		mx = newFitMetrics(cfg.Metrics)
-	}
-
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
-		epochStart := time.Now()
-		if cfg.LRSchedule != nil {
-			cfg.Optimizer.(LRSettable).SetLR(cfg.LRSchedule(epoch))
-		}
-		m.SetTraining(true)
-		for _, r := range replicas {
-			r.SetTraining(true)
-		}
-		src.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
-		epochLoss := 0.0
-		for start := 0; start < len(idx); start += cfg.BatchSize {
-			end := start + cfg.BatchSize
-			if end > len(idx) {
-				end = len(idx)
-			}
-			m.ZeroGrad()
-			if batched {
-				// Assemble the mini-batch into one row-major block and run a
-				// single batched forward/backward. Dropout seeds are drawn in
-				// sample order from the same root as the wave path, and the
-				// losses accumulate in sample order, so shuffling, masks and
-				// epoch loss all match the per-sample path exactly.
-				bn := end - start
-				for j := 0; j < bn; j++ {
-					copy(xblock[j*inLen:(j+1)*inLen], x[idx[start+j]])
-				}
-				if hasDrop {
-					for j := 0; j < bn; j++ {
-						batchSeeds[j] = dropRoot.Uint64()
-					}
-					m.reseedDropoutBatch(batchSeeds[:bn])
-				}
-				yb := m.forwardBatch(xblock[:bn*inLen], bn)
-				for j := 0; j < bn; j++ {
-					k := idx[start+j]
-					row := yb[j*outLen : (j+1)*outLen]
-					epochLoss += cfg.Loss.Loss(row, y[k])
-					cfg.Loss.Grad(row, y[k], gblock[j*outLen:(j+1)*outLen])
-				}
-				m.backwardBatch(gblock[:bn*outLen], bn)
-
-				// average gradients over the batch
-				inv := 1 / float64(end-start)
-				for _, p := range masterParams {
-					for i := range p.Grad {
-						p.Grad[i] *= inv
-					}
-				}
-				if cfg.ClipNorm > 0 {
-					clipGradNorm(masterParams, cfg.ClipNorm)
-				}
-				cfg.Optimizer.Step(masterParams)
-				continue
-			}
-			// Each batch is processed in waves of `workers` samples. Wave
-			// item j always runs on replica j, and the per-sample gradients
-			// are reduced into the master in sample order below, so the sum
-			// — and therefore the fitted model — is bit-identical for any
-			// worker count (a zeroed replica gradient plus one sample's
-			// contribution equals the contribution exactly, and additions
-			// happen in the same order as a sequential pass).
-			for wstart := start; wstart < end; wstart += workers {
-				wn := workers
-				if end-wstart < wn {
-					wn = end - wstart
-				}
-				if hasDrop {
-					for j := 0; j < wn; j++ {
-						dropSeeds[j] = dropRoot.Uint64()
-					}
-				}
-				if err := parallel.For(wn, wn, func(_, j int) error {
-					r := replicas[j]
-					k := idx[wstart+j]
-					r.ZeroGrad()
-					if hasDrop {
-						r.reseedDropout(dropSeeds[j])
-					}
-					out := r.Forward(x[k])
-					waveLoss[j] = cfg.Loss.Loss(out, y[k])
-					cfg.Loss.Grad(out, y[k], gradBufs[j])
-					r.Backward(gradBufs[j])
-					return nil
-				}); err != nil {
-					return nil, err
-				}
-				// deterministic sample-order reduction
-				for j := 0; j < wn; j++ {
-					epochLoss += waveLoss[j]
-					rp := replicaParams[j]
-					for pi, p := range masterParams {
-						for gi, g := range rp[pi].Grad {
-							p.Grad[gi] += g
-						}
-					}
-				}
-			}
-			// average gradients over the batch
-			inv := 1 / float64(end-start)
-			for _, p := range masterParams {
-				for i := range p.Grad {
-					p.Grad[i] *= inv
-				}
-			}
-			if cfg.ClipNorm > 0 {
-				clipGradNorm(masterParams, cfg.ClipNorm)
-			}
-			cfg.Optimizer.Step(masterParams)
-		}
-		m.SetTraining(false)
-		epochLoss /= float64(len(idx))
-		hist.TrainLoss = append(hist.TrainLoss, epochLoss)
-		if mx != nil {
-			mx.epochs.Inc()
-			mx.samples.Add(uint64(len(idx)))
-			mx.epochSeconds.ObserveSince(epochStart)
-			mx.trainLoss.Set(epochLoss)
-		}
-
-		if len(cfg.ValX) > 0 {
-			var valLoss float64
-			var verr error
-			if batched {
-				valLoss, verr = m.evaluateLossBatched(cfg.ValX, cfg.ValY, cfg.Loss, cfg.BatchSize)
-			} else {
-				valLoss, verr = evaluateLossReplicas(replicas, cfg.ValX, cfg.ValY, cfg.Loss)
-			}
-			if verr != nil {
-				return nil, verr
-			}
-			hist.ValLoss = append(hist.ValLoss, valLoss)
-			if mx != nil {
-				mx.valLoss.Set(valLoss)
-			}
-			if cfg.Verbose != nil {
-				fmt.Fprintf(cfg.Verbose, "epoch %3d  train=%.6f  val=%.6f\n", epoch+1, epochLoss, valLoss)
-			}
-			if valLoss < bestVal {
-				bestVal = valLoss
-				hist.BestEpoch = epoch
-				sinceBest = 0
-				if cfg.KeepBest || cfg.Patience > 0 {
-					c, err := m.Clone()
-					if err != nil {
-						return nil, err
-					}
-					bestModel = c
-				}
-			} else {
-				sinceBest++
-				if cfg.Patience > 0 && sinceBest >= cfg.Patience {
-					hist.Stopped = true
-					break
-				}
-			}
-		} else if cfg.Verbose != nil {
-			fmt.Fprintf(cfg.Verbose, "epoch %3d  train=%.6f\n", epoch+1, epochLoss)
-		}
-	}
-	if bestModel != nil && (cfg.KeepBest || hist.Stopped) {
-		if err := m.CopyParamsFrom(bestModel); err != nil {
-			return nil, err
-		}
-	}
-	return hist, nil
+	// Rows were validated above; skip the producer-side re-check.
+	return m.fitSource(src, cfg, false)
 }
 
 // evaluateLossReplicas computes the mean loss over a dataset on one

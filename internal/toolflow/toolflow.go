@@ -11,6 +11,7 @@ package toolflow
 import (
 	"fmt"
 	"io"
+	"os"
 	"sort"
 	"time"
 
@@ -36,6 +37,13 @@ type TopologySpec struct {
 	// Workers is the data-parallel training worker count (0 = all cores);
 	// the trained network is bit-identical for any value.
 	Workers int `json:"workers,omitempty"`
+	// Prefetch is the streamed-training prefetch depth for TrainSource
+	// (0 = default double buffering); the trained network is bit-identical
+	// for any value.
+	Prefetch int `json:"prefetch,omitempty"`
+	// Checkpoint, when non-empty, is a specml/ckpt/v1 file TrainSource
+	// writes after each epoch and resumes from when it already exists.
+	Checkpoint string `json:"checkpoint,omitempty"`
 }
 
 // Build constructs and initializes the network.
@@ -83,6 +91,48 @@ func (r *Runner) Train(spec TopologySpec, train, val *dataset.Dataset) (*Result,
 	if err := train.Validate(); err != nil {
 		return nil, fmt.Errorf("toolflow: training data: %w", err)
 	}
+	return r.train(spec, val, func(m *nn.Model, cfg nn.FitConfig) (*nn.History, error) {
+		return m.Fit(train.X, train.Y, cfg)
+	})
+}
+
+// TrainSource trains one topology from a streaming data source: samples are
+// rendered on demand through the nn prefetch pipeline instead of being
+// materialized, so corpus size is bounded by disk-free determinism, not
+// host RAM. The trained network is bit-identical to Train on the
+// materialized equivalent of the source.
+//
+// When spec.Checkpoint names an existing specml/ckpt/v1 file, training
+// resumes from it (and continues writing there after every epoch); a fresh
+// run simply starts writing checkpoints.
+func (r *Runner) TrainSource(spec TopologySpec, train dataset.Source, val *dataset.Dataset) (*Result, error) {
+	if train == nil {
+		return nil, fmt.Errorf("toolflow: training source is nil")
+	}
+	var resume *nn.Checkpoint
+	if spec.Checkpoint != "" {
+		if _, err := os.Stat(spec.Checkpoint); err == nil {
+			ck, err := nn.LoadCheckpointFile(spec.Checkpoint)
+			if err != nil {
+				return nil, fmt.Errorf("toolflow: resuming %q: %w", spec.Name, err)
+			}
+			resume = ck
+			if r.Verbose != nil {
+				fmt.Fprintf(r.Verbose, "== resuming %s from %s (epoch %d)\n", spec.Name, spec.Checkpoint, ck.Epoch)
+			}
+		}
+	}
+	return r.train(spec, val, func(m *nn.Model, cfg nn.FitConfig) (*nn.History, error) {
+		cfg.Prefetch = spec.Prefetch
+		cfg.CheckpointPath = spec.Checkpoint
+		cfg.Resume = resume
+		return m.FitSource(train, cfg)
+	})
+}
+
+// train is the shared body of Train and TrainSource.
+func (r *Runner) train(spec TopologySpec, val *dataset.Dataset,
+	fit func(*nn.Model, nn.FitConfig) (*nn.History, error)) (*Result, error) {
 	if err := val.Validate(); err != nil {
 		return nil, fmt.Errorf("toolflow: validation data: %w", err)
 	}
@@ -102,7 +152,7 @@ func (r *Runner) Train(spec TopologySpec, train, val *dataset.Dataset) (*Result,
 		fmt.Fprintf(r.Verbose, "== training %s (%d parameters)\n", spec.Name, m.NumParams())
 	}
 	start := time.Now()
-	hist, err := m.Fit(train.X, train.Y, nn.FitConfig{
+	hist, err := fit(m, nn.FitConfig{
 		Epochs:    spec.Epochs,
 		BatchSize: spec.BatchSize,
 		Loss:      loss,

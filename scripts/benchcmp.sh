@@ -8,8 +8,9 @@
 #   render   Fig. 7 / Fig. 4 render engine        vs BENCH_render.json
 #   serve    SPB1 wire codec + fleet proxy hop    vs BENCH_serve.json
 #   kernels  int8 + float GEMM / forward kernels  vs BENCH_kernels.json
+#   train    streamed vs materialized training    vs BENCH_train.json
 #
-# Usage: scripts/benchcmp.sh [-s render|serve|kernels] [threshold_pct]  (default: render, 20)
+# Usage: scripts/benchcmp.sh [-s render|serve|kernels|train] [threshold_pct]  (default: render, 20)
 #
 # CI shares hardware, so the baseline is only meaningful on comparable
 # machines; set BENCHCMP_SKIP=1 to run the benchmarks without enforcing
@@ -18,7 +19,7 @@ set -euo pipefail
 
 usage() {
     cat <<'EOF'
-usage: scripts/benchcmp.sh [-h] [-s render|serve|kernels] [threshold_pct]
+usage: scripts/benchcmp.sh [-h] [-s render|serve|kernels|train] [threshold_pct]
 
 Runs a benchmark suite and compares each ns/op against its committed
 baseline. Exits non-zero when any benchmark is more than threshold_pct
@@ -33,6 +34,11 @@ Suites:
            float batch-32 forward pairs (QuantForward*
            vs BatchForward*); gates both the int8 kernel
            and the float path it is compared against
+  train    TrainCorpus{Materialized,Streamed}: the  -> BENCH_train.json
+           classic generate-then-Fit flow vs the fused
+           streaming pipeline on the identical corpus;
+           gates both the streamed path and the
+           materialized baseline it is compared against
 
 Benchmarks are compared by their exact emitted name, including any
 -GOMAXPROCS suffix, so a -cpu variant can never be scored against a
@@ -119,8 +125,16 @@ kernels)
            BenchmarkBatchForwardDense32 BenchmarkBatchForwardConv32"
     REGEN="go test -run '^\$' -bench 'Gemm|Im2Col|Quantize' -benchtime 2s -cpu 1 ./internal/tensor && go test -run '^\$' -bench 'BatchForward|QuantForward|PredictBatch32|FitEpoch' -benchtime 2s -cpu 1 ./internal/nn"
     ;;
+train)
+    BASELINE="BENCH_train.json"
+    # One full run per benchmark: each iteration is a complete training run,
+    # so -benchtime 1x keeps the gate in the seconds range at quick scale.
+    BENCH_CMDS=("go test -run ^\$ -bench TrainCorpus -benchtime 1x -cpu 1 .")
+    NAMES="BenchmarkTrainCorpusMaterialized BenchmarkTrainCorpusStreamed"
+    REGEN="go test -run '^\$' -bench TrainCorpus -benchtime 1x -cpu 1 .  # plus SPECML_BENCH_SCALE=paper for the 100k-corpus section"
+    ;;
 *)
-    echo "benchcmp: unknown suite '${SUITE}' (want render, serve or kernels)" >&2
+    echo "benchcmp: unknown suite '${SUITE}' (want render, serve, kernels or train)" >&2
     usage >&2
     exit 2
     ;;
