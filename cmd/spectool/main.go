@@ -22,6 +22,7 @@ import (
 	"specml/internal/dataset"
 	"specml/internal/experiments"
 	"specml/internal/msim"
+	"specml/internal/nmrsim"
 	"specml/internal/obs"
 	"specml/internal/rng"
 	"specml/internal/store"
@@ -41,8 +42,9 @@ func main() {
 		lineage   = flag.String("lineage", "", "with -store: print the lineage of a document ID")
 		demoStore = flag.String("demo-store", "", "run a mini pipeline and save its provenance store to this path")
 		streamN   = flag.Int("stream-demo", 0, "train a small MS network from an N-sample streamed corpus that is never materialized; prints throughput and peak heap")
-		maxHeapMB = flag.Int("max-heap-mb", 0, "with -stream-demo: exit non-zero if peak heap exceeds this many MiB")
-		ckpt      = flag.String("checkpoint", "", "with -stream-demo: checkpoint path written every epoch and resumed from when it exists")
+		lstmN     = flag.Int("lstm-stream-demo", 0, "train the NMR LSTM from an N-window streamed rolling-window corpus that is never materialized; prints throughput and peak heap")
+		maxHeapMB = flag.Int("max-heap-mb", 0, "with -stream-demo/-lstm-stream-demo: exit non-zero if peak heap exceeds this many MiB")
+		ckpt      = flag.String("checkpoint", "", "with -stream-demo/-lstm-stream-demo: checkpoint path written every epoch and resumed from when it exists")
 		seed      = flag.Uint64("seed", 1, "simulation seed")
 		workers   = flag.Int("workers", 0, "generation/training worker count (0 = all cores); results are identical for any value")
 		exact     = flag.Bool("exact-render", false, "force the legacy analytic peak renderer for corpus generation (slower, bit-identical to pre-render-engine corpora)")
@@ -98,6 +100,12 @@ func main() {
 	if *streamN > 0 {
 		ran = true
 		if err := runStreamDemo(*streamN, *seed, *workers, *exact, *maxHeapMB, *ckpt); err != nil {
+			fatal(err)
+		}
+	}
+	if *lstmN > 0 {
+		ran = true
+		if err := runLSTMStreamDemo(*lstmN, *seed, *workers, *exact, *maxHeapMB, *ckpt); err != nil {
 			fatal(err)
 		}
 	}
@@ -271,6 +279,88 @@ func runStreamDemo(n int, seed uint64, workers int, exactRender bool, maxHeapMB 
 	spec.Workers = workers
 	spec.Checkpoint = checkpoint
 
+	stopWatch := watchPeakHeap()
+	start := time.Now()
+	runner := &toolflow.Runner{Verbose: os.Stderr}
+	res, err := runner.TrainSource(spec, train, val)
+	elapsed := time.Since(start)
+	peakMiB := stopWatch()
+	if err != nil {
+		return err
+	}
+	rate := float64(len(trainIdx)*spec.Epochs) / elapsed.Seconds()
+	fmt.Printf("stream-demo: %d samples streamed (never materialized), val MAE %.4f\n", n, res.ValMAE)
+	fmt.Printf("stream-demo: %.0f samples/s over %d epochs, peak heap %.1f MiB\n",
+		rate, spec.Epochs, peakMiB)
+	if maxHeapMB > 0 && peakMiB > float64(maxHeapMB) {
+		return fmt.Errorf("peak heap %.1f MiB exceeds the %d MiB limit", peakMiB, maxHeapMB)
+	}
+	return nil
+}
+
+// runLSTMStreamDemo trains the paper's Table-2 LSTM monitor network from an
+// n-window streamed rolling-window corpus that is never materialized: the
+// order-dependent plateau series is replayed through a windowed
+// dataset.Source (nmrsim.TimeSeriesStream), so peak heap holds the recorded
+// per-step rng states (~100 B/step), the in-flight mini-batches, and the 2%
+// validation split — not the n x steps x 1700-point corpus. Same peak-heap
+// regression gate as runStreamDemo; the CI small-heap job runs both under
+// GOMEMLIMIT.
+func runLSTMStreamDemo(n int, seed uint64, workers int, exactRender bool, maxHeapMB int, checkpoint string) error {
+	const steps, maxRepeat = 5, 20
+	p := core.NewNMRPipeline(core.NMRConfig{
+		Windows:     n,
+		Steps:       steps,
+		MaxRepeat:   maxRepeat,
+		Seed:        seed,
+		Workers:     workers,
+		ExactRender: exactRender,
+	})
+	if err := p.FitComponents(); err != nil {
+		return err
+	}
+	src, err := p.Augmenter().TimeSeriesStream(n, steps, maxRepeat, seed+30)
+	if err != nil {
+		return err
+	}
+	trainIdx, valIdx, err := dataset.SplitIndices(n, 0.98, rng.New(seed+1))
+	if err != nil {
+		return err
+	}
+	train, err := dataset.Select(src, trainIdx)
+	if err != nil {
+		return err
+	}
+	val, err := dataset.Materialize(src, valIdx)
+	if err != nil {
+		return err
+	}
+	spec := toolflow.NMRLSTMSpec(steps, p.LowField.Axis.N, nmrsim.NumComponents, 2, 32, seed)
+	spec.Workers = workers
+	spec.Checkpoint = checkpoint
+
+	stopWatch := watchPeakHeap()
+	start := time.Now()
+	runner := &toolflow.Runner{Verbose: os.Stderr}
+	res, err := runner.TrainSource(spec, train, val)
+	elapsed := time.Since(start)
+	peakMiB := stopWatch()
+	if err != nil {
+		return err
+	}
+	rate := float64(len(trainIdx)*spec.Epochs) / elapsed.Seconds()
+	fmt.Printf("lstm-stream-demo: %d windows streamed (never materialized), val MAE %.4f\n", n, res.ValMAE)
+	fmt.Printf("lstm-stream-demo: %.0f windows/s over %d epochs, peak heap %.1f MiB\n",
+		rate, spec.Epochs, peakMiB)
+	if maxHeapMB > 0 && peakMiB > float64(maxHeapMB) {
+		return fmt.Errorf("peak heap %.1f MiB exceeds the %d MiB limit", peakMiB, maxHeapMB)
+	}
+	return nil
+}
+
+// watchPeakHeap samples HeapAlloc on a background ticker. The returned stop
+// function takes a final sample and reports the peak in MiB.
+func watchPeakHeap() (stop func() float64) {
 	var (
 		mu   sync.Mutex
 		peak uint64
@@ -284,7 +374,7 @@ func runStreamDemo(n int, seed uint64, workers int, exactRender bool, maxHeapMB 
 		}
 		mu.Unlock()
 	}
-	stop := make(chan struct{})
+	quit := make(chan struct{})
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
@@ -292,33 +382,19 @@ func runStreamDemo(n int, seed uint64, workers int, exactRender bool, maxHeapMB 
 		defer t.Stop()
 		for {
 			select {
-			case <-stop:
+			case <-quit:
 				return
 			case <-t.C:
 				sample()
 			}
 		}
 	}()
-
-	start := time.Now()
-	runner := &toolflow.Runner{Verbose: os.Stderr}
-	res, err := runner.TrainSource(spec, train, val)
-	elapsed := time.Since(start)
-	close(stop)
-	<-done
-	sample()
-	if err != nil {
-		return err
+	return func() float64 {
+		close(quit)
+		<-done
+		sample()
+		return float64(peak) / (1 << 20)
 	}
-	peakMiB := float64(peak) / (1 << 20)
-	rate := float64(len(trainIdx)*spec.Epochs) / elapsed.Seconds()
-	fmt.Printf("stream-demo: %d samples streamed (never materialized), val MAE %.4f\n", n, res.ValMAE)
-	fmt.Printf("stream-demo: %.0f samples/s over %d epochs, peak heap %.1f MiB\n",
-		rate, spec.Epochs, peakMiB)
-	if maxHeapMB > 0 && peakMiB > float64(maxHeapMB) {
-		return fmt.Errorf("peak heap %.1f MiB exceeds the %d MiB limit", peakMiB, maxHeapMB)
-	}
-	return nil
 }
 
 func fatal(err error) {

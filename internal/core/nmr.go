@@ -43,16 +43,21 @@ type NMRConfig struct {
 	// RenderOversample overrides the render engine's automatic master-grid
 	// oversampling factor (0 = automatic).
 	RenderOversample int
-	// Stream renders the CNN training corpus on demand through the nn
-	// prefetch pipeline instead of materializing it. The trained network is
-	// bit-identical to the materialized path; peak memory holds only the
-	// in-flight mini-batches. (The LSTM corpus is order-dependent rolling
-	// windows and stays materialized.)
+	// Stream renders both training corpora on demand through the nn
+	// prefetch pipeline instead of materializing them: the CNN corpus via a
+	// per-sample seeded stream, the order-dependent rolling-window LSTM
+	// corpus via a recorded-state windowed source (nmrsim.TimeSeriesStream).
+	// The trained networks are bit-identical to the materialized path; peak
+	// memory holds only the in-flight mini-batches.
 	Stream bool
 	// Checkpoint, when non-empty, is the specml/ckpt/v1 path streamed CNN
 	// training writes after every epoch and resumes from when it already
 	// exists. Requires Stream.
 	Checkpoint string
+	// LSTMCheckpoint is Checkpoint for streamed LSTM training. It must
+	// differ from Checkpoint — the two models' checkpoints are not
+	// interchangeable.
+	LSTMCheckpoint string
 }
 
 func (c *NMRConfig) withDefaults() *NMRConfig {
@@ -200,15 +205,35 @@ func (p *NMRPipeline) TrainLSTM(val *dataset.Dataset, verbose io.Writer) (*toolf
 	if p.augmenter == nil {
 		return nil, fmt.Errorf("core: FitComponents before TrainLSTM")
 	}
+	spec := toolflow.NMRLSTMSpec(p.cfg.Steps, p.LowField.Axis.N, nmrsim.NumComponents,
+		p.cfg.Epochs, p.cfg.BatchSize, p.cfg.Seed)
+	spec.Workers = p.cfg.Workers
+	runner := &toolflow.Runner{Verbose: verbose}
+	if p.cfg.Stream {
+		src, err := p.augmenter.TimeSeriesStream(p.cfg.Windows, p.cfg.Steps, p.cfg.MaxRepeat, p.cfg.Seed+30)
+		if err != nil {
+			return nil, err
+		}
+		// Replay d.Shuffle(rng.New(Seed+31)) as an index permutation so the
+		// streamed epoch order matches the materialized path bit for bit.
+		perm := dataset.ShuffledIndices(p.cfg.Windows, rng.New(p.cfg.Seed+31))
+		train, err := dataset.Select(src, perm)
+		if err != nil {
+			return nil, err
+		}
+		spec.Checkpoint = p.cfg.LSTMCheckpoint
+		res, err := runner.TrainSource(spec, train, val)
+		if err != nil {
+			return nil, err
+		}
+		p.lstm = res
+		return res, nil
+	}
 	d, err := p.augmenter.GenerateTimeSeries(p.cfg.Windows, p.cfg.Steps, p.cfg.MaxRepeat, p.cfg.Seed+30)
 	if err != nil {
 		return nil, err
 	}
 	d.Shuffle(rng.New(p.cfg.Seed + 31))
-	spec := toolflow.NMRLSTMSpec(p.cfg.Steps, p.LowField.Axis.N, nmrsim.NumComponents,
-		p.cfg.Epochs, p.cfg.BatchSize, p.cfg.Seed)
-	spec.Workers = p.cfg.Workers
-	runner := &toolflow.Runner{Verbose: verbose}
 	res, err := runner.Train(spec, d, val)
 	if err != nil {
 		return nil, err

@@ -175,3 +175,55 @@ func TestNMRPipelineLSTM(t *testing.T) {
 		t.Fatalf("LSTM params %d, want %d", res.Model.NumParams(), want)
 	}
 }
+
+// TestNMRPipelineStreamedLSTMBitIdentical pins the same pipeline-level
+// streaming guarantee for the recurrent model: TrainLSTM with Stream replays
+// the order-dependent rolling-window corpus through the windowed source yet
+// produces the bit-identical network of the materialized path.
+func TestNMRPipelineStreamedLSTMBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains the LSTM twice")
+	}
+	reactor := nmrsim.NewReactor()
+	train := func(stream bool) *toolflow.Result {
+		p := NewNMRPipeline(NMRConfig{
+			Windows:   30,
+			Steps:     3,
+			MaxRepeat: 4,
+			Epochs:    2,
+			BatchSize: 8,
+			Seed:      9,
+			Stream:    stream,
+		})
+		if err := p.FitComponents(); err != nil {
+			t.Fatal(err)
+		}
+		plateaus, err := nmrsim.Campaign(reactor, p.LowField, nmrsim.DoE(2, 1), 4, 0.002, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spectra, labels := nmrsim.FlattenCampaign(plateaus)
+		val, err := nmrsim.WindowCampaign(spectra, labels, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := p.TrainLSTM(val, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	want := train(false)
+	got := train(true)
+	wp, gp := want.Model.Params(), got.Model.Params()
+	for i := range wp {
+		for j := range wp[i].Data {
+			if math.Float64bits(wp[i].Data[j]) != math.Float64bits(gp[i].Data[j]) {
+				t.Fatalf("streamed param %d[%d] = %v, materialized %v", i, j, gp[i].Data[j], wp[i].Data[j])
+			}
+		}
+	}
+	if got.ValMAE != want.ValMAE {
+		t.Fatalf("streamed val MAE %v, materialized %v", got.ValMAE, want.ValMAE)
+	}
+}

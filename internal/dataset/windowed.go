@@ -1,0 +1,85 @@
+package dataset
+
+import "fmt"
+
+// Windowed adapts an order-dependent rolling-window corpus to the Source
+// interface: the underlying stream is a sequence of fixed-width steps
+// (spectra), and sample w is the concatenation of the `steps` consecutive
+// steps ending at ends[w], labelled with labels[w]. This is the shape of
+// the LSTM plateau time series — windows overlap their predecessors, so no
+// per-sample seed can render one independently; instead the generator runs
+// a sequential prepass once, records how to re-render each STEP in
+// isolation (for the nmrsim adapter: the rng state at that step), and hands
+// this source a step-granular render callback.
+//
+// Batch renders each requested window's steps directly into the destination
+// row — no ring buffer, no materialized corpus — so FitSource holds only
+// the in-flight mini-batches. render(step, dst) must be safe for concurrent
+// calls with distinct dst (Batch runs on prefetch workers) and must be a
+// pure function of step, so every epoch and any batching order observes
+// identical bytes; overlapping windows simply re-render their shared steps.
+type Windowed struct {
+	steps, stepWidth int
+	ends             []int
+	labels           [][]float64
+	render           func(step int, dst []float64) error
+	// OnBatch, when non-nil, is called with the window count after every
+	// successful Batch (generator throughput counters). It must be safe for
+	// concurrent calls.
+	OnBatch func(rendered int)
+}
+
+// NewWindowed builds a windowed source of len(ends) samples. ends[w] is the
+// zero-based index of window w's final step; every window spans steps
+// [ends[w]-steps+1, ends[w]], so each entry must be at least steps-1.
+// labels[w] is copied by reference and must be rectangular.
+func NewWindowed(steps, stepWidth int, ends []int, labels [][]float64, render func(step int, dst []float64) error) (*Windowed, error) {
+	if steps <= 0 || stepWidth <= 0 {
+		return nil, fmt.Errorf("dataset: windowed source needs positive steps and step width, got (%d, %d)", steps, stepWidth)
+	}
+	if len(ends) == 0 || len(ends) != len(labels) {
+		return nil, fmt.Errorf("dataset: windowed source needs equal, non-zero window and label counts (%d, %d)", len(ends), len(labels))
+	}
+	if render == nil {
+		return nil, fmt.Errorf("dataset: windowed source needs a render function")
+	}
+	yw := len(labels[0])
+	if yw == 0 {
+		return nil, fmt.Errorf("dataset: windowed source needs non-empty labels")
+	}
+	for w, end := range ends {
+		if end < steps-1 {
+			return nil, fmt.Errorf("dataset: window %d ends at step %d, before a full window of %d steps", w, end, steps)
+		}
+		if len(labels[w]) != yw {
+			return nil, fmt.Errorf("dataset: label row %d has width %d, want %d", w, len(labels[w]), yw)
+		}
+	}
+	return &Windowed{steps: steps, stepWidth: stepWidth, ends: ends, labels: labels, render: render}, nil
+}
+
+// Len implements Source.
+func (s *Windowed) Len() int { return len(s.ends) }
+
+// Widths implements Source.
+func (s *Windowed) Widths() (int, int) { return s.steps * s.stepWidth, len(s.labels[0]) }
+
+// Batch implements Source.
+func (s *Windowed) Batch(_ int, indices []int, dstX, dstY [][]float64) error {
+	for j, w := range indices {
+		if w < 0 || w >= len(s.ends) {
+			return fmt.Errorf("dataset: sample index %d out of range [0, %d)", w, len(s.ends))
+		}
+		first := s.ends[w] - s.steps + 1
+		for t := 0; t < s.steps; t++ {
+			if err := s.render(first+t, dstX[j][t*s.stepWidth:(t+1)*s.stepWidth]); err != nil {
+				return fmt.Errorf("dataset: rendering step %d of window %d: %w", first+t, w, err)
+			}
+		}
+		copy(dstY[j], s.labels[w])
+	}
+	if s.OnBatch != nil {
+		s.OnBatch(len(indices))
+	}
+	return nil
+}

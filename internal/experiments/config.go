@@ -123,6 +123,16 @@ func cnnCheckpoint(c Config) string {
 	return c.Checkpoint + "-nmr-cnn.ckpt"
 }
 
+// lstmCheckpoint derives the NMR LSTM checkpoint path from the configured
+// prefix (empty when checkpointing is off). Distinct from cnnCheckpoint —
+// the two models' checkpoints are not interchangeable.
+func lstmCheckpoint(c Config) string {
+	if c.Checkpoint == "" {
+		return ""
+	}
+	return c.Checkpoint + "-nmr-lstm.ckpt"
+}
+
 // line prints a horizontal rule.
 func line(w io.Writer, n int) {
 	fmt.Fprintln(w, strings.Repeat("-", n))

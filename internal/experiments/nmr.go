@@ -58,6 +58,7 @@ func NMR(cfg Config, w io.Writer) (*NMRResult, error) {
 		RenderOversample: cfg.RenderOversample,
 		Stream:           cfg.Stream,
 		Checkpoint:       cnnCheckpoint(cfg),
+		LSTMCheckpoint:   lstmCheckpoint(cfg),
 	})
 	if err := p.FitComponents(); err != nil {
 		return nil, err

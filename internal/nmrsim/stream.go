@@ -1,6 +1,9 @@
 package nmrsim
 
 import (
+	"fmt"
+	"sync"
+
 	"specml/internal/dataset"
 	"specml/internal/obs"
 	"specml/internal/rng"
@@ -36,6 +39,113 @@ func (a *Augmenter) TrainingStream(n int, seed uint64) (*dataset.Stream, error) 
 	if a.Metrics != nil {
 		c := a.Metrics.Counter("specml_corpus_samples_total",
 			"Simulated training samples generated.", obs.L("source", "nmrsim"))
+		s.OnBatch = func(rendered int) { c.Add(uint64(rendered)) }
+	}
+	return s, nil
+}
+
+// tsScratch is the pooled per-call scratch of a time-series stream's render
+// callback: a reusable rng source (restored to the recorded step state) and
+// a concentration buffer for fresh-plateau steps whose labels are redrawn
+// during replay and discarded.
+type tsScratch struct {
+	src  *rng.Source
+	conc []float64
+}
+
+// TimeSeriesStream is the streaming counterpart of GenerateTimeSeries: a
+// dataset.Windowed source over the same order-dependent rolling-window
+// plateau series. The construction is inherently sequential — each window
+// overlaps its predecessor and the rng draw counts are value-dependent
+// (plateau repeats, ziggurat rejection) — so no per-window seed exists.
+// Instead a sequential prepass runs the exact GenerateTimeSeries control
+// flow once, discarding the spectra but recording, per step, the rng state
+// immediately before its render call, whether it opens a fresh plateau or
+// re-measures the current one, and the plateau concentrations. Replaying a
+// step is then order-free: restore the state and repeat the identical
+// render call. Recorded state is ~100 bytes per step versus a full
+// steps*Axis.N window row, which is what lets the LSTM corpus train under
+// a bounded heap.
+//
+// Rows are bit-identical to GenerateTimeSeries(nWindows, steps, maxRepeat,
+// seed) — window w of the stream equals row w of the materialized dataset —
+// and the callback is safe for concurrent Batch calls: it only reads the
+// prepared templates and the recorded per-step state, with rng scratch
+// pooled like TrainingStream's.
+func (a *Augmenter) TimeSeriesStream(nWindows, steps, maxRepeat int, seed uint64) (*dataset.Windowed, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	if nWindows <= 0 || steps <= 0 || maxRepeat <= 0 {
+		return nil, fmt.Errorf("nmrsim: nWindows, steps and maxRepeat must be positive")
+	}
+	if err := a.prepare(); err != nil {
+		return nil, err
+	}
+	nComp := len(a.Components)
+	var (
+		states  []rng.State // rng state before each step's render call
+		fresh   []bool      // step kind: fresh plateau (sampleInto) or re-measure (renderConcInto)
+		concAll []float64   // flat [step][nComp] plateau concentrations
+		ends    []int
+		labels  [][]float64
+	)
+	src := rng.New(seed)
+	row := make([]float64, a.Axis.N)
+	conc := make([]float64, nComp)
+	count := 0
+	// The exact GenerateTimeSeries loop, minus the ring buffer and window
+	// copies: every render draws from src so the stream position at each
+	// step matches the materialized run draw for draw.
+	for len(ends) < nWindows {
+		states = append(states, src.State())
+		fresh = append(fresh, true)
+		if err := a.sampleInto(row, conc, src); err != nil {
+			return nil, err
+		}
+		concAll = append(concAll, conc...)
+		repeat := 1 + src.Intn(maxRepeat)
+		for r := 0; r < repeat; r++ {
+			if r > 0 {
+				states = append(states, src.State())
+				fresh = append(fresh, false)
+				if err := a.renderConcInto(row, conc, src); err != nil {
+					return nil, err
+				}
+				concAll = append(concAll, conc...)
+			}
+			count++
+			if count >= steps {
+				ends = append(ends, count-1)
+				labels = append(labels, append([]float64(nil), conc...))
+				if len(ends) >= nWindows {
+					break
+				}
+			}
+		}
+	}
+	var scratch sync.Pool
+	scratch.New = func() any {
+		return &tsScratch{src: rng.New(0), conc: make([]float64, nComp)}
+	}
+	render := func(step int, dst []float64) error {
+		sc := scratch.Get().(*tsScratch)
+		defer scratch.Put(sc)
+		sc.src.SetState(states[step])
+		if fresh[step] {
+			// Replays the label draws too; the window label was copied at
+			// emission time, so the redrawn values are discarded.
+			return a.sampleInto(dst, sc.conc, sc.src)
+		}
+		return a.renderConcInto(dst, concAll[step*nComp:(step+1)*nComp], sc.src)
+	}
+	s, err := dataset.NewWindowed(steps, a.Axis.N, ends, labels, render)
+	if err != nil {
+		return nil, err
+	}
+	if a.Metrics != nil {
+		c := a.Metrics.Counter("specml_corpus_samples_total",
+			"Simulated training samples generated.", obs.L("source", "nmrsim-timeseries"))
 		s.OnBatch = func(rendered int) { c.Add(uint64(rendered)) }
 	}
 	return s, nil

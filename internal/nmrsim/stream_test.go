@@ -95,3 +95,80 @@ func TestTrainingStreamMetrics(t *testing.T) {
 		t.Fatalf("corpus counter = %d, want 2", got)
 	}
 }
+
+// TestTimeSeriesStreamMatchesGenerate pins the windowed streaming
+// equivalence for the order-dependent LSTM corpus: every window rendered
+// through the recorded-state replay must be bit-identical to
+// GenerateTimeSeries, for any batch grouping and in both render modes, and
+// re-rendering a window (overlap, later epochs) must reproduce it exactly.
+func TestTimeSeriesStreamMatchesGenerate(t *testing.T) {
+	const nWindows, steps, maxRepeat, seed = 9, 4, 3, 77
+	for _, exact := range []bool{false, true} {
+		a := defaultAugmenter()
+		a.ExactRender = exact
+		d, err := a.GenerateTimeSeries(nWindows, steps, maxRepeat, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := defaultAugmenter()
+		b.ExactRender = exact
+		s, err := b.TimeSeriesStream(nWindows, steps, maxRepeat, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Len() != nWindows {
+			t.Fatalf("stream Len = %d, want %d", s.Len(), nWindows)
+		}
+		xw, yw := s.Widths()
+		if xw != steps*b.Axis.N || yw != len(b.Components) {
+			t.Fatalf("stream widths (%d, %d), want (%d, %d)", xw, yw, steps*b.Axis.N, len(b.Components))
+		}
+		for _, batch := range []int{1, 4, nWindows} {
+			x := make([][]float64, nWindows)
+			y := make([][]float64, nWindows)
+			for i := range x {
+				x[i] = make([]float64, xw)
+				y[i] = make([]float64, yw)
+			}
+			for start := 0; start < nWindows; start += batch {
+				end := start + batch
+				if end > nWindows {
+					end = nWindows
+				}
+				idx := make([]int, 0, end-start)
+				for i := start; i < end; i++ {
+					idx = append(idx, i)
+				}
+				if err := s.Batch(0, idx, x[start:end], y[start:end]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for i := range d.X {
+				for j := range d.X[i] {
+					if x[i][j] != d.X[i][j] {
+						t.Fatalf("exact=%v batch=%d: x[%d][%d] = %x, want %x (bitwise)",
+							exact, batch, i, j, x[i][j], d.X[i][j])
+					}
+				}
+				for j := range d.Y[i] {
+					if y[i][j] != d.Y[i][j] {
+						t.Fatalf("exact=%v batch=%d: y[%d][%d] differs bitwise", exact, batch, i, j)
+					}
+				}
+			}
+		}
+		// Reversed single-window replay: order independence of the step renders.
+		x := make([]float64, xw)
+		y := make([]float64, yw)
+		for i := nWindows - 1; i >= 0; i-- {
+			if err := s.Batch(1, []int{i}, [][]float64{x}, [][]float64{y}); err != nil {
+				t.Fatal(err)
+			}
+			for j := range d.X[i] {
+				if x[j] != d.X[i][j] {
+					t.Fatalf("exact=%v reversed: x[%d][%d] differs bitwise", exact, i, j)
+				}
+			}
+		}
+	}
+}

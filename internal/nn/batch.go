@@ -19,9 +19,11 @@ import (
 //
 // Like the per-sample path, the batched path is stateful: BackwardBatch
 // consumes the caches of the most recent ForwardBatch (with the same n) and
-// returned blocks are owned by the layer until its next call. Layers that
-// cannot batch (LSTM, TimeDistributed) simply don't implement the
-// interface; Model falls back to per-sample execution for them.
+// returned blocks are owned by the layer until its next call. Every shipped
+// layer now implements the interface — the recurrent stack included (LSTM
+// in lstm_batch.go, TimeDistributed by reshaping to [n*steps x features]
+// rows); Model keeps a per-sample fallback in forwardBatch only for
+// external layers without a kernel.
 type BatchLayer interface {
 	Layer
 	// ForwardBatch computes outputs for n samples packed row-major in x
@@ -466,11 +468,25 @@ func (l *AvgPool1D) BackwardBatch(gradOut []float64, n int) []float64 {
 // steady-state batching must not allocate per flush).
 var batchScratch pool.Pool
 
-// batchable reports whether every layer implements BatchLayer, i.e. whether
-// training can run fully batched. Inference can always use forwardBatch:
-// non-batch layers fall back per sample.
-func (m *Model) batchable() bool {
+// conditionalBatch is implemented by wrapper layers whose batched kernels
+// only truly batch under some condition (TimeDistributed batches when its
+// inner layer does, falling back per sample inside ForwardBatch otherwise).
+// fullyBatchable consults it so a wrapper with a per-sample core doesn't
+// masquerade as a batched stack.
+type conditionalBatch interface{ batchCapable() bool }
+
+// fullyBatchable reports whether every layer runs a real batched kernel,
+// i.e. whether training and the serve batcher can run fully batched with no
+// per-sample fallback anywhere in the stack. Inference can always use
+// forwardBatch: layers without a kernel fall back per sample inside it.
+func (m *Model) fullyBatchable() bool {
 	for _, l := range m.layers {
+		if cb, ok := l.(conditionalBatch); ok {
+			if !cb.batchCapable() {
+				return false
+			}
+			continue
+		}
 		if _, ok := l.(BatchLayer); !ok {
 			return false
 		}
@@ -480,13 +496,24 @@ func (m *Model) batchable() bool {
 
 // forwardBatch runs n row-major samples through the stack, using each
 // layer's batched kernel when it has one and a generic per-sample fallback
-// (LSTM, TimeDistributed) when it does not. The returned [n x outLen] block
-// is owned by the model's layers and overwritten by the next call.
+// when it does not. With fused activations enabled, a Dense layer feeding a
+// ReLU/SELU activation runs both in one pass. The returned [n x outLen]
+// block is owned by the model's layers and overwritten by the next call.
 func (m *Model) forwardBatch(x []float64, n int) []float64 {
 	if m.fallbackOut == nil {
 		m.fallbackOut = make([][]float64, len(m.layers))
 	}
-	for li, l := range m.layers {
+	for li := 0; li < len(m.layers); li++ {
+		l := m.layers[li]
+		if m.fuseAct && li+1 < len(m.layers) {
+			if d, ok := l.(*Dense); ok {
+				if a, ok := m.layers[li+1].(*ActivationLayer); ok && fusableActivation(a.Act) {
+					x = d.forwardBatchFused(x, n, a)
+					li++ // the activation layer ran inside the fused step
+					continue
+				}
+			}
+		}
 		if bl, ok := l.(BatchLayer); ok {
 			x = bl.ForwardBatch(x, n)
 			continue
@@ -506,8 +533,43 @@ func (m *Model) forwardBatch(x []float64, n int) []float64 {
 	return x
 }
 
+// fusableActivation gates the fused Dense+activation step to pointwise
+// functions whose fused evaluation is trivially the per-layer one (the
+// ReLU/SELU families the paper's dense heads use).
+func fusableActivation(a Activation) bool {
+	switch a.Name() {
+	case "relu", "selu":
+		return true
+	}
+	return false
+}
+
+// forwardBatchFused is ForwardBatch for a Dense layer immediately followed
+// by a pointwise activation: the bias pass that finishes the GEMM output
+// also applies the activation, skipping one full traversal of the block.
+// Both layers' caches end up exactly as the unfused pair would leave them —
+// d.by holds the post-bias pre-activations and a.bx aliases it — so
+// BackwardBatch needs no fusion awareness and gradients are bit-identical.
+func (d *Dense) forwardBatchFused(x []float64, n int, a *ActivationLayer) []float64 {
+	d.bx = x
+	d.by = pool.Grow(d.by, n*d.Out)
+	zero(d.by)
+	tensor.GemmNT(d.by, x, d.w.Data, n, d.Out, d.in)
+	a.bx = d.by
+	a.by = pool.Grow(a.by, n*d.Out)
+	for s := 0; s < n; s++ {
+		row := d.by[s*d.Out : (s+1)*d.Out]
+		orow := a.by[s*d.Out : (s+1)*d.Out]
+		for i := range row {
+			row[i] += d.b.Data[i]
+			orow[i] = a.Act.Value(row[i])
+		}
+	}
+	return a.by
+}
+
 // backwardBatch propagates a [n x outLen] gradient block through a fully
-// batchable stack (callers must have checked batchable), accumulating
+// batchable stack (callers must have checked fullyBatchable), accumulating
 // parameter gradients exactly like n sequential Backward calls.
 func (m *Model) backwardBatch(gradOut []float64, n int) []float64 {
 	g := gradOut

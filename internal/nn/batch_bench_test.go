@@ -148,3 +148,78 @@ func BenchmarkFitEpochDenseBatched(b *testing.B) {
 		}
 	}
 }
+
+// The Table-2 NMR monitor stack: 5x1700-point windows through LSTM(32) into
+// a 4-component head — the 221,956-parameter model core.Monitor steps on
+// every reactor tick.
+func benchLSTMModel(b *testing.B) *Model {
+	b.Helper()
+	m := NewModel().
+		Add(NewReshape(5, 1700)).
+		Add(NewLSTM(32)).
+		Add(NewDense(4))
+	if err := m.Build(rng.New(3), 5*1700); err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+func BenchmarkLSTMBatchForward32(b *testing.B) {
+	m := benchLSTMModel(b)
+	xb := benchBlock(32, m.InputLen())
+	m.SetTraining(false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.forwardBatch(xb, 32)
+	}
+}
+
+func BenchmarkLSTMBatchForward32PerSample(b *testing.B) {
+	m := benchLSTMModel(b)
+	inLen := m.InputLen()
+	xb := benchBlock(32, inLen)
+	m.SetTraining(false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for s := 0; s < 32; s++ {
+			m.Forward(xb[s*inLen : (s+1)*inLen])
+		}
+	}
+}
+
+func BenchmarkLSTMBatchForwardBackward32(b *testing.B) {
+	m := benchLSTMModel(b)
+	xb := benchBlock(32, m.InputLen())
+	gb := benchBlock(32, m.OutputLen())
+	m.SetTraining(true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.ZeroGrad()
+		m.forwardBatch(xb, 32)
+		m.backwardBatch(gb, 32)
+	}
+}
+
+func BenchmarkLSTMFitEpoch(b *testing.B) {
+	m := benchLSTMModel(b)
+	const n = 128
+	inLen, outLen := m.InputLen(), m.OutputLen()
+	block := benchBlock(n, inLen)
+	x := make([][]float64, n)
+	y := make([][]float64, n)
+	for i := range x {
+		x[i] = block[i*inLen : (i+1)*inLen]
+		y[i] = make([]float64, outLen)
+		y[i][i%outLen] = 1
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Fit(x, y, FitConfig{Epochs: 1, BatchSize: 32, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

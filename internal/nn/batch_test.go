@@ -34,6 +34,9 @@ var batchCases = []batchCase{
 	{name: "dropout-inference", shape: []int{15}, mk: func() Layer { return NewDropout(0.4) }},
 	{name: "reshape", shape: []int{12}, mk: func() Layer { return NewReshape(4, 3) }},
 	{name: "flatten", shape: []int{4, 3}, mk: func() Layer { return NewFlatten() }},
+	{name: "lstm", shape: []int{5, 3}, mk: func() Layer { return NewLSTM(6) }},
+	{name: "timedistributed-dense", shape: []int{4, 6}, mk: func() Layer { return NewTimeDistributed(NewDense(3)) }},
+	{name: "timedistributed-lc1d", shape: []int{4, 10}, mk: func() Layer { return NewTimeDistributed(NewLocallyConnected1D(2, 3, 2), 10, 1) }},
 }
 
 // fillBatch fills s with values in (-1.5, 1.5), forcing ~20% exact zeros so
@@ -189,7 +192,7 @@ func TestBatchedConvGradcheck(t *testing.T) {
 	if err := m.Build(rng.New(5), 20); err != nil {
 		t.Fatal(err)
 	}
-	if !m.batchable() {
+	if !m.fullyBatchable() {
 		t.Fatalf("conv stack should be batchable")
 	}
 	const n = 3
@@ -285,10 +288,11 @@ func TestReseedDropoutBatchMatchesPerSample(t *testing.T) {
 	}
 }
 
-// TestPredictBatchLSTMFallback exercises the per-sample fallback inside the
-// batch driver: an LSTM stack has no batched kernels, yet PredictBatch must
-// still match Predict bitwise for any worker count.
-func TestPredictBatchLSTMFallback(t *testing.T) {
+// TestPredictBatchLSTMBatched pins the batched recurrent engine's serving
+// contract: an LSTM stack is now fully batchable (no per-sample fallback in
+// PredictBatch or the serve batcher), and the batched kernels stay bitwise
+// identical to Predict for any worker count.
+func TestPredictBatchLSTMBatched(t *testing.T) {
 	m := NewModel().
 		Add(NewReshape(6, 4)).
 		Add(NewLSTM(8)).
@@ -296,8 +300,8 @@ func TestPredictBatchLSTMFallback(t *testing.T) {
 	if err := m.Build(rng.New(9), 24); err != nil {
 		t.Fatal(err)
 	}
-	if m.batchable() {
-		t.Fatalf("LSTM stack must not be fully batchable")
+	if !m.fullyBatchable() {
+		t.Fatalf("LSTM stack must be fully batchable")
 	}
 	src := rng.New(10)
 	rows := make([][]float64, 11)
@@ -321,6 +325,44 @@ func TestPredictBatchLSTMFallback(t *testing.T) {
 		for i := range rows {
 			expectBits(t, "row "+itoa(i), got[i], want[i])
 		}
+	}
+}
+
+// perSampleOnly hides a layer's batched kernels, exposing only the Layer
+// interface. Every shipped layer now implements BatchLayer, so the
+// forwardBatch per-sample fallback and the replica wave path in fitSource
+// are kept covered through this wrapper.
+type perSampleOnly struct{ Layer }
+
+// TestPredictBatchFallbackLayer exercises the per-sample fallback inside the
+// batch driver with a layer that has no batched kernel.
+func TestPredictBatchFallbackLayer(t *testing.T) {
+	m := NewModel().
+		Add(NewDense(16)).
+		Add(&perSampleOnly{NewActivation(SELU)}).
+		Add(NewDense(5))
+	if err := m.Build(rng.New(11), 13); err != nil {
+		t.Fatal(err)
+	}
+	if m.fullyBatchable() {
+		t.Fatalf("wrapped stack must not be fully batchable")
+	}
+	src := rng.New(12)
+	rows := make([][]float64, 9)
+	for i := range rows {
+		rows[i] = make([]float64, 13)
+		fillBatch(src, rows[i])
+	}
+	want := make([][]float64, len(rows))
+	for i, r := range rows {
+		want[i] = m.Predict(r)
+	}
+	got, err := m.PredictBatch(rows, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rows {
+		expectBits(t, "row "+itoa(i), got[i], want[i])
 	}
 }
 

@@ -29,6 +29,19 @@ type LSTM struct {
 	gates          [][]float64 // post-activation gate values per step: i,f,g,o packed
 	gin            []float64
 	dh, dc, dgates []float64
+
+	// grow-only scratch for the batched GEMM path (lstm_batch.go). All
+	// time-major blocks index rows as t*n+s so each timestep's batch slab
+	// is contiguous for the recurrent GEMM.
+	bxT  []float64 // time-major input copy [steps][n][features]
+	bz   []float64 // gate block [steps][n][4u]: pre-activations, then post-activation gates
+	bhs  []float64 // hidden states [(steps+1)][n][u]
+	bcs  []float64 // cell states   [(steps+1)][n][u]
+	bdg  []float64 // gate gradients per step [steps][n][4u]
+	bdh  []float64 // running dh [n][u]
+	bdc  []float64 // running dc [n][u]
+	bdx  []float64 // time-major input gradients [steps][n][features]
+	bgin []float64 // sample-major input-gradient block [n][steps*features]
 }
 
 // NewLSTM returns an LSTM layer with the given number of units.

@@ -1,0 +1,163 @@
+package nn
+
+import (
+	"math"
+
+	"specml/internal/tensor"
+	"specml/internal/tensor/pool"
+)
+
+// Batched LSTM kernels. The per-sample Forward computes, for every timestep
+// and gate row, one scalar chain: bias, then the x·Wx products in ascending
+// feature order, then the h·Wh products in ascending unit order. The batched
+// path reproduces that chain exactly with two GEMMs per element:
+//
+//  1. the input projection for ALL samples and timesteps at once — the gate
+//     block is prefilled with the bias and one GemmNT over the time-major
+//     [n*steps x features] input adds the x products (GemmNT's accumulator
+//     starts from the incoming C value and adds k ascending);
+//  2. per timestep, one GemmNT over the [n x units] previous hidden block
+//     adds the recurrent products onto the stored partials.
+//
+// A float64 round-trips through memory exactly, so splitting the chain at
+// the x/h boundary performs the identical sequence of rounded additions.
+// The fused gate kernel (sigmoid x3 + tanh + cell/hidden update over the
+// contiguous gate block) is elementwise and matches the per-sample gate loop
+// term for term. All scratch is grow-only: steady-state batches allocate
+// nothing.
+
+// ForwardBatch implements BatchLayer: bit-identical to looping Forward over
+// the n rows, per the single-accumulator ascending-k contract above.
+func (l *LSTM) ForwardBatch(x []float64, n int) []float64 {
+	u, fts := l.Units, l.features
+	rows := n * l.steps
+	l.bxT = pool.Grow(l.bxT, rows*fts)
+	for s := 0; s < n; s++ {
+		for t := 0; t < l.steps; t++ {
+			copy(l.bxT[(t*n+s)*fts:(t*n+s+1)*fts], x[(s*l.steps+t)*fts:(s*l.steps+t+1)*fts])
+		}
+	}
+	// Gate block seeded with the bias, exactly like the per-sample
+	// accumulator; the hoisted GEMM then adds every x product in ascending
+	// feature order for all [n x steps] rows at once.
+	l.bz = pool.Grow(l.bz, rows*4*u)
+	for r := 0; r < rows; r++ {
+		copy(l.bz[r*4*u:(r+1)*4*u], l.b.Data)
+	}
+	tensor.GemmNT(l.bz, l.bxT, l.wx.Data, rows, 4*u, fts)
+	l.bhs = pool.Grow(l.bhs, (l.steps+1)*n*u)
+	l.bcs = pool.Grow(l.bcs, (l.steps+1)*n*u)
+	zero(l.bhs[:n*u])
+	zero(l.bcs[:n*u])
+	for t := 0; t < l.steps; t++ {
+		hPrev := l.bhs[t*n*u : (t+1)*n*u]
+		cPrev := l.bcs[t*n*u : (t+1)*n*u]
+		h := l.bhs[(t+1)*n*u : (t+2)*n*u]
+		cNew := l.bcs[(t+1)*n*u : (t+2)*n*u]
+		zt := l.bz[t*n*4*u : (t+1)*n*4*u]
+		// Recurrent term for the whole batch: ascending-unit products append
+		// to each element's stored bias+x partial.
+		tensor.GemmNT(zt, hPrev, l.wh.Data, n, 4*u, u)
+		lstmGateBlock(zt, h, cNew, cPrev, n, u)
+	}
+	return l.bhs[l.steps*n*u : (l.steps+1)*n*u]
+}
+
+// lstmGateBlock applies the fused gate nonlinearities in place over a
+// [n x 4u] pre-activation block (sigmoid on i, f, o; tanh on g) and writes
+// the new cell and hidden rows, mirroring the per-sample gate loop.
+func lstmGateBlock(g, h, cNew, cPrev []float64, n, u int) {
+	for s := 0; s < n; s++ {
+		gr := g[s*4*u : (s+1)*4*u]
+		hr := h[s*u : (s+1)*u]
+		cn := cNew[s*u : (s+1)*u]
+		cp := cPrev[s*u : (s+1)*u]
+		for j := 0; j < u; j++ {
+			i := sigmoid(gr[j])
+			f := sigmoid(gr[u+j])
+			gg := math.Tanh(gr[2*u+j])
+			o := sigmoid(gr[3*u+j])
+			gr[j], gr[u+j], gr[2*u+j], gr[3*u+j] = i, f, gg, o
+			cn[j] = f*cp[j] + i*gg
+			hr[j] = o * math.Tanh(cn[j])
+		}
+	}
+}
+
+// BackwardBatch implements BatchLayer (batched BPTT). The t-descending sweep
+// computes the gate gradients elementwise and propagates dh/dx through
+// Gemm, whose zero-skip matches the per-sample `if d == 0` skip. Parameter
+// gradients must arrive in the order n sequential Backward calls produce —
+// (sample ascending, timestep DESCENDING) — which no single batched GEMM
+// over the t-major gate-gradient block emits, so they are accumulated in a
+// deferred loop over the cached gate gradients in exactly that order.
+func (l *LSTM) BackwardBatch(gradOut []float64, n int) []float64 {
+	u, fts := l.Units, l.features
+	l.bdh = pool.Grow(l.bdh, n*u)
+	copy(l.bdh, gradOut[:n*u])
+	l.bdc = pool.Grow(l.bdc, n*u)
+	zero(l.bdc)
+	l.bdg = pool.Grow(l.bdg, l.steps*n*4*u)
+	l.bdx = pool.Grow(l.bdx, l.steps*n*fts)
+	zero(l.bdx)
+	for t := l.steps - 1; t >= 0; t-- {
+		zt := l.bz[t*n*4*u : (t+1)*n*4*u] // post-activation gates from ForwardBatch
+		cPrev := l.bcs[t*n*u : (t+1)*n*u]
+		cNew := l.bcs[(t+1)*n*u : (t+2)*n*u]
+		dg := l.bdg[t*n*4*u : (t+1)*n*4*u]
+		for s := 0; s < n; s++ {
+			gr := zt[s*4*u : (s+1)*4*u]
+			dgr := dg[s*4*u : (s+1)*4*u]
+			dh := l.bdh[s*u : (s+1)*u]
+			dc := l.bdc[s*u : (s+1)*u]
+			cp := cPrev[s*u : (s+1)*u]
+			cn := cNew[s*u : (s+1)*u]
+			for j := 0; j < u; j++ {
+				i, f, gg, o := gr[j], gr[u+j], gr[2*u+j], gr[3*u+j]
+				tc := math.Tanh(cn[j])
+				do := dh[j] * tc
+				dcTotal := dc[j] + dh[j]*o*(1-tc*tc)
+				di := dcTotal * gg
+				df := dcTotal * cp[j]
+				dgg := dcTotal * i
+				dgr[j] = di * i * (1 - i)
+				dgr[u+j] = df * f * (1 - f)
+				dgr[2*u+j] = dgg * (1 - gg*gg)
+				dgr[3*u+j] = do * o * (1 - o)
+				dc[j] = dcTotal * f
+			}
+		}
+		zero(l.bdh[:n*u])
+		tensor.Gemm(l.bdh[:n*u], dg, l.wh.Data, n, u, 4*u)
+		tensor.Gemm(l.bdx[t*n*fts:(t+1)*n*fts], dg, l.wx.Data, n, fts, 4*u)
+	}
+	for s := 0; s < n; s++ {
+		for t := l.steps - 1; t >= 0; t-- {
+			dgr := l.bdg[(t*n+s)*4*u : (t*n+s+1)*4*u]
+			xt := l.bxT[(t*n+s)*fts : (t*n+s+1)*fts]
+			hPrev := l.bhs[t*n*u+s*u : t*n*u+(s+1)*u]
+			for r := 0; r < 4*u; r++ {
+				d := dgr[r]
+				if d == 0 {
+					continue
+				}
+				l.b.Grad[r] += d
+				gwxRow := l.wx.Grad[r*fts : (r+1)*fts]
+				for c, v := range xt {
+					gwxRow[c] += d * v
+				}
+				gwhRow := l.wh.Grad[r*u : (r+1)*u]
+				for c, v := range hPrev {
+					gwhRow[c] += d * v
+				}
+			}
+		}
+	}
+	l.bgin = pool.Grow(l.bgin, n*l.steps*fts)
+	for s := 0; s < n; s++ {
+		for t := 0; t < l.steps; t++ {
+			copy(l.bgin[(s*l.steps+t)*fts:(s*l.steps+t+1)*fts], l.bdx[(t*n+s)*fts:(t*n+s+1)*fts])
+		}
+	}
+	return l.bgin
+}

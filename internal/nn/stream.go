@@ -184,10 +184,12 @@ func (m *Model) fitSource(src dataset.Source, cfg FitConfig, validate bool) (*Hi
 		return hist, nil
 	}
 
-	// One replica per worker for recurrent stacks; fully batchable stacks
-	// train through the blocked-GEMM kernels on the master model. Both paths
-	// keep the per-sample accumulation order, so the fit stays bit-identical
-	// for any Workers value (see Fit).
+	// Fully batchable stacks — now including the recurrent LSTM and
+	// TimeDistributed layers — train through the blocked-GEMM kernels on the
+	// master model; stacks with a layer lacking a batched kernel get one
+	// replica per worker instead. Both paths keep the per-sample
+	// accumulation order, so the fit stays bit-identical for any Workers
+	// value (see Fit).
 	workers := parallel.Resolve(cfg.Workers)
 	if workers > cfg.BatchSize {
 		workers = cfg.BatchSize
@@ -195,7 +197,7 @@ func (m *Model) fitSource(src dataset.Source, cfg FitConfig, validate bool) (*Hi
 	if workers > n {
 		workers = n
 	}
-	batched := m.batchable()
+	batched := m.fullyBatchable()
 	maxB := cfg.BatchSize
 	if maxB > n {
 		maxB = n

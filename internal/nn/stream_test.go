@@ -98,8 +98,10 @@ func TestFitSourceBitIdenticalToFit(t *testing.T) {
 	}
 }
 
-// TestFitSourceBitIdenticalLSTM runs the same check on the non-batchable
-// replica path (LSTM), covering the wave-parallel consumer.
+// TestFitSourceBitIdenticalLSTM runs the same check on a recurrent stack.
+// Since the batched LSTM kernels landed this trains through the batched
+// GEMM path (the stack is fully batchable), and the materialized Fit it is
+// compared against must stay bitwise equal for any worker count.
 func TestFitSourceBitIdenticalLSTM(t *testing.T) {
 	const n = 24
 	corpus := func() *dataset.Stream {
@@ -210,5 +212,111 @@ func TestFitSourceMetrics(t *testing.T) {
 	}
 	if h := reg.Histogram("specml_fit_compute_seconds", "", fitBatchBuckets); h.Count() != 4 {
 		t.Fatalf("compute histogram count = %d, want 4", h.Count())
+	}
+}
+
+// TestFitSourceWavePathNonBatchable keeps the per-sample wave path under
+// coverage now that every shipped layer batches: a stack with a hidden
+// batch kernel must fall back to the replica wave schedule and still train
+// bit-identically to the materialized Fit for any worker count.
+func TestFitSourceWavePathNonBatchable(t *testing.T) {
+	const n = 32
+	build := func() *Model {
+		m := NewModel().
+			Add(NewDense(8)).
+			Add(&perSampleOnly{NewActivation(SELU)}).
+			Add(NewDense(3))
+		if err := m.Build(rng.New(7), 12); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	if build().fullyBatchable() {
+		t.Fatal("perSampleOnly stack must not be fully batchable")
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	d, err := dataset.Materialize(streamCorpus(t, n, 13), idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := FitConfig{Epochs: 3, BatchSize: 8, Seed: 17, ValX: d.X[:8], ValY: d.Y[:8]}
+	ref := build()
+	if _, err := ref.Fit(d.X, d.Y, cfg); err != nil {
+		t.Fatal(err)
+	}
+	refFlat := flatParams(ref)
+	for _, workers := range []int{1, 4} {
+		c := cfg
+		c.Workers = workers
+		m := build()
+		if _, err := m.FitSource(streamCorpus(t, n, 13), c); err != nil {
+			t.Fatal(err)
+		}
+		got := flatParams(m)
+		for i := range got {
+			if got[i] != refFlat[i] {
+				t.Fatalf("workers=%d: wave-path param %d differs bitwise", workers, i)
+			}
+		}
+	}
+}
+
+// TestEvaluateSourceChunked pins the chunked streaming evaluators: for any
+// chunk size, and with or without the batched kernels, EvaluateLossSource
+// and EvaluateMAESource match their materialized counterparts bit for bit.
+func TestEvaluateSourceChunked(t *testing.T) {
+	const n = 23
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	d, err := dataset.Materialize(streamCorpus(t, n, 29), idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	models := map[string]*Model{
+		"batched": NewModel().Add(NewDense(8)).Add(NewActivation(SELU)).Add(NewDense(3)),
+		"fallback": NewModel().Add(NewDense(8)).
+			Add(&perSampleOnly{NewActivation(SELU)}).Add(NewDense(3)),
+	}
+	for name, m := range models {
+		if err := m.Build(rng.New(37), 12); err != nil {
+			t.Fatal(err)
+		}
+		wantLoss := m.EvaluateLoss(d.X, d.Y, MSE)
+		wantMean, wantPer := m.EvaluateMAE(d.X, d.Y)
+		for _, chunk := range []int{0, 1, 5, n, 50} {
+			src := streamCorpus(t, n, 29)
+			gotLoss, err := m.EvaluateLossSource(src, MSE, chunk)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotLoss != wantLoss {
+				t.Fatalf("%s chunk=%d: loss %v, want %v (bitwise)", name, chunk, gotLoss, wantLoss)
+			}
+			gotMean, gotPer, err := m.EvaluateMAESource(src, chunk)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotMean != wantMean {
+				t.Fatalf("%s chunk=%d: MAE %v, want %v (bitwise)", name, chunk, gotMean, wantMean)
+			}
+			for j := range wantPer {
+				if gotPer[j] != wantPer[j] {
+					t.Fatalf("%s chunk=%d: per-output MAE %d differs bitwise", name, chunk, j)
+				}
+			}
+		}
+	}
+	// width mismatch is an error, not a panic
+	m := NewModel().Add(NewDense(2))
+	if err := m.Build(rng.New(3), 5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.EvaluateLossSource(streamCorpus(t, n, 29), MSE, 4); err == nil {
+		t.Fatal("mismatched source widths must error")
 	}
 }

@@ -337,3 +337,107 @@ func (m *Model) EvaluateMAE(x, y [][]float64) (mean float64, perOutput []float64
 func (m *Model) EvaluateMSE(x, y [][]float64) float64 {
 	return m.EvaluateLoss(x, y, MSE)
 }
+
+// EvaluateLossSource computes the mean loss over a dataset.Source in
+// fixed-size chunks: each chunk is rendered into a pooled scratch block,
+// forwarded (through the batched kernels when the stack supports them) and
+// released, so peak memory holds one chunk regardless of src.Len(). The
+// per-sample losses are summed in index order and the batched forward is
+// bit-identical to per-sample Forward, so the result equals
+// EvaluateLoss(Materialize(src)) bit for bit. chunk <= 0 means a single
+// chunk (only sensible for small sources).
+func (m *Model) EvaluateLossSource(src dataset.Source, loss Loss, chunk int) (float64, error) {
+	if loss == nil {
+		loss = MAE
+	}
+	total, _, err := m.evaluateSource(src, chunk, loss, false)
+	return total, err
+}
+
+// EvaluateMAESource is EvaluateMAE over a dataset.Source, evaluated in
+// fixed-size chunks like EvaluateLossSource: bounded memory, bit-identical
+// to materializing the source first.
+func (m *Model) EvaluateMAESource(src dataset.Source, chunk int) (mean float64, perOutput []float64, err error) {
+	return m.evaluateSource(src, chunk, nil, true)
+}
+
+// evaluateSource is the shared chunked-evaluation driver. With wantMAE it
+// accumulates per-output absolute errors (EvaluateMAE semantics); otherwise
+// it sums loss.Loss per sample. Both accumulate in ascending sample order —
+// the same addition sequence as the materialized evaluators.
+func (m *Model) evaluateSource(src dataset.Source, chunk int, loss Loss, wantMAE bool) (float64, []float64, error) {
+	n := src.Len()
+	if n == 0 {
+		return 0, nil, nil
+	}
+	xw, yw := src.Widths()
+	if xw != m.InputLen() || yw != m.OutputLen() {
+		return 0, nil, fmt.Errorf("nn: source rows are %dx%d, model wants %dx%d", xw, yw, m.InputLen(), m.OutputLen())
+	}
+	if chunk <= 0 || chunk > n {
+		chunk = n
+	}
+	m.SetTraining(false)
+	m.setInference(true)
+	defer m.setInference(false)
+	xb := batchScratch.Get(chunk * xw)
+	defer batchScratch.Put(xb)
+	yb := batchScratch.Get(chunk * yw)
+	defer batchScratch.Put(yb)
+	indices := make([]int, chunk)
+	dstX := make([][]float64, chunk)
+	dstY := make([][]float64, chunk)
+	for j := 0; j < chunk; j++ {
+		indices[j] = j
+		dstX[j] = xb[j*xw : (j+1)*xw]
+		dstY[j] = yb[j*yw : (j+1)*yw]
+	}
+	batched := m.fullyBatchable()
+	var perOutput []float64
+	if wantMAE {
+		perOutput = make([]float64, yw)
+	}
+	total := 0.0
+	for start := 0; start < n; start += chunk {
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		bn := end - start
+		for j := 0; j < bn; j++ {
+			indices[j] = start + j
+		}
+		if err := src.Batch(0, indices[:bn], dstX[:bn], dstY[:bn]); err != nil {
+			return 0, nil, err
+		}
+		var out []float64
+		if batched {
+			out = m.forwardBatch(xb[:bn*xw], bn)
+		}
+		for j := 0; j < bn; j++ {
+			var pred []float64
+			if batched {
+				pred = out[j*yw : (j+1)*yw]
+			} else {
+				pred = m.Forward(dstX[j])
+			}
+			if wantMAE {
+				for k, p := range pred {
+					perOutput[k] += math.Abs(p - dstY[j][k])
+				}
+			} else {
+				total += loss.Loss(pred, dstY[j])
+			}
+		}
+	}
+	inv := 1 / float64(n)
+	if !wantMAE {
+		return total * inv, nil, nil
+	}
+	sum := 0.0
+	for k := range perOutput {
+		perOutput[k] *= inv
+		sum += perOutput[k]
+	}
+	return sum / float64(len(perOutput)), perOutput, nil
+}

@@ -62,6 +62,29 @@ func (s *Source) Reseed(seed uint64) {
 	s.gauss = 0
 }
 
+// State is a snapshot of a Source, including the cached Box-Muller variate,
+// so a stream can be resumed mid-sequence with bit-identical draws. Streaming
+// dataset adapters record a State per step during a sequential prepass and
+// replay individual steps out of order (and concurrently, each on its own
+// Source) during training.
+type State struct {
+	S0, S1, S2, S3 uint64
+	HaveGauss      bool
+	Gauss          float64
+}
+
+// State captures the source's current position in its stream.
+func (s *Source) State() State {
+	return State{S0: s.s0, S1: s.s1, S2: s.s2, S3: s.s3, HaveGauss: s.haveGauss, Gauss: s.gauss}
+}
+
+// SetState restores a snapshot taken with State. Subsequent draws are
+// bit-identical to the ones the snapshotted source would have produced.
+func (s *Source) SetState(st State) {
+	s.s0, s.s1, s.s2, s.s3 = st.S0, st.S1, st.S2, st.S3
+	s.haveGauss, s.gauss = st.HaveGauss, st.Gauss
+}
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 random bits (xoshiro256**).

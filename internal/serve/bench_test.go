@@ -124,3 +124,60 @@ func BenchmarkDirectPredict(b *testing.B) {
 		m.Predict(x)
 	}
 }
+
+// benchMonitorModel mirrors the served Table-2 NMR monitor stack: 5x1700-
+// point rolling windows through LSTM(32) into a 4-component head — the
+// recurrent model core.Monitor steps on every reactor tick. Until the
+// batched LSTM kernels landed this was the one served stack the dispatcher
+// had to split into per-sample Forward calls.
+func benchMonitorModel(b *testing.B) *nn.Model {
+	b.Helper()
+	m := nn.NewModel()
+	m.Add(nn.NewReshape(5, 1700))
+	m.Add(nn.NewLSTM(32))
+	m.Add(&nn.Dense{Out: 4})
+	if err := m.Build(rng.New(9), 5*1700); err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// BenchmarkBatcherPredictMonitor is BenchmarkBatcherPredict on the
+// recurrent monitor stack: coalesced windows now run through the batched
+// GEMM LSTM kernels instead of falling back to one Forward per request.
+func BenchmarkBatcherPredictMonitor(b *testing.B) {
+	m := benchMonitorModel(b)
+	batcher := NewBatcher(32, 0, nil, func(xs [][]float64) ([][]float64, error) {
+		return m.PredictBatch(xs, 0)
+	})
+	defer batcher.Close()
+	x, err := preprocessInput(ramp(5*1700, 1), nil, "", m.InputLen())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetParallelism(max(1, 32/runtime.GOMAXPROCS(0)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := batcher.Predict(context.Background(), x); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkDirectPredictMonitor is the sequential per-window baseline the
+// batched monitor path is amortizing against.
+func BenchmarkDirectPredictMonitor(b *testing.B) {
+	m := benchMonitorModel(b)
+	x, err := preprocessInput(ramp(5*1700, 1), nil, "", m.InputLen())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Predict(x)
+	}
+}

@@ -28,12 +28,16 @@ baseline. Exits non-zero when any benchmark is more than threshold_pct
 Suites:
   render   Fig7Augmentation*, Fig4CorpusRender*     -> BENCH_render.json
   serve    WireDecode4096, WireEncode4096 (binary   -> BENCH_serve.json
-           vs JSON spectrum codec) and FleetPredict
-           (1 front + 3 backends over loopback)
-  kernels  GemmInt8NTConvLowered and the int8-vs-   -> BENCH_kernels.json
-           float batch-32 forward pairs (QuantForward*
-           vs BatchForward*); gates both the int8 kernel
-           and the float path it is compared against
+           vs JSON spectrum codec), FleetPredict
+           (1 front + 3 backends over loopback), and
+           BatcherPredictMonitor (recurrent monitor
+           stack through the batched dispatcher)
+  kernels  GemmInt8NTConvLowered, the int8-vs-float -> BENCH_kernels.json
+           batch-32 forward pairs (QuantForward* vs
+           BatchForward*), and the batched recurrent
+           engine (LSTMBatchForward32, LSTMFitEpoch);
+           gates the int8 kernel, the float path it is
+           compared against, and the GEMM LSTM path
   train    TrainCorpus{Materialized,Streamed}: the  -> BENCH_train.json
            classic generate-then-Fit flow vs the fused
            streaming pipeline on the identical corpus;
@@ -106,24 +110,26 @@ render)
 serve)
     BASELINE="BENCH_serve.json"
     BENCH_CMDS=(
-        "go test -run ^\$ -bench WireDecode4096|WireEncode4096 -benchtime 1s -cpu 1 ./internal/serve"
+        "go test -run ^\$ -bench WireDecode4096|WireEncode4096|BatcherPredictMonitor -benchtime 1s -cpu 1 ./internal/serve"
         "go test -run ^\$ -bench FleetPredict -benchtime 1s -cpu 1 ./internal/front"
     )
     NAMES="BenchmarkWireDecode4096/codec=json BenchmarkWireDecode4096/codec=binary \
            BenchmarkWireEncode4096/codec=json BenchmarkWireEncode4096/codec=binary \
-           BenchmarkFleetPredict/hops=binary BenchmarkFleetPredict/hops=json"
+           BenchmarkFleetPredict/hops=binary BenchmarkFleetPredict/hops=json \
+           BenchmarkBatcherPredictMonitor"
     REGEN="go test -run '^\$' -bench 'WireDecode4096|WireEncode4096' -benchtime 2s -cpu 1 ./internal/serve && go test -run '^\$' -bench FleetPredict -benchtime 2s -cpu 1 ./internal/front"
     ;;
 kernels)
     BASELINE="BENCH_kernels.json"
     BENCH_CMDS=(
         "go test -run ^\$ -bench GemmInt8NTConvLowered -benchtime 1s -cpu 1 ./internal/tensor"
-        "go test -run ^\$ -bench QuantForwardDense32|QuantForwardConv32|BatchForwardDense32\$|BatchForwardConv32\$ -benchtime 1s -cpu 1 ./internal/nn"
+        "go test -run ^\$ -bench QuantForwardDense32|QuantForwardConv32|BatchForwardDense32\$|BatchForwardConv32\$|LSTMBatchForward32\$|LSTMFitEpoch -benchtime 1s -cpu 1 ./internal/nn"
     )
     NAMES="BenchmarkGemmInt8NTConvLowered \
            BenchmarkQuantForwardDense32 BenchmarkQuantForwardConv32 \
-           BenchmarkBatchForwardDense32 BenchmarkBatchForwardConv32"
-    REGEN="go test -run '^\$' -bench 'Gemm|Im2Col|Quantize' -benchtime 2s -cpu 1 ./internal/tensor && go test -run '^\$' -bench 'BatchForward|QuantForward|PredictBatch32|FitEpoch' -benchtime 2s -cpu 1 ./internal/nn"
+           BenchmarkBatchForwardDense32 BenchmarkBatchForwardConv32 \
+           BenchmarkLSTMBatchForward32 BenchmarkLSTMFitEpoch"
+    REGEN="go test -run '^\$' -bench 'Gemm|Im2Col|Quantize' -benchtime 2s -cpu 1 ./internal/tensor && go test -run '^\$' -bench 'BatchForward|QuantForward|PredictBatch32|FitEpoch|LSTM' -benchtime 2s -cpu 1 ./internal/nn"
     ;;
 train)
     BASELINE="BENCH_train.json"
