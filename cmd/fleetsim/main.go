@@ -1,0 +1,192 @@
+// Command fleetsim drives the closed recalibration loop against a live
+// serving fleet: it simulates a fleet of virtual mass spectrometers with
+// configurable per-device parameter drift, streams their measurements
+// through specfront-routed monitor sessions, and watches the smoothed
+// residual between served predictions and simulated ground truth. When a
+// device's drift detector trips, fleetsim re-characterizes the drifted
+// instrument, retrains the model from a streamed corpus (checkpointed and
+// resumable), publishes the new weights fleet-wide via PUT /v1/models/{name}
+// and drives POST /v1/models/reload — while churn workers keep hammering
+// the predict path so stale-width 409s surface and are retried.
+//
+//	fleetsim -front http://127.0.0.1:8080 -model ms-demo \
+//	    -devices 16 -steps 200 -seed 7 \
+//	    -drift-device 3 -drift-start 60 -drift-ramp 20 -drift-mass-shift 0.7 \
+//	    -report report.json
+//	fleetsim -config loop.json -report -        # full config file, report to stdout
+//
+// The run is deterministic: the same seed and drift schedule produce the
+// same trip step, the same retrained model bytes and the same reload count
+// regardless of -workers. The exit status is 0 only if the run completed;
+// the emitted report is the e2e gate's input.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"specml/internal/core"
+	"specml/internal/loop"
+	"specml/internal/msim"
+)
+
+func main() {
+	var (
+		frontURL = flag.String("front", "http://127.0.0.1:8080", "specfront (or specserve) base URL")
+		config   = flag.String("config", "", "JSON loop config file; overrides every other flag except -front/-report/-v")
+		report   = flag.String("report", "", "write the JSON run report here (\"-\" = stdout)")
+		verbose  = flag.Bool("v", false, "log loop progress to stderr")
+
+		devices = flag.Int("devices", 8, "fleet size")
+		steps   = flag.Int("steps", 100, "measurement waves to drive")
+		seed    = flag.Uint64("seed", 1, "root seed for every stochastic component")
+		model   = flag.String("model", "ms-demo", "served model name to monitor and republish")
+		task    = flag.String("task", "", "comma-separated compound names the served model predicts (default: the full standard task)")
+		workers = flag.Int("workers", 0, "wave parallelism (0 = one worker per device)")
+		churn   = flag.Int("churn", 4, "concurrent predict workers during publish+reload windows")
+
+		driftDevice = flag.Int("drift-device", -1, "device index to drift (-1 = healthy fleet)")
+		driftStart  = flag.Int("drift-start", 50, "scan at which the drift ramp begins")
+		driftRamp   = flag.Int("drift-ramp", 20, "scans until the drift reaches full magnitude")
+		massShift   = flag.Float64("drift-mass-shift", 0.7, "full-drift mass axis offset (m/z)")
+		gainTilt    = flag.Float64("drift-gain-tilt", 3.0, "full-drift relative growth of the attenuation tilt")
+		fwhmGrowth  = flag.Float64("drift-fwhm-growth", 1.0, "full-drift relative peak width growth")
+		noiseGrowth = flag.Float64("drift-noise-growth", 3.0, "full-drift relative noise growth")
+
+		calibrate = flag.Int("det-calibrate", 10, "healthy steps used to auto-calibrate detector levels (0 = use -det-threshold/-det-trip)")
+		thrFactor = flag.Float64("det-threshold-factor", 3, "allowance as a multiple of the calibrated healthy residual")
+		tripFact  = flag.Float64("det-trip-factor", 12, "trip level as a multiple of the calibrated healthy residual")
+		threshold = flag.Float64("det-threshold", 0, "explicit residual allowance (with -det-calibrate 0)")
+		trip      = flag.Float64("det-trip", 0, "explicit CUSUM trip level (with -det-calibrate 0)")
+		smoothing = flag.Float64("det-smoothing", 0.6, "residual EWMA factor in [0,1)")
+		warmup    = flag.Int("det-warmup", 3, "detector steps before CUSUM accumulation starts")
+
+		samples    = flag.Int("recal-samples", 512, "streamed retrain corpus size")
+		refSamples = flag.Int("recal-ref-samples", 3, "reference measurements per mixture for re-characterization")
+		epochs     = flag.Int("recal-epochs", 3, "retrain epochs")
+		batch      = flag.Int("recal-batch", 32, "retrain batch size")
+		axisScale  = flag.Int("recal-axis-scale", 1, "axis refinement factor for the retrain (>1 changes the served input width)")
+		topology   = flag.String("recal-topology", "table1", "retrain topology: table1 or dense")
+		hidden     = flag.Int("recal-hidden", 32, "dense topology hidden width")
+		checkpoint = flag.String("recal-checkpoint", "", "checkpoint file making the retrain resumable")
+		maxRecals  = flag.Int("recal-max", 1, "recalibration budget for the run")
+	)
+	flag.Parse()
+
+	var cfg loop.Config
+	if *config != "" {
+		data, err := os.ReadFile(*config)
+		if err != nil {
+			fatal(err)
+		}
+		cfg, err = loop.ParseConfig(data)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		cfg = loop.Config{
+			Devices: *devices,
+			Steps:   *steps,
+			Seed:    *seed,
+			Model:   *model,
+			Task:    splitTask(*task),
+			Workers: *workers,
+			Churn:   *churn,
+			Drift: loop.DriftSpec{
+				Device: *driftDevice,
+				Schedule: msim.DriftSchedule{
+					StartScan:   *driftStart,
+					RampScans:   *driftRamp,
+					MassShift:   *massShift,
+					GainTilt:    *gainTilt,
+					FWHMGrowth:  *fwhmGrowth,
+					NoiseGrowth: *noiseGrowth,
+				},
+			},
+			Detector: loop.DetectorSpec{
+				DriftConfig: core.DriftConfig{
+					Smoothing: *smoothing,
+					Threshold: *threshold,
+					Trip:      *trip,
+					Warmup:    *warmup,
+				},
+				Calibrate:       *calibrate,
+				ThresholdFactor: *thrFactor,
+				TripFactor:      *tripFact,
+			},
+			Recal: loop.RecalSpec{
+				Samples:    *samples,
+				RefSamples: *refSamples,
+				Epochs:     *epochs,
+				Batch:      *batch,
+				AxisScale:  *axisScale,
+				Topology:   *topology,
+				Hidden:     *hidden,
+				Checkpoint: *checkpoint,
+				MaxRecals:  *maxRecals,
+			},
+		}
+		if *driftDevice < 0 {
+			// Healthy fleet: drop the schedule so validation doesn't see a
+			// half-configured fault.
+			cfg.Drift = loop.DriftSpec{Device: -1}
+		}
+	}
+
+	l, err := loop.New(cfg, loop.NewHTTPClient(*frontURL, nil))
+	if err != nil {
+		fatal(err)
+	}
+	if *verbose {
+		l.Verbose = os.Stderr
+	}
+	rep, runErr := l.Run()
+	if err := writeReport(*report, rep); err != nil {
+		fatal(err)
+	}
+	if runErr != nil {
+		fatal(runErr)
+	}
+	fmt.Fprintf(os.Stderr, "fleetsim: %d devices x %d steps: trips@%d recals=%d reloads=%d 409s=%d 5xx=%d\n",
+		rep.Devices, rep.Steps, rep.TripStep, rep.Recals, rep.Reloads, rep.Conflicts, rep.Server5xx)
+}
+
+func writeReport(path string, rep loop.Report) error {
+	if path == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fleetsim:", err)
+	os.Exit(1)
+}
+
+// splitTask parses a comma-separated compound list; empty means the loop's
+// default task.
+func splitTask(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

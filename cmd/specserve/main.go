@@ -29,6 +29,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
@@ -51,6 +52,8 @@ func main() {
 		sessIdle  = flag.Duration("session-idle-timeout", 30*time.Minute, "expire monitor sessions idle this long (-1s = never)")
 		trainDemo = flag.String("train-demo", "", "train a small MS pipeline and write <dir>/ms-demo.json, then exit")
 		demoSize  = flag.Int("demo-samples", 400, "with -train-demo: training-corpus size")
+		demoTask  = flag.String("demo-task", "", "with -train-demo: comma-separated compound names (default: the full standard task)")
+		demoEpoch = flag.Int("demo-epochs", 2, "with -train-demo: training epochs")
 		seed      = flag.Uint64("seed", 1, "with -train-demo: training seed")
 		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (e.g. localhost:6060); off when empty")
 		logFormat = flag.String("log-format", "text", "diagnostic log format: text or json")
@@ -64,7 +67,7 @@ func main() {
 	}
 
 	if *trainDemo != "" {
-		if err := trainDemoModel(logger, *trainDemo, *demoSize, *seed, *workers); err != nil {
+		if err := trainDemoModel(logger, *trainDemo, splitTask(*demoTask), *demoSize, *demoEpoch, *seed, *workers); err != nil {
 			fatal(err)
 		}
 		return
@@ -137,13 +140,14 @@ func main() {
 // trainDemoModel runs the laptop-scale MS pipeline end to end and exports
 // the trained Table-1 CNN, so a served model exists within seconds of a
 // fresh checkout.
-func trainDemoModel(logger *slog.Logger, dir string, samples int, seed uint64, workers int) error {
+func trainDemoModel(logger *slog.Logger, dir string, task []string, samples, epochs int, seed uint64, workers int) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
 	pipe, err := core.NewMSPipeline(core.MSConfig{
+		Task:         task,
 		TrainSamples: samples,
-		Epochs:       2,
+		Epochs:       epochs,
 		Seed:         seed,
 		Workers:      workers,
 	})
@@ -152,7 +156,7 @@ func trainDemoModel(logger *slog.Logger, dir string, samples int, seed uint64, w
 	}
 	proto := msim.NewVirtualInstrument(nil, seed+5)
 	refs, err := msim.CollectReferences(proto, pipe.LineSimulator(), msim.DefaultAxis(),
-		msim.StandardMixtures(8), 5)
+		msim.StandardMixtures(pipe.LineSimulator().NumCompounds()), 5)
 	if err != nil {
 		return err
 	}
@@ -178,6 +182,22 @@ func trainDemoModel(logger *slog.Logger, dir string, samples int, seed uint64, w
 	}
 	logger.Info("wrote demo model", "path", path, "val_mae", res.ValMAE, "serve_with", "specserve -models "+dir)
 	return nil
+}
+
+// splitTask parses a comma-separated compound list; empty means the
+// pipeline's default task.
+func splitTask(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 func fatal(err error) {

@@ -1,0 +1,200 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// DriftConfig parameterizes a DriftDetector: smoothed-residual statistics
+// with a CUSUM-style trip rule. The detector watches the mean absolute
+// residual between a model's predictions and a reference (the reactor
+// ground truth in simulation, the high-field reference method on a real
+// process), smooths it with an EWMA to suppress single-scan noise, and
+// accumulates the smoothed excess over Threshold into a cumulative sum
+// that trips at Trip. Every statistic is a pure function of the residual
+// stream, so equal streams produce bit-identical trip steps.
+type DriftConfig struct {
+	// Smoothing is the residual EWMA factor a in [0,1):
+	// r_t = a*r_{t-1} + (1-a)*|residual_t|. 0 disables smoothing.
+	Smoothing float64 `json:"smoothing"`
+	// Threshold is the allowance: only the part of the smoothed residual
+	// above it accumulates toward a trip. Set it above the healthy
+	// steady-state residual of the deployed model.
+	Threshold float64 `json:"threshold"`
+	// Trip is the cumulative excess at which the detector trips. Larger
+	// values demand either bigger or longer-lasting drift, making the trip
+	// step monotone in drift magnitude.
+	Trip float64 `json:"trip"`
+	// Warmup is the number of initial steps during which the EWMA settles
+	// but no excess is accumulated (the first scans of a fresh model are
+	// not evidence of drift).
+	Warmup int `json:"warmup"`
+}
+
+// Validate reports whether the configuration is usable.
+func (c DriftConfig) Validate() error {
+	if math.IsNaN(c.Smoothing) || c.Smoothing < 0 || c.Smoothing >= 1 {
+		return fmt.Errorf("core: drift smoothing must be in [0,1), got %g", c.Smoothing)
+	}
+	if math.IsNaN(c.Threshold) || math.IsInf(c.Threshold, 0) || c.Threshold < 0 {
+		return fmt.Errorf("core: drift threshold must be finite and non-negative, got %g", c.Threshold)
+	}
+	if math.IsNaN(c.Trip) || math.IsInf(c.Trip, 0) || c.Trip <= 0 {
+		return fmt.Errorf("core: drift trip level must be finite and positive, got %g", c.Trip)
+	}
+	if c.Warmup < 0 {
+		return fmt.Errorf("core: drift warmup must be non-negative, got %d", c.Warmup)
+	}
+	return nil
+}
+
+// DriftSample is the detector state after one residual observation.
+type DriftSample struct {
+	// Step is the 1-based observation count.
+	Step int
+	// Residual is this step's raw mean absolute residual.
+	Residual float64
+	// EWMA is the smoothed residual after this step.
+	EWMA float64
+	// CUSUM is the accumulated smoothed excess over the threshold.
+	CUSUM float64
+	// Tripped reports whether the detector is in the tripped state.
+	Tripped bool
+}
+
+// DriftDetector accumulates residual statistics between predictions and a
+// trusted reference signal and trips when the smoothed residual has stayed
+// above the configured threshold for long enough. It is the residual-based
+// drift monitor of the closed recalibration loop: a trip is the signal to
+// re-characterize the instrument and retrain.
+//
+// The detector is deterministic and purely sequential; it is NOT safe for
+// concurrent use. Use one detector per monitored device.
+type DriftDetector struct {
+	cfg      DriftConfig
+	step     int
+	ewma     float64
+	haveEWMA bool
+	cusum    float64
+	tripped  bool
+	tripStep int
+}
+
+// NewDriftDetector validates the configuration and returns a detector.
+func NewDriftDetector(cfg DriftConfig) (*DriftDetector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &DriftDetector{cfg: cfg, tripStep: -1}, nil
+}
+
+// Config returns the detector's configuration.
+func (d *DriftDetector) Config() DriftConfig { return d.cfg }
+
+// Step feeds one prediction/reference pair and returns the updated
+// statistics. Once tripped the detector stays tripped (further excess keeps
+// accumulating) until Reset.
+func (d *DriftDetector) Step(pred, truth []float64) (DriftSample, error) {
+	if len(pred) == 0 || len(pred) != len(truth) {
+		return DriftSample{}, fmt.Errorf("core: drift step with %d predictions for %d references",
+			len(pred), len(truth))
+	}
+	res := 0.0
+	for i, p := range pred {
+		v := p - truth[i]
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return DriftSample{}, fmt.Errorf("core: non-finite drift residual at output %d", i)
+		}
+		res += math.Abs(v)
+	}
+	res /= float64(len(pred))
+	return d.Observe(res)
+}
+
+// Observe feeds one precomputed residual magnitude directly (the hook for
+// callers that define their own residual, e.g. per-substance weighting).
+func (d *DriftDetector) Observe(residual float64) (DriftSample, error) {
+	if math.IsNaN(residual) || math.IsInf(residual, 0) || residual < 0 {
+		return DriftSample{}, fmt.Errorf("core: drift residual must be finite and non-negative, got %g", residual)
+	}
+	d.step++
+	if !d.haveEWMA {
+		d.ewma = residual
+		d.haveEWMA = true
+	} else {
+		a := d.cfg.Smoothing
+		d.ewma = a*d.ewma + (1-a)*residual
+	}
+	if d.step > d.cfg.Warmup {
+		if excess := d.ewma - d.cfg.Threshold; excess > 0 {
+			d.cusum += excess
+		} else {
+			// The classic one-sided CUSUM resets toward zero when the
+			// statistic returns below the allowance, so short excursions
+			// cannot trip the detector hours later.
+			d.cusum += excess
+			if d.cusum < 0 {
+				d.cusum = 0
+			}
+		}
+		if !d.tripped && d.cusum >= d.cfg.Trip {
+			d.tripped = true
+			d.tripStep = d.step
+		}
+	}
+	return d.sample(residual), nil
+}
+
+func (d *DriftDetector) sample(res float64) DriftSample {
+	return DriftSample{Step: d.step, Residual: res, EWMA: d.ewma, CUSUM: d.cusum, Tripped: d.tripped}
+}
+
+// Tripped reports whether the detector has tripped since the last Reset.
+func (d *DriftDetector) Tripped() bool { return d.tripped }
+
+// TripStep returns the 1-based step at which the detector tripped, or -1.
+func (d *DriftDetector) TripStep() int { return d.tripStep }
+
+// EWMA returns the current smoothed residual (0 before the first step).
+func (d *DriftDetector) EWMA() float64 { return d.ewma }
+
+// StepCount returns the number of observed residuals.
+func (d *DriftDetector) StepCount() int { return d.step }
+
+// Reset clears the trip state and the accumulated excess after a
+// recalibration. The EWMA is cleared too: the retrained model's residual
+// level is a fresh statistic, not a continuation of the drifted one.
+func (d *DriftDetector) Reset() {
+	d.ewma = 0
+	d.haveEWMA = false
+	d.cusum = 0
+	d.tripped = false
+	d.tripStep = -1
+	d.step = 0
+}
+
+// SetDriftDetector attaches a drift detector to the monitor; StepWithTruth
+// feeds it. Pass nil to detach.
+func (m *Monitor) SetDriftDetector(d *DriftDetector) { m.drift = d }
+
+// DriftDetector returns the attached detector, or nil.
+func (m *Monitor) DriftDetector() *DriftDetector { return m.drift }
+
+// StepWithTruth feeds one prediction through the alarm-band monitor and,
+// when a reference signal and a drift detector are present, the
+// prediction/reference residual through the detector. It is the closed-loop
+// hook: alarms watch the process, the drift statistics watch the model.
+func (m *Monitor) StepWithTruth(pred, truth []float64) ([]Alarm, DriftSample, error) {
+	alarms, err := m.Step(pred)
+	if err != nil {
+		return nil, DriftSample{}, err
+	}
+	if m.drift == nil || truth == nil {
+		return alarms, DriftSample{}, nil
+	}
+	sample, err := m.drift.Step(pred, truth)
+	if err != nil {
+		return nil, DriftSample{}, err
+	}
+	return alarms, sample, nil
+}

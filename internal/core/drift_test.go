@@ -1,0 +1,244 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func mustDetector(t *testing.T, cfg DriftConfig) *DriftDetector {
+	t.Helper()
+	d, err := NewDriftDetector(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// residualStream feeds a synthetic residual series: `base` for the first
+// `driftAt` steps, then base+magnitude. It returns the 1-based trip step,
+// or -1 when the detector never trips within n steps.
+func residualStream(t *testing.T, d *DriftDetector, n, driftAt int, base, magnitude float64) int {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		r := base
+		if i >= driftAt {
+			r += magnitude
+		}
+		if _, err := d.Observe(r); err != nil {
+			t.Fatal(err)
+		}
+		if d.Tripped() {
+			return d.TripStep()
+		}
+	}
+	return -1
+}
+
+func TestDriftConfigValidate(t *testing.T) {
+	good := DriftConfig{Smoothing: 0.9, Threshold: 0.05, Trip: 0.5, Warmup: 3}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []DriftConfig{
+		{Smoothing: -0.1, Threshold: 0.05, Trip: 0.5},
+		{Smoothing: 1.0, Threshold: 0.05, Trip: 0.5},
+		{Smoothing: math.NaN(), Threshold: 0.05, Trip: 0.5},
+		{Smoothing: 0.5, Threshold: -1, Trip: 0.5},
+		{Smoothing: 0.5, Threshold: math.Inf(1), Trip: 0.5},
+		{Smoothing: 0.5, Threshold: 0.05, Trip: 0},
+		{Smoothing: 0.5, Threshold: 0.05, Trip: math.NaN()},
+		{Smoothing: 0.5, Threshold: 0.05, Trip: 0.5, Warmup: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := NewDriftDetector(cfg); err == nil {
+			t.Errorf("bad config %d (%+v) accepted", i, cfg)
+		}
+	}
+}
+
+// TestDriftNoDriftNoTrip: a residual stream that stays at the healthy
+// baseline never trips, no matter how long it runs.
+func TestDriftNoDriftNoTrip(t *testing.T) {
+	cfg := DriftConfig{Smoothing: 0.8, Threshold: 0.05, Trip: 0.3, Warmup: 5}
+	d := mustDetector(t, cfg)
+	if got := residualStream(t, d, 10000, 0, 0.02, 0); got != -1 {
+		t.Fatalf("healthy stream tripped at step %d", got)
+	}
+	if d.EWMA() >= cfg.Threshold {
+		t.Fatalf("healthy EWMA %g should settle below the threshold %g", d.EWMA(), cfg.Threshold)
+	}
+}
+
+// TestDriftStepTrip: a step change in the residual trips the detector
+// within a bounded number of steps, and the trip step is deterministic.
+func TestDriftStepTrip(t *testing.T) {
+	cfg := DriftConfig{Smoothing: 0.8, Threshold: 0.05, Trip: 0.3, Warmup: 5}
+	const driftAt = 50
+	d1 := mustDetector(t, cfg)
+	trip1 := residualStream(t, d1, 200, driftAt, 0.02, 0.15)
+	if trip1 < 0 {
+		t.Fatal("step drift never tripped")
+	}
+	if trip1 <= driftAt {
+		t.Fatalf("tripped at %d, before the drift at step %d", trip1, driftAt+1)
+	}
+	if trip1 > driftAt+20 {
+		t.Fatalf("tripped at %d, more than 20 steps after the drift at %d", trip1, driftAt)
+	}
+	// Determinism: an identical stream trips at the identical step.
+	d2 := mustDetector(t, cfg)
+	if trip2 := residualStream(t, d2, 200, driftAt, 0.02, 0.15); trip2 != trip1 {
+		t.Fatalf("trip step not deterministic: %d then %d", trip1, trip2)
+	}
+}
+
+// TestDriftTripMonotoneInMagnitude: a bigger drift trips no later than a
+// smaller one.
+func TestDriftTripMonotoneInMagnitude(t *testing.T) {
+	cfg := DriftConfig{Smoothing: 0.8, Threshold: 0.05, Trip: 0.3, Warmup: 5}
+	const driftAt = 30
+	magnitudes := []float64{0.08, 0.12, 0.2, 0.4, 0.8}
+	prev := math.MaxInt32
+	for _, mag := range magnitudes {
+		d := mustDetector(t, cfg)
+		trip := residualStream(t, d, 500, driftAt, 0.02, mag)
+		if trip < 0 {
+			t.Fatalf("magnitude %g never tripped", mag)
+		}
+		if trip > prev {
+			t.Fatalf("trip step %d for magnitude %g is later than %d for the smaller previous magnitude",
+				trip, mag, prev)
+		}
+		prev = trip
+	}
+}
+
+// TestDriftWarmupSuppressesAccumulation: a residual spike entirely inside
+// the warmup window accumulates nothing.
+func TestDriftWarmupSuppressesAccumulation(t *testing.T) {
+	cfg := DriftConfig{Smoothing: 0, Threshold: 0.05, Trip: 0.1, Warmup: 10}
+	d := mustDetector(t, cfg)
+	for i := 0; i < 10; i++ {
+		if _, err := d.Observe(10); err != nil { // enormous, but inside warmup
+			t.Fatal(err)
+		}
+	}
+	if d.Tripped() {
+		t.Fatal("tripped during warmup")
+	}
+	// After warmup the healthy residual decays the (zero) accumulation.
+	if got := residualStream(t, d, 100, 0, 0.01, 0); got != -1 {
+		t.Fatalf("tripped at %d on a healthy stream after warmup", got)
+	}
+}
+
+// TestDriftCUSUMRecovers: a short excursion above the threshold that
+// returns to baseline drains the accumulated excess instead of latching it.
+func TestDriftCUSUMRecovers(t *testing.T) {
+	cfg := DriftConfig{Smoothing: 0, Threshold: 0.05, Trip: 0.5, Warmup: 0}
+	d := mustDetector(t, cfg)
+	for i := 0; i < 4; i++ { // 4 * (0.15-0.05) = 0.4 < Trip
+		if _, err := d.Observe(0.15); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d.Tripped() {
+		t.Fatal("tripped below the trip level")
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := d.Observe(0.01); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := d.Observe(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.CUSUM != 0 {
+		t.Fatalf("CUSUM %g did not drain back to zero", s.CUSUM)
+	}
+}
+
+// TestDriftResetClearsState: Reset returns the detector to its initial
+// state, so post-recalibration residuals are judged fresh.
+func TestDriftResetClearsState(t *testing.T) {
+	cfg := DriftConfig{Smoothing: 0.5, Threshold: 0.05, Trip: 0.2, Warmup: 0}
+	d := mustDetector(t, cfg)
+	if trip := residualStream(t, d, 100, 0, 0.02, 0.5); trip < 0 {
+		t.Fatal("expected a trip")
+	}
+	d.Reset()
+	if d.Tripped() || d.TripStep() != -1 || d.StepCount() != 0 || d.EWMA() != 0 {
+		t.Fatalf("reset left state behind: %+v", d)
+	}
+	if got := residualStream(t, d, 200, 0, 0.02, 0); got != -1 {
+		t.Fatalf("tripped at %d on a healthy stream after reset", got)
+	}
+}
+
+func TestDriftStepErrors(t *testing.T) {
+	d := mustDetector(t, DriftConfig{Smoothing: 0.5, Threshold: 0.05, Trip: 0.2})
+	if _, err := d.Step([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("width mismatch accepted")
+	}
+	if _, err := d.Step(nil, nil); err == nil {
+		t.Error("empty step accepted")
+	}
+	if _, err := d.Step([]float64{math.NaN()}, []float64{0}); err == nil {
+		t.Error("NaN residual accepted")
+	}
+	if _, err := d.Observe(math.Inf(1)); err == nil {
+		t.Error("infinite residual accepted")
+	}
+	if _, err := d.Observe(-0.1); err == nil {
+		t.Error("negative residual accepted")
+	}
+}
+
+// TestMonitorStepWithTruth: the monitor hook feeds alarms and the drift
+// detector from one call, and works without a detector attached.
+func TestMonitorStepWithTruth(t *testing.T) {
+	m, err := NewMonitor([]string{"a", "b"}, []Limit{{Name: "a", Min: 0, Max: 1}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No detector: plain monitor semantics, zero drift sample.
+	alarms, sample, err := m.StepWithTruth([]float64{0.5, 0.5}, []float64{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alarms) != 0 || sample.Step != 0 {
+		t.Fatalf("unexpected alarms %v or drift sample %+v without a detector", alarms, sample)
+	}
+	d := mustDetector(t, DriftConfig{Smoothing: 0, Threshold: 0.05, Trip: 0.1, Warmup: 0})
+	m.SetDriftDetector(d)
+	if m.DriftDetector() != d {
+		t.Fatal("detector not attached")
+	}
+	// Large residual: drift statistics move, and the out-of-band value
+	// still raises the alarm.
+	alarms, sample, err = m.StepWithTruth([]float64{1.5, 0.5}, []float64{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alarms) != 1 {
+		t.Fatalf("expected 1 alarm, got %v", alarms)
+	}
+	if sample.Step != 1 || sample.Residual != 0.5 {
+		t.Fatalf("unexpected drift sample %+v", sample)
+	}
+	if !d.Tripped() {
+		t.Fatal("large residual should trip immediately at this config")
+	}
+	// A nil truth skips the detector but still monitors.
+	if _, s, err := m.StepWithTruth([]float64{0.5, 0.5}, nil); err != nil || s.Step != 0 {
+		t.Fatalf("nil truth: err %v sample %+v", err, s)
+	}
+	if d.StepCount() != 1 {
+		t.Fatalf("nil truth advanced the detector to %d", d.StepCount())
+	}
+	// Errors propagate from the monitor step.
+	if _, _, err := m.StepWithTruth([]float64{0.5}, []float64{0.5}); err == nil {
+		t.Fatal("width mismatch accepted")
+	}
+}

@@ -42,6 +42,7 @@ type Monitor struct {
 
 	step   int
 	smooth []float64
+	drift  *DriftDetector
 }
 
 // NewMonitor returns a monitor for the given substances.

@@ -257,6 +257,7 @@ func (f *Front) routes() {
 	f.mux.HandleFunc("POST /v1/predict", f.instrument("predict", f.handlePredict))
 	f.mux.HandleFunc("GET /v1/models", f.instrument("models", f.handleModels))
 	f.mux.HandleFunc("POST /v1/models/reload", f.instrument("reload", f.handleReload))
+	f.mux.HandleFunc("PUT /v1/models/{name}", f.instrument("models.publish", f.handleModelPublish))
 	f.mux.HandleFunc("POST /v1/monitor", f.instrument("monitor.create", f.handleMonitorCreate))
 	f.mux.HandleFunc("GET /v1/monitor", f.instrument("monitor.list", f.handleMonitorList))
 	f.mux.HandleFunc("GET /v1/monitor/{id}", f.instrument("monitor.proxy", f.handleMonitorProxy))
@@ -660,6 +661,47 @@ func (f *Front) handleReload(w http.ResponseWriter, r *http.Request) int {
 		}
 	}
 	return writeJSON(w, status, map[string]any{"backends": results})
+}
+
+// handleModelPublish broadcasts new model weights to every backend, so a
+// recalibration lands fleet-wide in one client call even when backends do
+// not share a model directory. Like the reload broadcast, per-backend
+// outcomes are reported individually and the status is 200 only if all
+// succeeded; each backend persists atomically, so a partial broadcast
+// leaves every backend either on the old weights or the new ones.
+func (f *Front) handleModelPublish(w http.ResponseWriter, r *http.Request) int {
+	name := r.PathValue("name")
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		return writeError(w, http.StatusBadRequest, err)
+	}
+	path := "/v1/models/" + url.PathEscape(name)
+	results := make(map[string]any, len(f.backends))
+	status := http.StatusOK
+	for _, b := range f.backends {
+		res, err := f.forward(r.Context(), b, http.MethodPut, path, "application/json", "", body)
+		if err != nil {
+			results[b.name] = map[string]string{"error": err.Error()}
+			status = http.StatusBadGateway
+			continue
+		}
+		var payload any
+		if err := json.Unmarshal(res.body, &payload); err != nil {
+			payload = string(res.body)
+		}
+		results[b.name] = payload
+		if res.status != http.StatusOK {
+			// Relay a uniform client error (bad name, bad weights) as-is;
+			// disagreeing backends or 5xx are a gateway problem.
+			if res.status >= 400 && res.status < 500 &&
+				(status == http.StatusOK || status == res.status) {
+				status = res.status
+			} else {
+				status = http.StatusBadGateway
+			}
+		}
+	}
+	return writeJSON(w, status, map[string]any{"model": name, "backends": results})
 }
 
 // handleMonitorList merges the live-session listings of every healthy

@@ -1,0 +1,105 @@
+package front
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"specml/internal/serve"
+)
+
+// newDirFleet boots n specserve backends that each load the same model
+// name from their own model directory — the publish broadcast must land
+// the new weights in every one of them.
+func newDirFleet(t *testing.T, n int) (*Front, []*fleetBackend) {
+	t.Helper()
+	backends := make([]*fleetBackend, n)
+	urls := make([]string, n)
+	for i := range backends {
+		dir := t.TempDir()
+		f, err := os.Create(filepath.Join(dir, "pub.json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := testModel(t, 1, 24, 3).Save(f); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		srv, err := serve.New(serve.Config{ModelDir: dir, RequestTimeout: 5 * time.Second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs := httptest.NewServer(srv.Handler())
+		backends[i] = &fleetBackend{srv: srv, http: hs, name: hs.Listener.Addr().String()}
+		urls[i] = hs.URL
+		t.Cleanup(func() {
+			hs.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			_ = srv.Close(ctx)
+		})
+	}
+	fr, err := New(Config{
+		Backends:       urls,
+		HealthInterval: 50 * time.Millisecond,
+		RetryBackoff:   time.Millisecond,
+		SessionPrefix:  "fs-pub",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = fr.Close(ctx)
+	})
+	return fr, backends
+}
+
+func TestFrontPublishBroadcast(t *testing.T) {
+	fr, backends := newDirFleet(t, 3)
+	var buf bytes.Buffer
+	if err := testModel(t, 9, 48, 3).Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPut, "/v1/models/pub", bytes.NewReader(buf.Bytes()))
+	w := httptest.NewRecorder()
+	fr.Handler().ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("broadcast publish: %d %s", w.Code, w.Body.String())
+	}
+	var resp struct {
+		Model    string                     `json:"model"`
+		Backends map[string]json.RawMessage `json:"backends"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Model != "pub" || len(resp.Backends) != 3 {
+		t.Fatalf("unexpected broadcast response: %s", w.Body.String())
+	}
+	for _, b := range backends {
+		infos := b.srv.Registry().List()
+		if len(infos) != 1 || infos[0].InputLen != 48 {
+			t.Fatalf("backend %s did not swap to the published width: %+v", b.name, infos)
+		}
+	}
+}
+
+func TestFrontPublishRelaysClientError(t *testing.T) {
+	fr, _ := newDirFleet(t, 2)
+	req := httptest.NewRequest(http.MethodPut, "/v1/models/pub", bytes.NewReader([]byte("{broken")))
+	w := httptest.NewRecorder()
+	fr.Handler().ServeHTTP(w, req)
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("bad weights broadcast: %d, want 400 (%s)", w.Code, w.Body.String())
+	}
+}

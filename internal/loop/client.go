@@ -1,0 +1,210 @@
+package loop
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Client is the loop's view of the serving fleet — in production an HTTP
+// front door, in tests anything that honours the same contract. Step and
+// Predict may be called concurrently; the rest is called from the loop
+// goroutine only.
+type Client interface {
+	// CreateSession opens a monitor session pinned to model and returns
+	// the session ID the fleet minted.
+	CreateSession(model string, smoothing float64, names []string) (string, error)
+	// Step feeds one measured spectrum into a session and returns the
+	// model's prediction.
+	Step(session string, axisStart, axisStep float64, intensities []float64) ([]float64, error)
+	// Predict is the sessionless churn path; the prediction is discarded.
+	Predict(model string, axisStart, axisStep float64, intensities []float64) error
+	// Publish uploads retrained weights fleet-wide under name.
+	Publish(name string, data []byte) error
+	// Reload asks every backend to re-scan its model directory.
+	Reload() error
+	// Counts reports the fault accounting accumulated so far.
+	Counts() ClientCounts
+}
+
+// ClientCounts is the loop's fault ledger. Conflict counts depend on
+// scheduler timing and are deliberately outside the determinism contract;
+// Server5xx must stay zero for a run to pass the e2e gate.
+type ClientCounts struct {
+	Conflicts       int `json:"conflicts_409"`
+	ConflictRetries int `json:"conflict_retries"`
+	Server5xx       int `json:"server_5xx"`
+}
+
+// HTTPClient drives a specfront (or bare specserve) base URL. A 409 on the
+// hot paths means the request raced a model reload — stale width or an
+// orphaned registry snapshot — and is retried with backoff, which is the
+// documented client contract for hot reloads.
+type HTTPClient struct {
+	base    string
+	hc      *http.Client
+	retries int
+	backoff time.Duration
+
+	conflicts       atomic.Int64
+	conflictRetries atomic.Int64
+	server5xx       atomic.Int64
+}
+
+// NewHTTPClient wraps baseURL (no trailing slash needed). A nil hc uses a
+// dedicated client with a 30s timeout.
+func NewHTTPClient(baseURL string, hc *http.Client) *HTTPClient {
+	if hc == nil {
+		hc = &http.Client{Timeout: 30 * time.Second}
+	}
+	return &HTTPClient{
+		base:    strings.TrimRight(baseURL, "/"),
+		hc:      hc,
+		retries: 5,
+		backoff: 20 * time.Millisecond,
+	}
+}
+
+type httpError struct {
+	status int
+	body   string
+}
+
+func (e *httpError) Error() string {
+	return fmt.Sprintf("loop: fleet returned %d: %s", e.status, e.body)
+}
+
+// do issues one request and decodes a JSON body into out (when non-nil).
+func (c *HTTPClient) do(method, path string, body []byte, out any) (int, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, c.base+path, rd)
+	if err != nil {
+		return 0, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return resp.StatusCode, err
+	}
+	if resp.StatusCode >= 500 {
+		c.server5xx.Add(1)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return resp.StatusCode, &httpError{status: resp.StatusCode, body: string(bytes.TrimSpace(data))}
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			return resp.StatusCode, fmt.Errorf("loop: decoding %s %s response: %w", method, path, err)
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+// doRetry409 runs do and retries conflict responses: a 409 on a hot path
+// means the request was preprocessed for a model width that a concurrent
+// publish/reload replaced, and the retry re-preprocesses against the new
+// snapshot.
+func (c *HTTPClient) doRetry409(method, path string, body []byte, out any) error {
+	var last error
+	for attempt := 0; ; attempt++ {
+		status, err := c.do(method, path, body, out)
+		if status != http.StatusConflict {
+			return err
+		}
+		c.conflicts.Add(1)
+		last = err
+		if attempt >= c.retries {
+			return last
+		}
+		c.conflictRetries.Add(1)
+		time.Sleep(c.backoff << uint(attempt))
+	}
+}
+
+func (c *HTTPClient) CreateSession(model string, smoothing float64, names []string) (string, error) {
+	body, err := json.Marshal(map[string]any{
+		"model": model, "smoothing": smoothing, "names": names,
+	})
+	if err != nil {
+		return "", err
+	}
+	var resp struct {
+		Session string `json:"session"`
+	}
+	if _, err := c.do(http.MethodPost, "/v1/monitor", body, &resp); err != nil {
+		return "", err
+	}
+	if resp.Session == "" {
+		return "", fmt.Errorf("loop: fleet returned an empty session ID")
+	}
+	return resp.Session, nil
+}
+
+// stepBody builds the shared predict/step payload. The axis is always sent
+// so the fleet can resample onto whatever input width the current model
+// has — this is what lets a width-changing recalibration serve old devices.
+func stepBody(model string, axisStart, axisStep float64, intensities []float64) ([]byte, error) {
+	m := map[string]any{
+		"axis":        map[string]float64{"start": axisStart, "step": axisStep},
+		"intensities": intensities,
+	}
+	if model != "" {
+		m["model"] = model
+	}
+	return json.Marshal(m)
+}
+
+func (c *HTTPClient) Step(session string, axisStart, axisStep float64, intensities []float64) ([]float64, error) {
+	body, err := stepBody("", axisStart, axisStep, intensities)
+	if err != nil {
+		return nil, err
+	}
+	var resp struct {
+		Prediction []float64 `json:"prediction"`
+	}
+	if err := c.doRetry409(http.MethodPost, "/v1/monitor/"+session+"/step", body, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Prediction, nil
+}
+
+func (c *HTTPClient) Predict(model string, axisStart, axisStep float64, intensities []float64) error {
+	body, err := stepBody(model, axisStart, axisStep, intensities)
+	if err != nil {
+		return err
+	}
+	return c.doRetry409(http.MethodPost, "/v1/predict", body, nil)
+}
+
+func (c *HTTPClient) Publish(name string, data []byte) error {
+	_, err := c.do(http.MethodPut, "/v1/models/"+name, data, nil)
+	return err
+}
+
+func (c *HTTPClient) Reload() error {
+	_, err := c.do(http.MethodPost, "/v1/models/reload", nil, nil)
+	return err
+}
+
+func (c *HTTPClient) Counts() ClientCounts {
+	return ClientCounts{
+		Conflicts:       int(c.conflicts.Load()),
+		ConflictRetries: int(c.conflictRetries.Load()),
+		Server5xx:       int(c.server5xx.Load()),
+	}
+}

@@ -1,0 +1,333 @@
+// Package loop closes the paper's Industry-4.0 control loop at fleet
+// scale: it drives a fleet of simulated instruments (msim virtual mass
+// spectrometers measuring reactor-style mixtures) through specfront-routed
+// monitor sessions, watches the residual between each device's served
+// predictions and its ground-truth composition with an EWMA+CUSUM drift
+// detector, and — when a device trips — runs the automated recalibration
+// pipeline end to end: re-characterize the drifted instrument, regenerate a
+// streaming corpus from the new estimate, retrain with the checkpointed
+// FitSource path, publish the weights and hot-reload the whole fleet.
+//
+// Everything downstream of the HTTP boundary follows the split-rng
+// contract: a run is a pure function of (Config, drift schedule), so equal
+// seeds produce bit-identical trip steps, retrained model bytes and reload
+// counts regardless of wave parallelism.
+package loop
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"specml/internal/core"
+	"specml/internal/msim"
+	"specml/internal/spectrum"
+)
+
+// AxisSpec is a JSON-friendly spectrum.Axis.
+type AxisSpec struct {
+	Start float64 `json:"start"`
+	Step  float64 `json:"step"`
+	N     int     `json:"n"`
+}
+
+// Axis converts the spec, or the canonical msim axis when nil.
+func (a *AxisSpec) Axis() (spectrum.Axis, error) {
+	if a == nil {
+		return msim.DefaultAxis(), nil
+	}
+	return spectrum.NewAxis(a.Start, a.Step, a.N)
+}
+
+// DriftSpec injects one deterministic fault into the fleet: the schedule is
+// attached to a single device, every other device stays calibrated.
+type DriftSpec struct {
+	// Device is the index of the drifting device; -1 disables drift.
+	Device int `json:"device"`
+	// Schedule is the per-scan degradation applied to that device.
+	Schedule msim.DriftSchedule `json:"schedule"`
+}
+
+// DetectorSpec configures the per-device drift detectors. Either give
+// explicit Threshold/Trip levels, or set Calibrate > 0 to estimate each
+// device's healthy residual from its first Calibrate steps and derive the
+// levels as multiples of it — the estimate is a pure function of the
+// residual stream, so auto-calibration keeps the loop deterministic.
+type DetectorSpec struct {
+	core.DriftConfig
+	// Calibrate is the number of initial steps used to measure the healthy
+	// residual level (0 = use Threshold/Trip exactly as given).
+	Calibrate int `json:"calibrate,omitempty"`
+	// ThresholdFactor scales the measured healthy mean into the detector's
+	// allowance (default 3).
+	ThresholdFactor float64 `json:"threshold_factor,omitempty"`
+	// TripFactor scales the measured healthy mean into the trip level
+	// (default 12).
+	TripFactor float64 `json:"trip_factor,omitempty"`
+}
+
+// RecalSpec parameterizes the recalibration pipeline that runs on a trip.
+type RecalSpec struct {
+	// Samples is the streamed corpus size.
+	Samples int `json:"samples"`
+	// RefSamples is the per-mixture reference measurement count for the
+	// re-characterization (default 3).
+	RefSamples int `json:"ref_samples,omitempty"`
+	// Epochs and Batch are the FitSource training recipe (defaults 2, 32).
+	Epochs int `json:"epochs,omitempty"`
+	Batch  int `json:"batch,omitempty"`
+	// TrainFrac splits the corpus indices into train/validation
+	// (default 0.85).
+	TrainFrac float64 `json:"train_frac,omitempty"`
+	// AxisScale refines the training axis by an integer factor (>1 changes
+	// the published model's input width, which is what forces the 409
+	// stale-width path on requests queued across the reload; default 1).
+	AxisScale int `json:"axis_scale,omitempty"`
+	// Topology selects the network: "table1" (the paper's 1D-CNN, default)
+	// or "dense" (a small dense net for fast CI loops).
+	Topology string `json:"topology,omitempty"`
+	// Hidden is the dense topology's hidden width (default 32).
+	Hidden int `json:"hidden,omitempty"`
+	// Workers is the training worker count (0 = all cores; bit-identical
+	// for any value).
+	Workers int `json:"workers,omitempty"`
+	// Checkpoint, when set, makes the retrain resumable: FitSource writes
+	// the file after every epoch and resumes from it when it exists.
+	Checkpoint string `json:"checkpoint,omitempty"`
+	// MaxRecals caps how many recalibrations one run may fire (default 1).
+	MaxRecals int `json:"max_recals,omitempty"`
+}
+
+// Config is one closed-loop run.
+type Config struct {
+	// Devices is the fleet size; Steps the number of measurement waves.
+	Devices int `json:"devices"`
+	Steps   int `json:"steps"`
+	// Seed drives every stochastic component through split-rng children.
+	Seed uint64 `json:"seed"`
+	// Model is the served model name the monitor sessions pin to and the
+	// recalibration republishes.
+	Model string `json:"model"`
+	// Workers bounds wave parallelism (0 = one worker per device).
+	Workers int `json:"workers,omitempty"`
+	// Alpha is the Dirichlet concentration of the per-device mixture draws
+	// (default 1.0).
+	Alpha float64 `json:"alpha,omitempty"`
+	// Smoothing is the server-side monitor EMA factor in [0,1).
+	Smoothing float64 `json:"smoothing,omitempty"`
+	// Task is the compound list (default msim.DefaultTask).
+	Task []string `json:"task,omitempty"`
+	// Axis is the measurement axis (default msim.DefaultAxis).
+	Axis *AxisSpec `json:"axis,omitempty"`
+	// Churn is the number of concurrent predict workers hammering the fleet
+	// during the publish+reload window, to exercise the 409 stale-width
+	// path under load (0 disables).
+	Churn int `json:"churn,omitempty"`
+
+	Drift    DriftSpec    `json:"drift"`
+	Detector DetectorSpec `json:"detector"`
+	Recal    RecalSpec    `json:"recal"`
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = c.Devices
+	}
+	// An all-zero schedule means "no drift": point the fault injector at no
+	// device so configs that omit the drift block entirely stay valid.
+	if c.Drift.Schedule == (msim.DriftSchedule{}) {
+		c.Drift.Device = -1
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 1.0
+	}
+	if c.Detector.ThresholdFactor == 0 {
+		c.Detector.ThresholdFactor = 3
+	}
+	if c.Detector.TripFactor == 0 {
+		c.Detector.TripFactor = 12
+	}
+	if c.Recal.RefSamples <= 0 {
+		c.Recal.RefSamples = 3
+	}
+	if c.Recal.Epochs <= 0 {
+		c.Recal.Epochs = 2
+	}
+	if c.Recal.Batch <= 0 {
+		c.Recal.Batch = 32
+	}
+	if c.Recal.TrainFrac == 0 {
+		c.Recal.TrainFrac = 0.85
+	}
+	if c.Recal.AxisScale <= 0 {
+		c.Recal.AxisScale = 1
+	}
+	if c.Recal.Topology == "" {
+		c.Recal.Topology = "table1"
+	}
+	if c.Recal.Hidden <= 0 {
+		c.Recal.Hidden = 32
+	}
+	if c.Recal.MaxRecals <= 0 {
+		c.Recal.MaxRecals = 1
+	}
+	return c
+}
+
+// Validate reports whether the configuration is runnable. It is called on
+// the defaulted config by New and ParseConfig.
+func (c Config) Validate() error {
+	if c.Devices <= 0 {
+		return fmt.Errorf("loop: need a positive device count, got %d", c.Devices)
+	}
+	if c.Steps <= 0 {
+		return fmt.Errorf("loop: need a positive step count, got %d", c.Steps)
+	}
+	if c.Model == "" {
+		return fmt.Errorf("loop: model name must not be empty")
+	}
+	if math.IsNaN(c.Alpha) || math.IsInf(c.Alpha, 0) || c.Alpha <= 0 {
+		return fmt.Errorf("loop: alpha must be finite and positive, got %g", c.Alpha)
+	}
+	if math.IsNaN(c.Smoothing) || c.Smoothing < 0 || c.Smoothing >= 1 {
+		return fmt.Errorf("loop: smoothing must be in [0,1), got %g", c.Smoothing)
+	}
+	if c.Churn < 0 {
+		return fmt.Errorf("loop: churn must be non-negative, got %d", c.Churn)
+	}
+	if _, err := c.Axis.Axis(); err != nil {
+		return fmt.Errorf("loop: axis: %w", err)
+	}
+	if c.Drift.Device >= c.Devices {
+		return fmt.Errorf("loop: drift device %d out of range (%d devices)", c.Drift.Device, c.Devices)
+	}
+	if c.Drift.Device >= 0 {
+		if err := c.Drift.Schedule.Validate(); err != nil {
+			return err
+		}
+	}
+	d := c.Detector
+	if d.Calibrate < 0 {
+		return fmt.Errorf("loop: detector calibrate must be non-negative, got %d", d.Calibrate)
+	}
+	if d.Calibrate > 0 {
+		if math.IsNaN(d.ThresholdFactor) || d.ThresholdFactor <= 0 ||
+			math.IsNaN(d.TripFactor) || d.TripFactor <= 0 {
+			return fmt.Errorf("loop: detector factors must be positive")
+		}
+		// Threshold/Trip are derived after calibration; validate the rest
+		// with placeholder levels.
+		probe := d.DriftConfig
+		probe.Threshold, probe.Trip = 1, 1
+		if err := probe.Validate(); err != nil {
+			return err
+		}
+	} else if err := d.DriftConfig.Validate(); err != nil {
+		return err
+	}
+	r := c.Recal
+	if r.Samples <= 0 {
+		return fmt.Errorf("loop: recal needs a positive corpus size, got %d", r.Samples)
+	}
+	if r.Samples < 8 {
+		return fmt.Errorf("loop: recal corpus of %d is too small to split", r.Samples)
+	}
+	if math.IsNaN(r.TrainFrac) || r.TrainFrac <= 0 || r.TrainFrac >= 1 {
+		return fmt.Errorf("loop: recal train fraction must be in (0,1), got %g", r.TrainFrac)
+	}
+	if r.Topology != "table1" && r.Topology != "dense" {
+		return fmt.Errorf("loop: recal topology must be table1 or dense, got %q", r.Topology)
+	}
+	if len(c.Task) == 1 {
+		return fmt.Errorf("loop: a task needs at least two compounds")
+	}
+	for _, name := range c.Task {
+		if _, err := msim.ByName(name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ParseConfig strictly decodes and validates a JSON config: unknown fields,
+// trailing garbage and unrunnable values are errors, never panics — this is
+// the decoder the fuzz smoke job drives.
+func ParseConfig(data []byte) (Config, error) {
+	var c Config
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&c); err != nil {
+		return Config{}, fmt.Errorf("loop: decoding config: %w", err)
+	}
+	if dec.More() {
+		return Config{}, fmt.Errorf("loop: trailing data after config")
+	}
+	c = c.withDefaults()
+	if err := c.Validate(); err != nil {
+		return Config{}, err
+	}
+	return c, nil
+}
+
+// Report is the machine-readable outcome of one closed-loop run — what the
+// e2e gate asserts on.
+type Report struct {
+	Devices int `json:"devices"`
+	Steps   int `json:"steps"`
+	// TripStep is the 1-based loop step of the first trip (-1 = none);
+	// TripDevice the device that tripped.
+	TripStep   int `json:"trip_step"`
+	TripDevice int `json:"trip_device"`
+	// Recals and Reloads count recalibrations fired and fleet reloads
+	// driven.
+	Recals  int `json:"recals"`
+	Reloads int `json:"reloads"`
+	// ModelSHA256 is the hex digest of the retrained model bytes (empty
+	// when no recalibration fired) — the determinism pin.
+	ModelSHA256 string `json:"model_sha256,omitempty"`
+	// Conflicts counts 409 stale-width responses observed; ConflictRetries
+	// the retries that resolved them. Both are excluded from the
+	// determinism contract (they depend on scheduler timing).
+	Conflicts       int `json:"conflicts_409"`
+	ConflictRetries int `json:"conflict_retries"`
+	// Server5xx counts 5xx responses surfaced to the loop (the e2e gate
+	// requires 0).
+	Server5xx int `json:"server_5xx"`
+	// ResidualAtTrip is the tripping device's smoothed residual at the trip
+	// step; FinalResidual its smoothed residual at the end of the run, and
+	// Threshold its (possibly auto-calibrated) allowance. BelowThreshold
+	// reports FinalResidual < Threshold — drift detected, repaired and
+	// verified gone.
+	ResidualAtTrip float64 `json:"residual_at_trip,omitempty"`
+	FinalResidual  float64 `json:"final_residual"`
+	Threshold      float64 `json:"threshold"`
+	BelowThreshold bool    `json:"below_threshold"`
+}
+
+// ParseReport strictly decodes a Report (the e2e harness' half of the
+// contract; fuzzed alongside ParseConfig).
+func ParseReport(data []byte) (Report, error) {
+	var r Report
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&r); err != nil {
+		return Report{}, fmt.Errorf("loop: decoding report: %w", err)
+	}
+	if dec.More() {
+		return Report{}, fmt.Errorf("loop: trailing data after report")
+	}
+	if r.Devices < 0 || r.Steps < 0 || r.Recals < 0 || r.Reloads < 0 ||
+		r.Conflicts < 0 || r.ConflictRetries < 0 || r.Server5xx < 0 {
+		return Report{}, fmt.Errorf("loop: report counts must be non-negative")
+	}
+	if r.TripStep < -1 || r.TripDevice < -1 {
+		return Report{}, fmt.Errorf("loop: report trip fields must be >= -1")
+	}
+	for _, v := range []float64{r.ResidualAtTrip, r.FinalResidual, r.Threshold} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return Report{}, fmt.Errorf("loop: report residuals must be finite")
+		}
+	}
+	return r, nil
+}

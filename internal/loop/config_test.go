@@ -1,0 +1,127 @@
+package loop
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseConfig(t *testing.T) {
+	good := `{"devices":3,"steps":10,"seed":7,"model":"fleet",
+		"detector":{"smoothing":0.5,"threshold":0.05,"trip":0.2,"warmup":2},
+		"recal":{"samples":48}}`
+	cfg, err := ParseConfig([]byte(good))
+	if err != nil {
+		t.Fatalf("good config rejected: %v", err)
+	}
+	if cfg.Workers != 3 || cfg.Alpha != 1.0 || cfg.Recal.Topology != "table1" {
+		t.Fatalf("defaults not applied: %+v", cfg)
+	}
+	if cfg.Drift.Device != -1 {
+		t.Fatalf("omitted drift block should disable the fault injector, got device %d", cfg.Drift.Device)
+	}
+
+	bad := map[string]string{
+		"unknown field":   `{"devices":3,"steps":10,"model":"m","bogus":1,"recal":{"samples":48},"detector":{"smoothing":0.5,"threshold":1,"trip":1}}`,
+		"trailing data":   `{"devices":3,"steps":10,"model":"m","recal":{"samples":48},"detector":{"smoothing":0.5,"threshold":1,"trip":1}} extra`,
+		"no model":        `{"devices":3,"steps":10,"recal":{"samples":48},"detector":{"smoothing":0.5,"threshold":1,"trip":1}}`,
+		"tiny corpus":     `{"devices":3,"steps":10,"model":"m","recal":{"samples":4},"detector":{"smoothing":0.5,"threshold":1,"trip":1}}`,
+		"bad topology":    `{"devices":3,"steps":10,"model":"m","recal":{"samples":48,"topology":"transformer"},"detector":{"smoothing":0.5,"threshold":1,"trip":1}}`,
+		"unknown gas":     `{"devices":3,"steps":10,"model":"m","task":["N2","Kryptonite"],"recal":{"samples":48},"detector":{"smoothing":0.5,"threshold":1,"trip":1}}`,
+		"one compound":    `{"devices":3,"steps":10,"model":"m","task":["N2"],"recal":{"samples":48},"detector":{"smoothing":0.5,"threshold":1,"trip":1}}`,
+		"drift oob":       `{"devices":3,"steps":10,"model":"m","drift":{"device":3,"schedule":{"start_scan":5,"mass_shift":0.5}},"recal":{"samples":48},"detector":{"smoothing":0.5,"threshold":1,"trip":1}}`,
+		"not json":        `devices=3`,
+		"wrong container": `[1,2]`,
+	}
+	for name, in := range bad {
+		if _, err := ParseConfig([]byte(in)); err == nil {
+			t.Errorf("%s: accepted %s", name, in)
+		}
+	}
+}
+
+func TestParseReport(t *testing.T) {
+	rep := Report{Devices: 3, Steps: 10, TripStep: 4, TripDevice: 1, Recals: 1, Reloads: 1}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseReport(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != rep {
+		t.Fatalf("report did not round-trip: %+v vs %+v", back, rep)
+	}
+	for name, in := range map[string]string{
+		"negative count": `{"devices":-1}`,
+		"bad trip":       `{"trip_step":-2}`,
+		"unknown field":  `{"surprise":1}`,
+		"trailing":       `{} {}`,
+	} {
+		if _, err := ParseReport([]byte(in)); err == nil {
+			t.Errorf("%s: accepted %s", name, in)
+		}
+	}
+}
+
+// TestHTTPClientRetries409 pins the stale-width retry contract: conflicts
+// are retried with backoff and the fault ledger records both the conflicts
+// and the retries that resolved them; 5xx responses are counted, not
+// retried.
+func TestHTTPClientRetries409(t *testing.T) {
+	var predicts int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case strings.HasPrefix(r.URL.Path, "/v1/predict"):
+			predicts++
+			if predicts <= 2 {
+				w.WriteHeader(http.StatusConflict)
+				return
+			}
+			w.Write([]byte(`{"model":"m","fractions":[1]}`))
+		case strings.HasSuffix(r.URL.Path, "/step"):
+			w.WriteHeader(http.StatusInternalServerError)
+		default:
+			w.WriteHeader(http.StatusNotFound)
+		}
+	}))
+	defer ts.Close()
+
+	c := NewHTTPClient(ts.URL+"/", nil)
+	c.backoff = time.Microsecond
+	if err := c.Predict("m", 1, 0.5, []float64{1, 2}); err != nil {
+		t.Fatalf("predict should succeed after retries: %v", err)
+	}
+	if _, err := c.Step("s", 1, 0.5, []float64{1, 2}); err == nil {
+		t.Fatal("5xx step should fail")
+	}
+	counts := c.Counts()
+	if counts.Conflicts != 2 || counts.ConflictRetries != 2 {
+		t.Fatalf("conflict ledger wrong: %+v", counts)
+	}
+	if counts.Server5xx != 1 {
+		t.Fatalf("5xx ledger wrong: %+v", counts)
+	}
+}
+
+// TestHTTPClientGivesUpOn409 verifies a persistent conflict eventually
+// surfaces as an error instead of retrying forever.
+func TestHTTPClientGivesUpOn409(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusConflict)
+	}))
+	defer ts.Close()
+	c := NewHTTPClient(ts.URL, nil)
+	c.retries = 2
+	c.backoff = time.Microsecond
+	if err := c.Predict("m", 1, 0.5, []float64{1, 2}); err == nil {
+		t.Fatal("persistent 409 should surface")
+	}
+	if counts := c.Counts(); counts.Conflicts != 3 || counts.ConflictRetries != 2 {
+		t.Fatalf("ledger after give-up: %+v", counts)
+	}
+}

@@ -1,0 +1,46 @@
+package loop
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzDriftConfig feeds arbitrary bytes through the strict loop decoders:
+// malformed configs and reports must come back as errors, never as panics
+// or as silently-accepted garbage the fleet driver would then act on.
+func FuzzDriftConfig(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"devices":3,"steps":10,"seed":7,"model":"fleet"}`))
+	f.Add([]byte(`{"devices":3,"steps":10,"model":"fleet",` +
+		`"drift":{"device":1,"schedule":{"start_scan":8,"ramp_scans":4,"mass_shift":0.7}},` +
+		`"detector":{"smoothing":0.5,"warmup":2,"calibrate":6},` +
+		`"recal":{"samples":48,"axis_scale":2,"topology":"dense"}}`))
+	f.Add([]byte(`{"devices":1e99,"steps":-4}`))
+	f.Add([]byte(`{"trip_step":-5}`))
+	f.Add([]byte(`{"devices":2,"steps":5,"model":"m","detector":{"smoothing":"NaN"}}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`{"devices":2} trailing`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if cfg, err := ParseConfig(data); err == nil {
+			// Accepted configs must round-trip through their own validator:
+			// re-encoding and re-parsing cannot flip them to invalid.
+			out, merr := json.Marshal(cfg)
+			if merr != nil {
+				t.Fatalf("accepted config does not re-marshal: %v", merr)
+			}
+			if _, rerr := ParseConfig(out); rerr != nil {
+				t.Fatalf("accepted config re-parses as invalid: %v\n%s", rerr, out)
+			}
+		}
+		if rep, err := ParseReport(data); err == nil {
+			out, merr := json.Marshal(rep)
+			if merr != nil {
+				t.Fatalf("accepted report does not re-marshal: %v", merr)
+			}
+			if _, rerr := ParseReport(out); rerr != nil {
+				t.Fatalf("accepted report re-parses as invalid: %v\n%s", rerr, out)
+			}
+		}
+	})
+}

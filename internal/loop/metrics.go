@@ -1,0 +1,67 @@
+package loop
+
+import (
+	"time"
+
+	"specml/internal/obs"
+)
+
+// loopMetrics instruments the closed loop itself: how often it steps, how
+// often detectors trip, and how long the repair (retrain + fleet reload)
+// takes when they do. All metrics are optional — a nil registry leaves the
+// collectors nil and the helper methods below no-op.
+type loopMetrics struct {
+	steps       *obs.Counter
+	trips       *obs.Counter
+	recals      *obs.Counter
+	conflicts   *obs.Counter
+	retrainSec  *obs.Histogram
+	reloadSec   *obs.Histogram
+	maxResidual *obs.Gauge
+}
+
+func newLoopMetrics(reg *obs.Registry) *loopMetrics {
+	if reg == nil {
+		return &loopMetrics{}
+	}
+	m := &loopMetrics{}
+	m.steps = reg.Counter("specml_loop_steps_total",
+		"Device measurement steps driven through the fleet.")
+	m.trips = reg.Counter("specml_loop_trips_total",
+		"Drift detector trips observed across the fleet.")
+	m.recals = reg.Counter("specml_loop_recals_total",
+		"Recalibration pipelines (re-characterize, retrain, publish, reload) completed.")
+	m.conflicts = reg.Counter("specml_loop_conflicts_total",
+		"Stale-width 409 responses absorbed and retried during reload windows.")
+	m.retrainSec = reg.Histogram("specml_loop_retrain_seconds",
+		"Wall time of the streamed retrain on a drift trip.", obs.LatencyBuckets)
+	m.reloadSec = reg.Histogram("specml_loop_reload_seconds",
+		"Wall time of publish plus fleet-wide hot reload.", obs.LatencyBuckets)
+	m.maxResidual = reg.Gauge("specml_loop_max_residual",
+		"Largest smoothed prediction residual across the fleet after the last wave.")
+	return m
+}
+
+func inc(c *obs.Counter) {
+	if c != nil {
+		c.Inc()
+	}
+}
+
+func add(c *obs.Counter, n uint64) {
+	if c != nil {
+		c.Add(n)
+	}
+}
+
+func setGauge(g *obs.Gauge, v float64) {
+	if g != nil {
+		g.Set(v)
+	}
+}
+
+func observeSince(h *obs.Histogram, t0 time.Time) {
+	if h != nil {
+		h.ObserveSince(t0)
+	}
+}

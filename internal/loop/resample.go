@@ -1,0 +1,81 @@
+package loop
+
+import (
+	"fmt"
+	"sync"
+
+	"specml/internal/dataset"
+	"specml/internal/spectrum"
+)
+
+// resampleSource trains a refined-width model in the serving input domain.
+//
+// When a recalibration publishes at a refined axis (AxisScale > 1), the
+// fleet's instruments keep sending spectra on their native axis; the serving
+// layer linearly resamples every request onto the model's width before the
+// forward pass. A model trained on natively-rendered refined spectra would
+// therefore see a different input distribution at inference time than it saw
+// during training — interpolated peaks, not rendered ones. resampleSource
+// closes that gap: the base source renders on the device axis, and every
+// feature row is pushed through the same resample → clip → sum-normalize
+// chain serve applies to live requests.
+type resampleSource struct {
+	base     dataset.Source
+	from, to spectrum.Axis
+	yw       int
+	scratch  sync.Pool // *[][]float64 rows at the base width
+}
+
+// newResampleSource wraps base (rendering at from.N) so it serves rows at
+// to.N, resampled the way the serving layer resamples requests.
+func newResampleSource(base dataset.Source, from, to spectrum.Axis) (*resampleSource, error) {
+	xw, yw := base.Widths()
+	if xw != from.N {
+		return nil, fmt.Errorf("loop: resample source width %d does not match the device axis (%d points)", xw, from.N)
+	}
+	if to.N < 2 {
+		return nil, fmt.Errorf("loop: refined axis needs at least 2 points, got %d", to.N)
+	}
+	s := &resampleSource{base: base, from: from, to: to, yw: yw}
+	s.scratch.New = func() any {
+		rows := make([][]float64, 0, 64)
+		return &rows
+	}
+	return s, nil
+}
+
+// Len implements dataset.Source.
+func (s *resampleSource) Len() int { return s.base.Len() }
+
+// Widths implements dataset.Source.
+func (s *resampleSource) Widths() (int, int) { return s.to.N, s.yw }
+
+// Batch implements dataset.Source: render at the device width, then resample
+// each row onto the refined axis, clip negative noise and sum-normalize —
+// exactly the transform serve applies to a live request for this model.
+func (s *resampleSource) Batch(epoch int, indices []int, dstX, dstY [][]float64) error {
+	rp := s.scratch.Get().(*[][]float64)
+	defer s.scratch.Put(rp)
+	rows := *rp
+	for len(rows) < len(indices) {
+		rows = append(rows, make([]float64, s.from.N))
+	}
+	*rp = rows
+	if err := s.base.Batch(epoch, indices, rows[:len(indices)], dstY); err != nil {
+		return err
+	}
+	for j := range indices {
+		raw := spectrum.Spectrum{Axis: s.from, Intensities: rows[j]}
+		if err := raw.ResampleInto(dstX[j], s.to); err != nil {
+			return err
+		}
+		for i, v := range dstX[j] {
+			if v < 0 {
+				dstX[j][i] = 0
+			}
+		}
+		out := spectrum.Spectrum{Axis: s.to, Intensities: dstX[j]}
+		out.NormalizeSum()
+	}
+	return nil
+}

@@ -1,0 +1,87 @@
+package loop
+
+import (
+	"math"
+	"testing"
+
+	"specml/internal/dataset"
+	"specml/internal/spectrum"
+)
+
+func TestResampleSourceMatchesServingDomain(t *testing.T) {
+	from, err := spectrum.NewAxis(10, 0.5, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	to, err := spectrum.NewAxis(10, 0.25, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := [][]float64{
+		{0, 1, 4, 1, 0, -2, 3, 0.5, 0},
+		{2, 2, 2, 2, 2, 2, 2, 2, 2},
+	}
+	y := [][]float64{{0.7, 0.3}, {0.1, 0.9}}
+	base, err := dataset.NewInMemory(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := newResampleSource(base, from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := src.Len(); n != 2 {
+		t.Fatalf("Len = %d, want 2", n)
+	}
+	xw, yw := src.Widths()
+	if xw != 17 || yw != 2 {
+		t.Fatalf("Widths = (%d, %d), want (17, 2)", xw, yw)
+	}
+
+	got, err := dataset.Materialize(src, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		// The reference transform: resample, clip, sum-normalize — the same
+		// chain the serving layer applies to a live request for this model.
+		want := make([]float64, to.N)
+		raw := spectrum.Spectrum{Axis: from, Intensities: append([]float64(nil), x[i]...)}
+		if err := raw.ResampleInto(want, to); err != nil {
+			t.Fatal(err)
+		}
+		for j, v := range want {
+			if v < 0 {
+				want[j] = 0
+			}
+		}
+		ws := spectrum.Spectrum{Axis: to, Intensities: want}
+		ws.NormalizeSum()
+		for j := range want {
+			if math.Abs(got.X[i][j]-want[j]) > 1e-15 {
+				t.Fatalf("sample %d feature %d = %g, want %g", i, j, got.X[i][j], want[j])
+			}
+		}
+		for j := range y[i] {
+			if got.Y[i][j] != y[i][j] {
+				t.Fatalf("sample %d label %d = %g, want %g (labels must pass through)", i, j, got.Y[i][j], y[i][j])
+			}
+		}
+	}
+
+	// Normalized output rows must sum to 1.
+	for i := range got.X {
+		sum := 0.0
+		for _, v := range got.X[i] {
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Fatalf("sample %d sums to %g after normalization", i, sum)
+		}
+	}
+
+	// Width mismatch between base and device axis is rejected.
+	if _, err := newResampleSource(base, to, from); err == nil {
+		t.Fatal("base width 9 accepted against a 17-point device axis")
+	}
+}

@@ -1,0 +1,110 @@
+package msim
+
+import (
+	"fmt"
+	"math"
+)
+
+// DriftSchedule is a deterministic per-scan degradation of the instrument:
+// from StartScan the session parameters walk away from their calibrated
+// values, ramping linearly over RampScans scans and then holding at the
+// full magnitude. The schedule draws nothing from the device's random
+// stream, so attaching (or removing) one never shifts the noise sequence —
+// two devices with the same seed and different schedules see identical
+// noise on top of different systematics, which is exactly how a slowly
+// detuning analyzer behaves and what keeps the closed loop bit-reproducible.
+type DriftSchedule struct {
+	// StartScan is the 1-based scan index at which drift begins; scans
+	// before it are unaffected.
+	StartScan int `json:"start_scan"`
+	// RampScans is the number of scans over which the drift ramps from zero
+	// to full magnitude; 0 means a step change at StartScan.
+	RampScans int `json:"ramp_scans"`
+	// MassShift is the full-magnitude additional m/z calibration offset.
+	MassShift float64 `json:"mass_shift"`
+	// GainTilt is the full-magnitude relative tilt of the mass-dependent
+	// sensitivity: the non-constant attenuation terms are scaled by
+	// (1 + tilt), mimicking a detector whose high-mass response fades.
+	GainTilt float64 `json:"gain_tilt"`
+	// FWHMGrowth is the full-magnitude relative peak-width growth.
+	FWHMGrowth float64 `json:"fwhm_growth"`
+	// NoiseGrowth is the full-magnitude relative growth of both noise terms.
+	NoiseGrowth float64 `json:"noise_growth"`
+}
+
+// Validate reports whether the schedule is usable.
+func (d *DriftSchedule) Validate() error {
+	if d.StartScan < 1 {
+		return fmt.Errorf("msim: drift start scan must be >= 1, got %d", d.StartScan)
+	}
+	if d.RampScans < 0 {
+		return fmt.Errorf("msim: drift ramp must be non-negative, got %d", d.RampScans)
+	}
+	for _, v := range []float64{d.MassShift, d.GainTilt, d.FWHMGrowth, d.NoiseGrowth} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("msim: drift magnitudes must be finite")
+		}
+	}
+	if d.FWHMGrowth <= -1 || d.NoiseGrowth <= -1 {
+		return fmt.Errorf("msim: relative drift growth must stay above -1")
+	}
+	return nil
+}
+
+// factor returns the ramp fraction in [0,1] for a 1-based scan index.
+func (d *DriftSchedule) factor(scan int) float64 {
+	if d == nil || scan < d.StartScan {
+		return 0
+	}
+	if d.RampScans <= 0 {
+		return 1
+	}
+	f := float64(scan-d.StartScan+1) / float64(d.RampScans)
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// active reports whether the schedule perturbs the given scan.
+func (d *DriftSchedule) active(scan int) bool { return d.factor(scan) > 0 }
+
+// apply perturbs the model in place by the schedule at the given scan.
+func (d *DriftSchedule) apply(m *InstrumentModel, scan int) {
+	f := d.factor(scan)
+	if f == 0 {
+		return
+	}
+	m.MassOffset += f * d.MassShift
+	if d.GainTilt != 0 {
+		tilt := 1 + f*d.GainTilt
+		for i := 1; i < len(m.Attenuation); i++ {
+			m.Attenuation[i] *= tilt
+		}
+	}
+	if d.FWHMGrowth != 0 {
+		g := 1 + f*d.FWHMGrowth
+		m.PeakFWHM0 *= g
+		m.PeakFWHMSlope *= g
+	}
+	if d.NoiseGrowth != 0 {
+		g := 1 + f*d.NoiseGrowth
+		m.NoiseFloor *= g
+		m.NoiseScale *= g
+	}
+}
+
+// SetDriftSchedule attaches (or with nil detaches) a deterministic drift
+// schedule. The scan counter keeps running across schedule changes.
+func (v *VirtualInstrument) SetDriftSchedule(d *DriftSchedule) error {
+	if d != nil {
+		if err := d.Validate(); err != nil {
+			return err
+		}
+	}
+	v.drift = d
+	return nil
+}
+
+// ScanCount returns the number of Measure calls so far.
+func (v *VirtualInstrument) ScanCount() int { return v.scans }

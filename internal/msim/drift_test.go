@@ -1,0 +1,187 @@
+package msim
+
+import (
+	"math"
+	"testing"
+
+	"specml/internal/spectrum"
+)
+
+func driftTestLines(t *testing.T) *spectrum.LineSpectrum {
+	t.Helper()
+	comps, err := Compounds("N2", "O2", "CO2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := NewLineSimulator(comps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls, err := sim.Mixture([]float64{0.5, 0.3, 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ls
+}
+
+func TestDriftScheduleValidate(t *testing.T) {
+	good := DriftSchedule{StartScan: 10, RampScans: 5, MassShift: 0.3, GainTilt: -0.2}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid schedule rejected: %v", err)
+	}
+	bad := []DriftSchedule{
+		{StartScan: 0},
+		{StartScan: 5, RampScans: -1},
+		{StartScan: 5, MassShift: math.NaN()},
+		{StartScan: 5, GainTilt: math.Inf(1)},
+		{StartScan: 5, FWHMGrowth: -1},
+		{StartScan: 5, NoiseGrowth: -2},
+	}
+	for i, d := range bad {
+		if err := d.Validate(); err == nil {
+			t.Errorf("bad schedule %d (%+v) accepted", i, d)
+		}
+	}
+	vi := NewVirtualInstrument(nil, 1)
+	if err := vi.SetDriftSchedule(&bad[0]); err == nil {
+		t.Error("SetDriftSchedule accepted an invalid schedule")
+	}
+}
+
+func TestDriftScheduleFactor(t *testing.T) {
+	d := &DriftSchedule{StartScan: 10, RampScans: 4}
+	want := map[int]float64{1: 0, 9: 0, 10: 0.25, 11: 0.5, 13: 1, 100: 1}
+	for scan, f := range want {
+		if got := d.factor(scan); got != f {
+			t.Errorf("factor(%d) = %g, want %g", scan, got, f)
+		}
+	}
+	step := &DriftSchedule{StartScan: 3}
+	if step.factor(2) != 0 || step.factor(3) != 1 {
+		t.Error("step schedule should jump from 0 to 1 at StartScan")
+	}
+	var nilSched *DriftSchedule
+	if nilSched.factor(1000) != 0 || nilSched.active(1000) {
+		t.Error("nil schedule must be inert")
+	}
+}
+
+// TestDriftNilScheduleByteIdentity: attaching no schedule produces exactly
+// the byte stream of the pre-drift instrument — the scan counter and the
+// nil checks must not perturb the rng sequence.
+func TestDriftNilScheduleByteIdentity(t *testing.T) {
+	ls := driftTestLines(t)
+	axis := DefaultAxis()
+	a := NewVirtualInstrument(nil, 42)
+	b := NewVirtualInstrument(nil, 42)
+	if err := b.SetDriftSchedule(nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		sa, err := a.Measure(ls, axis)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sb, err := b.Measure(ls, axis)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := range sa.Intensities {
+			if sa.Intensities[k] != sb.Intensities[k] {
+				t.Fatalf("scan %d bin %d differs: %g vs %g", i, k, sa.Intensities[k], sb.Intensities[k])
+			}
+		}
+	}
+	if a.ScanCount() != 5 || b.ScanCount() != 5 {
+		t.Fatalf("scan counts %d/%d, want 5", a.ScanCount(), b.ScanCount())
+	}
+}
+
+// TestDriftPreservesNoiseStream: the drifted instrument consumes the rng
+// stream identically to the undrifted one, so pre-drift scans are byte-equal
+// and post-drift scans differ only by the scheduled systematics.
+func TestDriftPreservesNoiseStream(t *testing.T) {
+	ls := driftTestLines(t)
+	axis := DefaultAxis()
+	clean := NewVirtualInstrument(nil, 7)
+	drifted := NewVirtualInstrument(nil, 7)
+	sched := &DriftSchedule{StartScan: 4, MassShift: 0.8, GainTilt: -0.4}
+	if err := drifted.SetDriftSchedule(sched); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 6; i++ {
+		sc, err := clean.Measure(ls, axis)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sd, err := drifted.Measure(ls, axis)
+		if err != nil {
+			t.Fatal(err)
+		}
+		same := true
+		for k := range sc.Intensities {
+			if sc.Intensities[k] != sd.Intensities[k] {
+				same = false
+				break
+			}
+		}
+		if i < sched.StartScan && !same {
+			t.Fatalf("scan %d before drift start differs", i)
+		}
+		if i >= sched.StartScan && same {
+			t.Fatalf("scan %d after drift start is unchanged", i)
+		}
+	}
+}
+
+// TestDriftDeterministic: two identically seeded, identically scheduled
+// devices produce bitwise-identical drifted scans.
+func TestDriftDeterministic(t *testing.T) {
+	ls := driftTestLines(t)
+	axis := DefaultAxis()
+	mk := func() *VirtualInstrument {
+		vi := NewVirtualInstrument(nil, 99)
+		if err := vi.SetDriftSchedule(&DriftSchedule{
+			StartScan: 2, RampScans: 3, MassShift: 0.5, FWHMGrowth: 0.3, NoiseGrowth: 0.5,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return vi
+	}
+	a, b := mk(), mk()
+	for i := 0; i < 6; i++ {
+		sa, err := a.Measure(ls, axis)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sb, err := b.Measure(ls, axis)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := range sa.Intensities {
+			if sa.Intensities[k] != sb.Intensities[k] {
+				t.Fatalf("scan %d bin %d not deterministic", i, k)
+			}
+		}
+	}
+}
+
+// TestDriftAppliesWithoutJitter: with all stochastic jitter disabled the
+// drift path still clones the session model instead of mutating it.
+func TestDriftAppliesWithoutJitter(t *testing.T) {
+	ls := driftTestLines(t)
+	axis := DefaultAxis()
+	vi := NewVirtualInstrument(nil, 5)
+	vi.ScanMassJitter = 0
+	vi.ScanGainJitter = 0
+	if err := vi.SetDriftSchedule(&DriftSchedule{StartScan: 1, MassShift: 1.0}); err != nil {
+		t.Fatal(err)
+	}
+	before := vi.session.MassOffset
+	if _, err := vi.Measure(ls, axis); err != nil {
+		t.Fatal(err)
+	}
+	if vi.session.MassOffset != before {
+		t.Fatalf("drift mutated the session model: %g -> %g", before, vi.session.MassOffset)
+	}
+}

@@ -182,6 +182,8 @@ type VirtualInstrument struct {
 
 	water *spectrum.LineSpectrum
 	src   *rng.Source
+	drift *DriftSchedule
+	scans int
 }
 
 // NewVirtualInstrument returns a prototype with the given ground truth.
@@ -253,6 +255,7 @@ func (v *VirtualInstrument) Measure(ls *spectrum.LineSpectrum, axis spectrum.Axi
 		return nil, err
 	}
 	// per-scan fluctuations the static simulator cannot capture
+	v.scans++
 	scan := v.session
 	if v.ScanMassJitter > 0 || v.ScanGainJitter > 0 {
 		c := v.session.Clone()
@@ -270,6 +273,15 @@ func (v *VirtualInstrument) Measure(ls *spectrum.LineSpectrum, axis spectrum.Axi
 			}
 		}
 		scan = c
+	}
+	// Scheduled drift is applied after the stochastic jitter and draws
+	// nothing from the stream: the same seed yields the same noise whether
+	// or not the device is drifting.
+	if v.drift.active(v.scans) {
+		if scan == v.session {
+			scan = v.session.Clone()
+		}
+		v.drift.apply(scan, v.scans)
 	}
 	return scan.Measure(contaminated, axis, v.src)
 }

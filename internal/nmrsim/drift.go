@@ -1,0 +1,73 @@
+package nmrsim
+
+import (
+	"fmt"
+	"math"
+)
+
+// DriftSchedule is the NMR counterpart of the mass-spec drift schedule: a
+// deterministic per-measurement degradation that ramps in from StartScan.
+// It never touches the instrument's random stream, so the noise sequence
+// for a given seed is identical with or without drift.
+type DriftSchedule struct {
+	// StartScan is the 1-based measurement index at which drift begins.
+	StartScan int `json:"start_scan"`
+	// RampScans ramps the drift linearly to full magnitude; 0 = step.
+	RampScans int `json:"ramp_scans"`
+	// ShiftDrift is the full-magnitude systematic chemical-shift offset
+	// (ppm) applied to every component — a detuning field/lock.
+	ShiftDrift float64 `json:"shift_drift"`
+	// WidthGrowth is the full-magnitude relative line-width growth — a
+	// degrading shim.
+	WidthGrowth float64 `json:"width_growth"`
+	// NoiseGrowth is the full-magnitude relative noise-level growth.
+	NoiseGrowth float64 `json:"noise_growth"`
+}
+
+// Validate reports whether the schedule is usable.
+func (d *DriftSchedule) Validate() error {
+	if d.StartScan < 1 {
+		return fmt.Errorf("nmrsim: drift start scan must be >= 1, got %d", d.StartScan)
+	}
+	if d.RampScans < 0 {
+		return fmt.Errorf("nmrsim: drift ramp must be non-negative, got %d", d.RampScans)
+	}
+	for _, v := range []float64{d.ShiftDrift, d.WidthGrowth, d.NoiseGrowth} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("nmrsim: drift magnitudes must be finite")
+		}
+	}
+	if d.WidthGrowth <= -1 || d.NoiseGrowth <= -1 {
+		return fmt.Errorf("nmrsim: relative drift growth must stay above -1")
+	}
+	return nil
+}
+
+// factor returns the ramp fraction in [0,1] for a 1-based scan index.
+func (d *DriftSchedule) factor(scan int) float64 {
+	if d == nil || scan < d.StartScan {
+		return 0
+	}
+	if d.RampScans <= 0 {
+		return 1
+	}
+	f := float64(scan-d.StartScan+1) / float64(d.RampScans)
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// SetDriftSchedule attaches (or with nil detaches) a drift schedule.
+func (ins *Instrument) SetDriftSchedule(d *DriftSchedule) error {
+	if d != nil {
+		if err := d.Validate(); err != nil {
+			return err
+		}
+	}
+	ins.drift = d
+	return nil
+}
+
+// ScanCount returns the number of Measure calls so far.
+func (ins *Instrument) ScanCount() int { return ins.scans }

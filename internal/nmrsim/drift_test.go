@@ -1,0 +1,99 @@
+package nmrsim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNMRDriftScheduleValidate(t *testing.T) {
+	good := DriftSchedule{StartScan: 5, RampScans: 3, ShiftDrift: 0.02, WidthGrowth: 0.5}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid schedule rejected: %v", err)
+	}
+	bad := []DriftSchedule{
+		{StartScan: 0},
+		{StartScan: 2, RampScans: -1},
+		{StartScan: 2, ShiftDrift: math.NaN()},
+		{StartScan: 2, WidthGrowth: -1},
+		{StartScan: 2, NoiseGrowth: math.Inf(-1)},
+	}
+	for i, d := range bad {
+		if err := d.Validate(); err == nil {
+			t.Errorf("bad schedule %d (%+v) accepted", i, d)
+		}
+	}
+	ins := NewLowField(1)
+	if err := ins.SetDriftSchedule(&bad[0]); err == nil {
+		t.Error("SetDriftSchedule accepted an invalid schedule")
+	}
+}
+
+// TestNMRDriftNilScheduleByteIdentity: the scan counter and nil checks must
+// not perturb the measurement stream.
+func TestNMRDriftNilScheduleByteIdentity(t *testing.T) {
+	a := NewLowField(11)
+	b := NewLowField(11)
+	if err := b.SetDriftSchedule(nil); err != nil {
+		t.Fatal(err)
+	}
+	conc := make([]float64, len(a.Components))
+	for i := range conc {
+		conc[i] = 1.0 / float64(i+1)
+	}
+	for i := 0; i < 4; i++ {
+		sa, err := a.Measure(conc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sb, err := b.Measure(conc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := range sa.Intensities {
+			if sa.Intensities[k] != sb.Intensities[k] {
+				t.Fatalf("scan %d bin %d differs", i, k)
+			}
+		}
+	}
+	if a.ScanCount() != 4 {
+		t.Fatalf("scan count %d, want 4", a.ScanCount())
+	}
+}
+
+// TestNMRDriftOnset: scans before StartScan match the undrifted instrument
+// exactly; scans at and after it differ.
+func TestNMRDriftOnset(t *testing.T) {
+	clean := NewLowField(23)
+	drifted := NewLowField(23)
+	sched := &DriftSchedule{StartScan: 3, ShiftDrift: 0.05, WidthGrowth: 0.4}
+	if err := drifted.SetDriftSchedule(sched); err != nil {
+		t.Fatal(err)
+	}
+	conc := make([]float64, len(clean.Components))
+	for i := range conc {
+		conc[i] = 1
+	}
+	for i := 1; i <= 5; i++ {
+		sc, err := clean.Measure(conc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sd, err := drifted.Measure(conc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		same := true
+		for k := range sc.Intensities {
+			if sc.Intensities[k] != sd.Intensities[k] {
+				same = false
+				break
+			}
+		}
+		if i < sched.StartScan && !same {
+			t.Fatalf("scan %d before drift start differs", i)
+		}
+		if i >= sched.StartScan && same {
+			t.Fatalf("scan %d after drift start is unchanged", i)
+		}
+	}
+}

@@ -30,7 +30,9 @@ type Instrument struct {
 	// O(1); it models receiver gain.
 	IntensityScale float64
 
-	src *rng.Source
+	src   *rng.Source
+	drift *DriftSchedule
+	scans int
 }
 
 // NewLowField returns the benchtop process spectrometer stand-in.
@@ -67,6 +69,16 @@ func (ins *Instrument) Measure(conc []float64) (*spectrum.Spectrum, error) {
 	if len(conc) != len(ins.Components) {
 		return nil, fmt.Errorf("nmrsim: %d concentrations for %d components", len(conc), len(ins.Components))
 	}
+	// Scheduled drift: a pure function of the scan index layered on top of
+	// the stochastic jitter, with no extra draws from the stream.
+	ins.scans++
+	f := ins.drift.factor(ins.scans)
+	driftShift, widthGrow, noiseGrow := 0.0, 1.0, 1.0
+	if f > 0 {
+		driftShift = f * ins.drift.ShiftDrift
+		widthGrow = 1 + f*ins.drift.WidthGrowth
+		noiseGrow = 1 + f*ins.drift.NoiseGrowth
+	}
 	s := spectrum.New(ins.Axis)
 	for j, c := range ins.Components {
 		if conc[j] < 0 {
@@ -75,8 +87,8 @@ func (ins *Instrument) Measure(conc []float64) (*spectrum.Spectrum, error) {
 		if conc[j] == 0 {
 			continue
 		}
-		shift := ins.src.Normal(0, ins.ShiftJitter)
-		wf := ins.WidthFactor * (1 + ins.src.Normal(0, ins.WidthJitter))
+		shift := ins.src.Normal(0, ins.ShiftJitter) + driftShift
+		wf := ins.WidthFactor * widthGrow * (1 + ins.src.Normal(0, ins.WidthJitter))
 		if wf < 0.1 {
 			wf = 0.1
 		}
@@ -85,8 +97,9 @@ func (ins *Instrument) Measure(conc []float64) (*spectrum.Spectrum, error) {
 		}
 	}
 	if ins.NoiseSigma > 0 {
+		sigma := ins.NoiseSigma * noiseGrow
 		for i := range s.Intensities {
-			s.Intensities[i] += ins.src.Normal(0, ins.NoiseSigma)
+			s.Intensities[i] += ins.src.Normal(0, sigma)
 		}
 	}
 	return s, nil

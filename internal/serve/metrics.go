@@ -50,6 +50,9 @@ type serveMetrics struct {
 
 	// reloads counts hot-reload attempts by outcome.
 	reloadsOK, reloadsFailed *obs.Counter
+
+	// publishes counts model publish attempts by outcome.
+	publishesOK, publishesFailed *obs.Counter
 }
 
 // newServeMetrics registers every instrument; quantized selects which
@@ -88,6 +91,10 @@ func newServeMetrics(reg *obs.Registry, quantized bool) *serveMetrics {
 			"Hot reloads by outcome.", obs.L("result", "ok")),
 		reloadsFailed: reg.Counter("specserve_reloads_total",
 			"Hot reloads by outcome.", obs.L("result", "error")),
+		publishesOK: reg.Counter("specserve_publishes_total",
+			"Model publishes by outcome.", obs.L("result", "ok")),
+		publishesFailed: reg.Counter("specserve_publishes_total",
+			"Model publishes by outcome.", obs.L("result", "error")),
 	}
 	m.stForward = m.stForwardFP64
 	if quantized {

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"log/slog"
@@ -25,6 +26,14 @@ var ErrModelReloaded = errors.New("serve: model input width changed by reload")
 // registry holds several models: a malformed request, not a missing
 // resource.
 var errAmbiguousModel = errors.New("serve: request must name a model")
+
+// errNoModelDir reports a publish against a registry that has no model
+// directory to persist into: published weights would silently vanish on the
+// next reload, so the operation is refused instead.
+var errNoModelDir = errors.New("serve: no model directory configured for publish")
+
+// errBadModelName reports a publish name that is not a plain file base name.
+var errBadModelName = errors.New("serve: model name must be a plain name without path separators")
 
 // ModelInfo is the public description of one registered model.
 type ModelInfo struct {
@@ -202,6 +211,98 @@ func (r *Registry) Register(name string, m *nn.Model) error {
 	}
 	r.entries[name] = r.newEntry(name, "", m, q)
 	return nil
+}
+
+// validPublishName reports whether name is usable as a model file base
+// name: non-empty, no path separators or traversal, no hidden files.
+func validPublishName(name string) bool {
+	if name == "" || name == "." || name == ".." {
+		return false
+	}
+	if strings.ContainsAny(name, "/\\") || strings.HasPrefix(name, ".") {
+		return false
+	}
+	return filepath.Base(name) == name
+}
+
+// Publish installs nn.Save-serialized weights under the given name: the
+// bytes are validated by a full load, durably written into the registry's
+// model directory (atomic tmp+rename, so a crashed publish never leaves a
+// half-written file for the next reload to choke on), and hot-swapped into
+// the live entry exactly like a reload. It is the write half of the closed
+// recalibration loop: the retrainer publishes, then broadcasts reload to
+// the rest of the fleet, whose directory scan picks the same file up.
+func (r *Registry) Publish(name string, data []byte) (ModelInfo, error) {
+	info, err := r.publish(name, data)
+	if r.mx != nil {
+		if err != nil {
+			r.mx.publishesFailed.Inc()
+		} else {
+			r.mx.publishesOK.Inc()
+		}
+	}
+	if err != nil {
+		r.logger.Error("model publish failed", "model", name, "err", err)
+	} else {
+		r.logger.Info("model published", "model", name, "inputLen", info.InputLen)
+	}
+	return info, err
+}
+
+func (r *Registry) publish(name string, data []byte) (ModelInfo, error) {
+	if !validPublishName(name) {
+		return ModelInfo{}, fmt.Errorf("%w: %q", errBadModelName, name)
+	}
+	r.mu.RLock()
+	dir := r.dir
+	r.mu.RUnlock()
+	if dir == "" {
+		return ModelInfo{}, errNoModelDir
+	}
+	m, err := nn.Load(bytes.NewReader(data))
+	if err != nil {
+		return ModelInfo{}, fmt.Errorf("serve: publishing model %q: %w", name, err)
+	}
+	q, err := r.quantized(name, m)
+	if err != nil {
+		return ModelInfo{}, err
+	}
+	path := filepath.Join(dir, name+".json")
+	tmp, err := os.CreateTemp(dir, "."+name+".publish-*")
+	if err != nil {
+		return ModelInfo{}, fmt.Errorf("serve: publishing model %q: %w", name, err)
+	}
+	if _, err := tmp.Write(data); err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp.Name(), path)
+	}
+	if err != nil {
+		os.Remove(tmp.Name())
+		return ModelInfo{}, fmt.Errorf("serve: publishing model %q: %w", name, err)
+	}
+	r.mu.Lock()
+	if e, ok := r.entries[name]; ok {
+		e.source = path
+		e.swap(m, q)
+	} else {
+		r.entries[name] = r.newEntry(name, path, m, q)
+	}
+	e := r.entries[name]
+	r.mu.Unlock()
+	return ModelInfo{
+		Name:      name,
+		InputLen:  m.InputLen(),
+		OutputLen: m.OutputLen(),
+		Params:    m.NumParams(),
+		Precision: e.precision(),
+		Source:    path,
+		LoadedAt:  time.Now(),
+	}, nil
 }
 
 // LoadDir loads every *.json model file of dir and remembers dir for

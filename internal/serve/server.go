@@ -12,6 +12,7 @@
 //	POST   /v1/predict            one spectrum -> substance fractions
 //	GET    /v1/models             list registered models
 //	POST   /v1/models/reload      hot-reload models from the model directory
+//	PUT    /v1/models/{name}      publish nn.Save weights and hot-swap them
 //	POST   /v1/monitor            open a monitoring session
 //	GET    /v1/monitor            list live session IDs
 //	GET    /v1/monitor/{id}       session status
@@ -202,6 +203,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/predict", s.instrument("predict", s.handlePredict))
 	s.mux.HandleFunc("GET /v1/models", s.instrument("models", s.handleModels))
 	s.mux.HandleFunc("POST /v1/models/reload", s.instrument("reload", s.handleReload))
+	s.mux.HandleFunc("PUT /v1/models/{name}", s.instrument("models.publish", s.handleModelPublish))
 	s.mux.HandleFunc("POST /v1/monitor", s.instrument("monitor.create", s.handleMonitorCreate))
 	s.mux.HandleFunc("GET /v1/monitor", s.instrument("monitor.list", s.handleMonitorList))
 	s.mux.HandleFunc("GET /v1/monitor/{id}", s.instrument("monitor.status", s.handleMonitorStatus))
@@ -415,6 +417,28 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) int {
 		return writeError(w, http.StatusConflict, err)
 	}
 	return writeJSON(w, http.StatusOK, map[string]any{"reloaded": names})
+}
+
+// handleModelPublish accepts nn.Save JSON weights and installs them under
+// the path name: persisted into the model directory and hot-swapped into
+// the live registry. It is the write half of the recalibration loop — a
+// retrainer publishes to one backend and then broadcasts /v1/models/reload
+// so the rest of the fleet re-scans the shared directory.
+func (s *Server) handleModelPublish(w http.ResponseWriter, r *http.Request) int {
+	data, err := io.ReadAll(r.Body)
+	if err != nil {
+		return writeError(w, http.StatusBadRequest, fmt.Errorf("serve: reading model body: %w", err))
+	}
+	info, err := s.reg.Publish(r.PathValue("name"), data)
+	switch {
+	case errors.Is(err, errBadModelName):
+		return writeError(w, http.StatusBadRequest, err)
+	case errors.Is(err, errNoModelDir):
+		return writeError(w, http.StatusConflict, err)
+	case err != nil:
+		return writeError(w, http.StatusBadRequest, err)
+	}
+	return writeJSON(w, http.StatusOK, map[string]any{"published": info})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) int {

@@ -16,32 +16,13 @@
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+. scripts/lib.sh
+e2e_init fleet_e2e
 
 FRONT_PORT=19080
 B1_PORT=19081
 B2_PORT=19082
 FRONT="http://127.0.0.1:${FRONT_PORT}"
-
-TMP=$(mktemp -d)
-PIDS=()
-cleanup() {
-    local code=$?
-    for pid in "${PIDS[@]:-}"; do
-        kill "$pid" 2>/dev/null || true
-    done
-    wait 2>/dev/null || true
-    if [ "$code" -ne 0 ]; then
-        echo "--- front log ---" >&2
-        cat "$TMP/front.log" >&2 || true
-        echo "--- backend 1 log ---" >&2
-        cat "$TMP/b1.log" >&2 || true
-        echo "--- backend 2 log ---" >&2
-        cat "$TMP/b2.log" >&2 || true
-    fi
-    rm -rf "$TMP"
-    exit "$code"
-}
-trap cleanup EXIT
 
 echo "== build"
 go build -o "$TMP/specserve" ./cmd/specserve
@@ -51,48 +32,20 @@ echo "== train demo model"
 "$TMP/specserve" -train-demo "$TMP/models" -demo-samples 120 >"$TMP/train.log" 2>&1
 
 echo "== boot 2 backends + 1 front"
-"$TMP/specserve" -models "$TMP/models" -addr "127.0.0.1:${B1_PORT}" -batch-window 1ms \
-    >"$TMP/b1.log" 2>&1 &
-B1_PID=$!
-PIDS+=("$B1_PID")
-"$TMP/specserve" -models "$TMP/models" -addr "127.0.0.1:${B2_PORT}" -batch-window 1ms \
-    >"$TMP/b2.log" 2>&1 &
-B2_PID=$!
-PIDS+=("$B2_PID")
+spawn b1.log "$TMP/specserve" -models "$TMP/models" -addr "127.0.0.1:${B1_PORT}" -batch-window 1ms
+B1_PID=$SPAWN_PID
+spawn b2.log "$TMP/specserve" -models "$TMP/models" -addr "127.0.0.1:${B2_PORT}" -batch-window 1ms
+B2_PID=$SPAWN_PID
 
-wait_http() {
-    for _ in $(seq 1 100); do
-        if curl -fsS "$1" >/dev/null 2>&1; then
-            return 0
-        fi
-        sleep 0.1
-    done
-    echo "fleet_e2e: timed out waiting for $1" >&2
-    return 1
-}
 wait_http "http://127.0.0.1:${B1_PORT}/healthz"
 wait_http "http://127.0.0.1:${B2_PORT}/healthz"
 
-"$TMP/specfront" -addr "127.0.0.1:${FRONT_PORT}" \
+spawn front.log "$TMP/specfront" -addr "127.0.0.1:${FRONT_PORT}" \
     -backends "http://127.0.0.1:${B1_PORT},http://127.0.0.1:${B2_PORT}" \
-    -health-interval 200ms -retry-backoff 10ms \
-    >"$TMP/front.log" 2>&1 &
-PIDS+=("$!")
+    -health-interval 200ms -retry-backoff 10ms
 wait_http "${FRONT}/healthz"
 
-wait_fleet_healthy() {
-    local want=$1
-    for _ in $(seq 1 100); do
-        if curl -fsS "${FRONT}/v1/fleet" 2>/dev/null | grep -q "\"healthy\":${want}[,}]"; then
-            return 0
-        fi
-        sleep 0.1
-    done
-    echo "fleet_e2e: fleet never reported ${want} healthy backends:" >&2
-    curl -fsS "${FRONT}/v1/fleet" >&2 || true
-    return 1
-}
-wait_fleet_healthy 2
+wait_fleet_healthy "$FRONT" 2
 
 BODY='{"model":"ms-demo","intensities":[0.1,0.9,0.3,0.7,0.2,0.8,0.4,0.6,0.5,0.1,0.9,0.3,0.7,0.2,0.8,0.4]}'
 
@@ -179,7 +132,7 @@ fi
 echo "   40/40 predicts ok, traffic now on $NEW_OWNER"
 
 echo "== fleet view settles to 1 healthy backend"
-wait_fleet_healthy 1
+wait_fleet_healthy "$FRONT" 1
 
 # The ledger is the hard gate: every status code seen by a client, with
 # zero 5xx tolerated across the kill.

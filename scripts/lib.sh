@@ -1,0 +1,91 @@
+# lib.sh — shared boot/teardown helpers for the e2e scripts.
+#
+# Source this from a script that has `set -euo pipefail`:
+#
+#   . "$(dirname "$0")/lib.sh"
+#   e2e_init fleet_e2e
+#   spawn b1.log "$TMP/specserve" -models "$TMP/models" -addr 127.0.0.1:9081
+#   B1_PID=$SPAWN_PID
+#   wait_http http://127.0.0.1:9081/healthz
+#
+# e2e_init creates $TMP, tracks spawned PIDs, and installs an EXIT trap
+# that tears everything down and dumps every registered log when the
+# script fails, so CI failures carry the server-side story.
+# shellcheck shell=bash
+
+e2e_init() {
+    E2E_NAME=$1
+    TMP=$(mktemp -d)
+    PIDS=()
+    E2E_LOGS=()
+    trap e2e_cleanup EXIT
+}
+
+e2e_cleanup() {
+    local code=$?
+    local pid log
+    for pid in "${PIDS[@]:-}"; do
+        kill "$pid" 2>/dev/null || true
+    done
+    wait 2>/dev/null || true
+    if [ "$code" -ne 0 ]; then
+        for log in "${E2E_LOGS[@]:-}"; do
+            echo "--- ${log##*/} ---" >&2
+            cat "$log" >&2 || true
+        done
+    fi
+    rm -rf "$TMP"
+    exit "$code"
+}
+
+# e2e_register_log <name> — include $TMP/<name> in the failure dump.
+e2e_register_log() {
+    E2E_LOGS+=("$TMP/$1")
+}
+
+# spawn <logname> <cmd...> — background a process with its output in
+# $TMP/<logname>, register it for teardown and the failure dump, and leave
+# its PID in $SPAWN_PID.
+spawn() {
+    local log="$TMP/$1"
+    shift
+    "$@" >"$log" 2>&1 &
+    SPAWN_PID=$!
+    PIDS+=("$SPAWN_PID")
+    E2E_LOGS+=("$log")
+}
+
+# wait_http <url> — poll until the URL answers 2xx (10s budget).
+wait_http() {
+    local url=$1
+    for _ in $(seq 1 100); do
+        if curl -fsS "$url" >/dev/null 2>&1; then
+            return 0
+        fi
+        sleep 0.1
+    done
+    echo "${E2E_NAME}: timed out waiting for $url" >&2
+    return 1
+}
+
+# wait_fleet_healthy <front-url> <want> — poll the front's fleet view until
+# it reports exactly <want> healthy backends.
+wait_fleet_healthy() {
+    local front=$1 want=$2
+    for _ in $(seq 1 100); do
+        if curl -fsS "${front}/v1/fleet" 2>/dev/null | grep -q "\"healthy\":${want}[,}]"; then
+            return 0
+        fi
+        sleep 0.1
+    done
+    echo "${E2E_NAME}: fleet never reported ${want} healthy backends:" >&2
+    curl -fsS "${front}/v1/fleet" >&2 || true
+    return 1
+}
+
+# report_field <report.json> <field> — extract a top-level numeric or bare
+# JSON value from a fleetsim report.
+report_field() {
+    local file=$1 field=$2
+    sed -n "s/^ *\"${field}\": *\([^,}]*\),*\$/\1/p" "$file" | head -n1 | tr -d '"'
+}
